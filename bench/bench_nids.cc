@@ -1,0 +1,105 @@
+// Context-gated intrusion detection (the paper's §1 motivation as a
+// subsystem): signature matching restricted to grammatical context vs the
+// same signatures applied context-free. Reports per-rule-count false
+// positives on decoy-laden traffic, and scan throughput.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "grammar/grammar_parser.h"
+#include "nids/context_filter.h"
+
+namespace cfgtag::bench {
+namespace {
+
+constexpr char kProtocol[] = R"grm(
+PATH [a-zA-Z0-9/._-]+
+WORD [a-zA-Z0-9/._-]+
+%%
+msg:  "REQ" path "HDR" hval "END";
+path: PATH;
+hval: WORD;
+%%
+)grm";
+
+std::vector<nids::Rule> MakeRules(int n) {
+  std::vector<nids::Rule> rules = {
+      {"TRAVERSAL", "../", "PATH", 3},
+      {"PASSWD", "/etc/passwd", "PATH", 3},
+      {"DROPPER", "cmd.exe", "PATH", 2},
+      {"SHELL", "bin/sh", "PATH", 2},
+  };
+  // Synthetic additional signatures.
+  Rng rng(2006);
+  while (static_cast<int>(rules.size()) < n) {
+    rules.push_back({"SYN-" + std::to_string(rules.size()),
+                     "sig" + rng.NextString(6, "abcdef0123456789"),
+                     "PATH", 1});
+  }
+  rules.resize(n);
+  return rules;
+}
+
+// Traffic: benign requests whose *header values* embed signature strings
+// (decoys). Every alert is a false positive by construction.
+std::string MakeDecoyTraffic(const std::vector<nids::Rule>& rules,
+                             int messages, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (int i = 0; i < messages; ++i) {
+    out += "REQ /static/" + rng.NextString(8, "abcdefgh") + ".html HDR ";
+    out += "agent-";
+    // Embed a random rule's pattern in the header value (escaping '/'
+    // which WORD also accepts, so the decoy stays in-token).
+    out += rules[rng.NextIndex(rules.size())].pattern;
+    out += "-v" + std::to_string(rng.NextIndex(10));
+    out += " END\n";
+  }
+  return out;
+}
+
+void Run() {
+  auto g = grammar::ParseGrammar(kProtocol);
+  CheckOk(g.status(), "protocol grammar");
+
+  std::printf(
+      "Context-gated NIDS vs context-free signatures\n"
+      "(decoy traffic: every signature hit is a false positive)\n\n");
+  std::printf("%8s | %12s %12s | %14s\n", "rules", "naive FPs",
+              "context FPs", "scan MB/s");
+
+  for (int nrules : {4, 16, 64}) {
+    auto rules = MakeRules(nrules);
+    hwgen::HwOptions opt;
+    opt.tagger.arm_mode = tagger::ArmMode::kResync;
+    auto filter = ValueOrDie(
+        nids::ContextFilter::Create(g->Clone(), rules, opt), "filter");
+    const std::string traffic = MakeDecoyTraffic(rules, 400, 7);
+
+    const auto naive = filter.ScanContextFree(traffic);
+    nids::ScanStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto context = filter.Scan(traffic, &stats);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    std::printf("%8d | %12zu %12zu | %14.1f\n", nrules, naive.size(),
+                context.size(),
+                traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9));
+  }
+
+  std::printf(
+      "\nExpected shape: the context-free scanner alerts on every decoy;\n"
+      "the context filter scans only PATH spans and stays silent. Attack\n"
+      "traffic (signatures in the path) alerts in both (see nids_test).\n");
+}
+
+}  // namespace
+}  // namespace cfgtag::bench
+
+int main() {
+  cfgtag::bench::Run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Software throughput of every engine in the repository (google-benchmark).
+// The paper's hardware throughput is Fmax x 1 byte/cycle (reported by
+// bench_table1); these benches measure what the *software* components
+// deliver on the host: the bit-parallel functional model, the reference LL
+// parser, the Aho-Corasick naive matcher, and the cycle-accurate gate-level
+// simulation (orders of magnitude slower, by design).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tagger/lexer.h"
+#include "tagger/ll_parser.h"
+#include "tagger/naive_matcher.h"
+#include "xmlrpc/message_gen.h"
+
+namespace cfgtag::bench {
+namespace {
+
+const std::string& Workload() {
+  static const std::string* const kStream = [] {
+    xmlrpc::MessageGenerator gen({}, /*seed=*/42);
+    return new std::string(gen.GenerateStream(/*count=*/0, /*min_bytes=*/1 << 20));
+  }();
+  return *kStream;
+}
+
+// One XML-RPC message (streams of messages are not a sentence of the
+// Fig. 14 grammar, so the LL benchmark parses per message).
+const std::vector<std::string>& Messages() {
+  static const std::vector<std::string>* const kMessages = [] {
+    xmlrpc::MessageGenerator gen({}, /*seed=*/43);
+    auto* v = new std::vector<std::string>;
+    for (int i = 0; i < 64; ++i) v->push_back(gen.Generate());
+    return v;
+  }();
+  return *kMessages;
+}
+
+void BM_FunctionalModel(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  core::CompiledTagger tagger = CompileXmlRpc(copies);
+  const std::string& input = Workload();
+  size_t tags = 0;
+  for (auto _ : state) {
+    tagger.Tag(input, [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    });
+  }
+  benchmark::DoNotOptimize(tags);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.counters["grammar_bytes"] =
+      static_cast<double>(tagger.hardware().pattern_bytes);
+}
+BENCHMARK(BM_FunctionalModel)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_LlParser(benchmark::State& state) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  CheckOk(g.status(), "grammar");
+  auto parser =
+      ValueOrDie(tagger::PredictiveParser::Create(&g.value(), {}), "parser");
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const std::string& msg : Messages()) {
+      auto tags = parser.Parse(msg);
+      benchmark::DoNotOptimize(tags);
+      bytes += msg.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_LlParser)->Unit(benchmark::kMillisecond);
+
+void BM_FlexStyleLexer(benchmark::State& state) {
+  // Context-free combined-DFA lexing — fast, but blind to grammar context.
+  auto g = xmlrpc::XmlRpcGrammar();
+  CheckOk(g.status(), "grammar");
+  auto lexer = ValueOrDie(tagger::Lexer::Create(&g.value()), "lexer");
+  const std::string& input = Workload();
+  for (auto _ : state) {
+    auto tags = lexer.Lex(input);
+    benchmark::DoNotOptimize(tags);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_FlexStyleLexer)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveMatcher(benchmark::State& state) {
+  tagger::NaiveMatcher naive(
+      {"deposit", "withdraw", "acctinfo", "buy", "sell", "price"});
+  const std::string& input = Workload();
+  for (auto _ : state) {
+    size_t hits = 0;
+    naive.Scan(input, [&hits](int32_t, uint64_t) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_NaiveMatcher)->Unit(benchmark::kMillisecond);
+
+void BM_CycleAccurateSim(benchmark::State& state) {
+  core::CompiledTagger tagger = CompileXmlRpc(1);
+  xmlrpc::MessageGenerator gen({}, 7);
+  const std::string msg = gen.Generate();
+  for (auto _ : state) {
+    auto tags = tagger.TagCycleAccurate(msg);
+    CheckOk(tags.status(), "sim");
+    benchmark::DoNotOptimize(tags);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(msg.size()));
+}
+BENCHMARK(BM_CycleAccurateSim)->Unit(benchmark::kMillisecond);
+
+void BM_CompileTagger(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::CompiledTagger tagger = CompileXmlRpc(copies);
+    benchmark::DoNotOptimize(tagger.hardware().pattern_bytes);
+  }
+}
+BENCHMARK(BM_CompileTagger)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ImplementFlow(benchmark::State& state) {
+  // Tech map + timing analysis (the "vendor flow" substitute).
+  const int copies = static_cast<int>(state.range(0));
+  core::CompiledTagger tagger = CompileXmlRpc(copies);
+  for (auto _ : state) {
+    auto report = tagger.Implement(rtl::Virtex4LX200());
+    CheckOk(report.status(), "implement");
+    benchmark::DoNotOptimize(report->area.luts);
+  }
+}
+BENCHMARK(BM_ImplementFlow)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfgtag::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+#ifndef CFGTAG_BENCH_BENCH_UTIL_H_
+#define CFGTAG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "core/token_tagger.h"
+#include "grammar/transforms.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::bench {
+
+// Dies loudly: benches regenerate paper tables, a failure means the build
+// is broken and the numbers would be meaningless.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(StatusOr<T> v, const char* what) {
+  CheckOk(v.status(), what);
+  return std::move(v).value();
+}
+
+// XML-RPC grammar duplicated `copies` times — the paper's §4.3 scaling
+// methodology.
+inline grammar::Grammar DuplicatedXmlRpc(int copies) {
+  auto base = xmlrpc::XmlRpcGrammar();
+  CheckOk(base.status(), "XmlRpcGrammar");
+  if (copies == 1) return std::move(base).value();
+  auto dup = grammar::DuplicateGrammar(*base, copies);
+  CheckOk(dup.status(), "DuplicateGrammar");
+  return std::move(dup).value();
+}
+
+inline core::CompiledTagger CompileXmlRpc(int copies,
+                                          const hwgen::HwOptions& opt = {}) {
+  auto compiled = core::CompiledTagger::Compile(DuplicatedXmlRpc(copies), opt);
+  CheckOk(compiled.status(), "Compile");
+  return std::move(compiled).value();
+}
+
+}  // namespace cfgtag::bench
+
+#endif  // CFGTAG_BENCH_BENCH_UTIL_H_

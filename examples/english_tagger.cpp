@@ -1,0 +1,89 @@
+// The paper's §5.1 natural-language application: "if provided with a
+// grammar for a natural language, a parser can be used as a front end to a
+// high-speed semantic processing system. By identifying words within their
+// context, a semantic processing system could more accurately define the
+// meaning of each word."
+//
+// A miniature English grammar where the same word class (WORD) plays
+// different grammatical roles. Context expansion (§3.2) mints one hardware
+// tokenizer per role, so the tag stream labels each word as subject,
+// verb or object — pure hardware part-of-speech tagging by position.
+//
+// Build & run:  ./build/examples/english_tagger
+
+#include <cstdio>
+
+#include "core/context_tagger.h"
+#include "grammar/grammar_parser.h"
+
+int main() {
+  using namespace cfgtag;
+
+  // sentence: [determiner] subject verb [determiner] object '.'
+  const char* english = R"grm(
+DET  "the"|"a"
+WORD [a-z]+
+%%
+text:     sentence text_rest;
+text_rest: | sentence text_rest;
+sentence: noun_s verb_part `.';
+noun_s:   DET WORD | WORD;
+verb_part: WORD noun_o;
+noun_o:   DET WORD | WORD;
+%%
+)grm";
+
+  auto grammar = grammar::ParseGrammar(english);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "grammar error: %s\n",
+                 grammar.status().ToString().c_str());
+    return 1;
+  }
+  auto tagger = core::ContextualTagger::Compile(*grammar);
+  if (!tagger.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 tagger.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string input = "the cat chased a mouse . dogs sleep daily .";
+  std::printf("input: \"%s\"\n\n", input.c_str());
+  std::printf("%6s  %-10s  %s\n", "byte", "base", "grammatical context");
+
+  // Map (production, position) to a human role label.
+  auto role = [&](const core::ContextTag& t) -> const char* {
+    if (t.base_token == grammar->FindToken("DET")) return "determiner";
+    if (t.production < 0) return "";
+    const auto& prods = grammar->productions();
+    const std::string& lhs =
+        grammar->nonterminals()[prods[t.production].lhs];
+    if (lhs == "noun_s") return "SUBJECT";
+    if (lhs == "verb_part") return "VERB";
+    if (lhs == "noun_o") return "OBJECT";
+    return lhs.c_str();
+  };
+
+  for (const core::ContextTag& t : tagger->Tag(input)) {
+    const std::string base =
+        t.base_token >= 0 ? grammar->tokens()[t.base_token].name : "?";
+    std::printf("%6llu  %-10s  %-10s (%s)\n",
+                static_cast<unsigned long long>(t.tag.end), base.c_str(),
+                role(t), tagger->DescribeContext(t).c_str());
+  }
+
+  std::printf(
+      "\nThe WORD occurrences carry distinct token identities — subject,\n"
+      "verb, object — although they share one pattern: §3.2 token\n"
+      "duplication doing hardware part-of-speech tagging.\n"
+      "\n"
+      "Note the double tags in the first sentence: \"the\" also matches\n"
+      "WORD, so a second parse path (\"the\" as subject) runs in parallel\n"
+      "and mislabels the next words until it dies out. That is the paper's\n"
+      "§3.3 behaviour verbatim: \"if multiple transitions takes place, all\n"
+      "of them can be executed in parallel ... only the correct transition\n"
+      "path will be allowed to continue\" — compare the second sentence\n"
+      "(\"dogs sleep daily\"), which has no determiner ambiguity and tags\n"
+      "cleanly. A back-end can resolve such ties with the eq. 5 priority\n"
+      "scheme (keyword beats generic word), as the XML-RPC router does.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Context-aware network intrusion detection — the paper's motivating
+// application (§1: naive pattern searches "are susceptible to false
+// positive identifications"; §3.5: the back-end processor uses the
+// contextual information of the tokens).
+//
+// A toy request protocol is tagged by the hardware; a back-end combines
+// the *token context* (which byte ranges are the request path) with a
+// multi-pattern signature scanner. Signatures like "/etc/passwd" then only
+// fire inside path context — a plain Aho-Corasick scan over the whole
+// stream also fires on header values and payload echoes.
+//
+// Build & run:  ./build/examples/nids_filter
+
+#include <cstdio>
+
+#include "grammar/grammar_parser.h"
+#include "nids/context_filter.h"
+
+int main() {
+  using namespace cfgtag;
+
+  // REQ <path> HDR <header-value> END
+  const char* protocol = R"grm(
+PATH [a-zA-Z0-9/._-]+
+WORD [a-zA-Z0-9/._-]+
+%%
+msg:  "REQ" path "HDR" hval "END";
+path: PATH;
+hval: WORD;
+%%
+)grm";
+  auto grammar = grammar::ParseGrammar(protocol);
+
+  // Signatures bound to the PATH context (§3.5 back-end): they only count
+  // inside the byte spans the hardware tags as the request path.
+  std::vector<nids::Rule> rules = {
+      {"PASSWD", "/etc/passwd", "PATH", 3},
+      {"DROPPER", "cmd.exe", "PATH", 2},
+      {"TRAVERSAL", "../", "PATH", 3},
+  };
+  auto filter =
+      nids::ContextFilter::Create(std::move(grammar).value(), rules);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "filter error: %s\n",
+                 filter.status().ToString().c_str());
+    return 1;
+  }
+
+  auto context_alerts = [&](const std::string& request) {
+    return static_cast<int>(filter->Scan(request).size());
+  };
+  auto naive_alerts = [&](const std::string& request) {
+    return static_cast<int>(filter->ScanContextFree(request).size());
+  };
+
+  const std::vector<std::pair<const char*, const char*>> traffic = {
+      {"benign", "REQ /images/logo.png HDR mozilla/5.0 END"},
+      {"attack: traversal", "REQ /a/../../etc/passwd HDR curl/8.0 END"},
+      {"attack: dropper", "REQ /upload/cmd.exe HDR curl/8.0 END"},
+      {"decoy in header", "REQ /index.html HDR scanner-/etc/passwd-probe END"},
+      {"decoy in header 2", "REQ /robots.txt HDR old-../agent END"},
+  };
+
+  std::printf("%-22s | %14s | %14s\n", "request", "naive alerts",
+              "context alerts");
+  int naive_fp = 0, context_fp = 0;
+  for (const auto& [label, request] : traffic) {
+    const int naive = naive_alerts(request);
+    const int ctx = context_alerts(request);
+    std::printf("%-22s | %14d | %14d\n", label, naive, ctx);
+    const bool is_attack = std::string(label).find("attack") == 0;
+    if (!is_attack) {
+      naive_fp += naive;
+      context_fp += ctx;
+    }
+  }
+  std::printf(
+      "\nfalse positives on benign traffic: naive scanner %d, "
+      "context-aware filter %d\n",
+      naive_fp, context_fp);
+  return 0;
+}

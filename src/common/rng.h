@@ -1,0 +1,45 @@
+#ifndef CFGTAG_COMMON_RNG_H_
+#define CFGTAG_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfgtag {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+// All workload generators in the repository draw from this so that every
+// experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Picks a uniformly random element index for a container of `size`
+  // elements. Requires size > 0.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBelow(size)); }
+
+  // Random string of length `len` drawn from `alphabet`.
+  std::string NextString(size_t len, const std::string& alphabet);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cfgtag
+
+#endif  // CFGTAG_COMMON_RNG_H_

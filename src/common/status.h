@@ -1,0 +1,129 @@
+#ifndef CFGTAG_COMMON_STATUS_H_
+#define CFGTAG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cfgtag {
+
+// Error categories used across the library. The library reports failures
+// through Status/StatusOr rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the success path (no message
+// allocation). Modeled after absl::Status but self-contained.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value of type T or an error Status. `value()` must only be
+// called when `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return MakeThing();` and `return SomeError();` from the same function.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define CFGTAG_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cfgtag::Status cfgtag_status_ = (expr);         \
+    if (!cfgtag_status_.ok()) return cfgtag_status_;  \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// assigns the value to `lhs`. `lhs` may be a declaration.
+#define CFGTAG_ASSIGN_OR_RETURN(lhs, expr)                   \
+  CFGTAG_ASSIGN_OR_RETURN_IMPL_(                             \
+      CFGTAG_STATUS_CONCAT_(cfgtag_statusor_, __LINE__), lhs, expr)
+
+#define CFGTAG_STATUS_CONCAT_INNER_(a, b) a##b
+#define CFGTAG_STATUS_CONCAT_(a, b) CFGTAG_STATUS_CONCAT_INNER_(a, b)
+#define CFGTAG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace cfgtag
+
+#endif  // CFGTAG_COMMON_STATUS_H_

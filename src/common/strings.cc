@@ -1,0 +1,85 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cfgtag {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ByteName(unsigned char c) {
+  if (std::isprint(c)) {
+    std::string out = "'";
+    out.push_back(static_cast<char>(c));
+    out += "'";
+    return out;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02X", c);
+  return buf;
+}
+
+std::string CEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      default:
+        if (std::isprint(c)) {
+          out.push_back(ch);
+        } else {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          out += buf;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cfgtag

@@ -1,0 +1,32 @@
+#ifndef CFGTAG_COMMON_STRINGS_H_
+#define CFGTAG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfgtag {
+
+// Splits `s` at every occurrence of `sep`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Renders a byte as a readable token for error messages: printable
+// characters as 'c', everything else as 0xHH.
+std::string ByteName(unsigned char c);
+
+// Escapes non-printable characters and quotes for debug output.
+std::string CEscape(std::string_view s);
+
+}  // namespace cfgtag
+
+#endif  // CFGTAG_COMMON_STRINGS_H_

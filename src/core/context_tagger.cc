@@ -1,0 +1,58 @@
+#include "core/context_tagger.h"
+
+namespace cfgtag::core {
+
+StatusOr<ContextualTagger> ContextualTagger::Compile(
+    const grammar::Grammar& grammar, const hwgen::HwOptions& options) {
+  auto original = std::make_unique<grammar::Grammar>(grammar.Clone());
+  CFGTAG_ASSIGN_OR_RETURN(auto expansion, grammar::ExpandContexts(grammar));
+  CFGTAG_ASSIGN_OR_RETURN(
+      auto tagger,
+      CompiledTagger::Compile(std::move(expansion.grammar), options));
+  return ContextualTagger(std::move(original), std::move(expansion.contexts),
+                          std::move(tagger));
+}
+
+ContextTag ContextualTagger::Annotate(const tagger::Tag& t) const {
+  ContextTag out;
+  out.tag = t;
+  if (t.token >= 0 && static_cast<size_t>(t.token) < contexts_.size()) {
+    const grammar::TokenContext& ctx = contexts_[t.token];
+    out.base_token = ctx.base_token;
+    out.production = ctx.production;
+    out.position = ctx.position;
+  }
+  return out;
+}
+
+std::vector<ContextTag> ContextualTagger::Tag(std::string_view input) const {
+  std::vector<ContextTag> out;
+  for (const tagger::Tag& t : tagger_.Tag(input)) {
+    out.push_back(Annotate(t));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ContextTag>> ContextualTagger::TagCycleAccurate(
+    std::string_view input) const {
+  CFGTAG_ASSIGN_OR_RETURN(auto tags, tagger_.TagCycleAccurate(input));
+  std::vector<ContextTag> out;
+  out.reserve(tags.size());
+  for (const tagger::Tag& t : tags) out.push_back(Annotate(t));
+  return out;
+}
+
+std::string ContextualTagger::DescribeContext(const ContextTag& tag) const {
+  if (tag.base_token < 0) return "<unknown>";
+  std::string out = original_->tokens()[tag.base_token].name;
+  if (tag.production < 0) return out;
+  const grammar::Production& p = original_->productions()[tag.production];
+  out += " in " + original_->nonterminals()[p.lhs] + " ->";
+  for (const grammar::Symbol& s : p.rhs) {
+    out += " " + original_->SymbolName(s);
+  }
+  out += " at position " + std::to_string(tag.position);
+  return out;
+}
+
+}  // namespace cfgtag::core

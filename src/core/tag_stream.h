@@ -1,0 +1,62 @@
+#ifndef CFGTAG_CORE_TAG_STREAM_H_
+#define CFGTAG_CORE_TAG_STREAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tagger/tag.h"
+
+namespace cfgtag::core {
+
+// Small reusable back-ends (paper §3.5): the tag stream produced by a
+// tagger feeds one of these the way the hardware back-end consumes the
+// token-index bus.
+
+// Counts matches per token id.
+class TokenCounter {
+ public:
+  void Add(const tagger::Tag& tag) { counts_[tag.token]++; }
+  uint64_t Count(int32_t token) const {
+    auto it = counts_.find(token);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  uint64_t Total() const {
+    uint64_t n = 0;
+    for (const auto& [token, c] : counts_) n += c;
+    return n;
+  }
+  const std::map<int32_t, uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<int32_t, uint64_t> counts_;
+};
+
+// The switch of Fig. 12: selected tokens steer the whole message to an
+// output port. The first routing token seen wins; messages containing no
+// routing token go to the default port.
+class TagRouter {
+ public:
+  explicit TagRouter(int default_port) : default_port_(default_port) {}
+
+  void AddRoute(int32_t token, int port) { routes_[token] = port; }
+
+  // Port for a message whose tag stream is `tags`.
+  int Route(const std::vector<tagger::Tag>& tags) const {
+    for (const tagger::Tag& t : tags) {
+      auto it = routes_.find(t.token);
+      if (it != routes_.end()) return it->second;
+    }
+    return default_port_;
+  }
+
+  int default_port() const { return default_port_; }
+
+ private:
+  std::map<int32_t, int> routes_;
+  int default_port_;
+};
+
+}  // namespace cfgtag::core
+
+#endif  // CFGTAG_CORE_TAG_STREAM_H_

@@ -1,0 +1,303 @@
+#include "core/token_tagger.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "rtl/optimize.h"
+#include "rtl/simulator.h"
+#include "rtl/vcd_writer.h"
+#include "rtl/vhdl_emitter.h"
+#include "rtl/vhdl_testbench.h"
+
+namespace cfgtag::core {
+
+namespace {
+
+std::string Padded(std::string_view input, size_t pad) {
+  std::string s(input);
+  s.append(pad, CompiledTagger::kFlushByte);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<CompiledTagger> CompiledTagger::Compile(
+    grammar::Grammar grammar, const hwgen::HwOptions& options) {
+  CompiledTagger out;
+  out.grammar_ =
+      std::make_unique<grammar::Grammar>(std::move(grammar));
+  out.options_ = options;
+  CFGTAG_ASSIGN_OR_RETURN(
+      out.hardware_,
+      hwgen::TaggerGenerator::Generate(*out.grammar_, options));
+  CFGTAG_ASSIGN_OR_RETURN(
+      auto model,
+      tagger::FunctionalTagger::Create(out.grammar_.get(), options.tagger));
+  out.model_ = std::make_unique<tagger::FunctionalTagger>(std::move(model));
+  return out;
+}
+
+std::vector<tagger::Tag> CompiledTagger::Tag(std::string_view input) const {
+  // One extra pad byte beyond the scanned range keeps the Fig. 7 look-ahead
+  // identical between the engines at the final scanned byte.
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  std::vector<tagger::Tag> tags;
+  const size_t scan_end = input.size() + kFlushPadding;
+  model_->Run(padded, [&](const tagger::Tag& t) {
+    if (t.end < scan_end) tags.push_back(t);
+    return true;
+  });
+  return tags;
+}
+
+void CompiledTagger::Tag(std::string_view input,
+                         const tagger::TagSink& sink) const {
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  const size_t scan_end = input.size() + kFlushPadding;
+  model_->Run(padded, [&](const tagger::Tag& t) {
+    return t.end >= scan_end || sink(t);
+  });
+}
+
+StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(
+    std::string_view input) const {
+  CFGTAG_ASSIGN_OR_RETURN(auto sim,
+                          rtl::Simulator::Create(&hardware_.netlist));
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  const size_t scan_end = input.size() + kFlushPadding;
+  const size_t lanes = static_cast<size_t>(hardware_.lanes);
+  const size_t num_tokens = hardware_.num_tokens;
+  const auto& lane_latency = hardware_.lane_match_latency;
+
+  int max_latency = 0;
+  for (int lat : lane_latency) max_latency = std::max(max_latency, lat);
+  const size_t last_cycle = (scan_end - 1) / lanes;
+  const size_t total_steps =
+      last_cycle + static_cast<size_t>(max_latency) + 1;
+
+  std::vector<tagger::Tag> tags;
+  for (size_t step = 0; step < total_steps; ++step) {
+    // Feed lanes: lane k carries stream offset step*lanes + k; beyond the
+    // padded input we keep feeding flush bytes.
+    for (size_t k = 0; k < lanes; ++k) {
+      const size_t offset = step * lanes + k;
+      const unsigned char byte =
+          offset < padded.size() ? static_cast<unsigned char>(padded[offset])
+                                 : static_cast<unsigned char>(kFlushByte);
+      for (size_t b = 0; b < 8; ++b) {
+        sim.SetInput(hardware_.data_in[k * 8 + b], (byte >> b) & 1);
+      }
+    }
+    sim.Step();
+    for (size_t k = 0; k < lanes; ++k) {
+      const size_t lat = static_cast<size_t>(lane_latency[k]);
+      if (step < lat) continue;
+      const size_t offset = (step - lat) * lanes + k;
+      if (offset >= scan_end) continue;
+      for (size_t t = 0; t < num_tokens; ++t) {
+        if (sim.Get(hardware_.match_regs[k * num_tokens + t])) {
+          tagger::Tag tag;
+          tag.token = static_cast<int32_t>(t);
+          tag.end = offset;
+          tags.push_back(tag);
+        }
+      }
+    }
+  }
+  // Per-lane readout order can interleave ends across lanes; normalize to
+  // stream order (stable for equal ends: token order is preserved within a
+  // lane readout).
+  std::stable_sort(tags.begin(), tags.end(),
+                   [](const tagger::Tag& a, const tagger::Tag& b) {
+                     return a.end < b.end;
+                   });
+  return tags;
+}
+
+StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagViaIndexBus(
+    std::string_view input) const {
+  if (hardware_.index_valid == rtl::kInvalidNode) {
+    return FailedPreconditionError("tagger was compiled without the encoder");
+  }
+  CFGTAG_ASSIGN_OR_RETURN(auto sim,
+                          rtl::Simulator::Create(&hardware_.netlist));
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  const size_t scan_end = input.size() + kFlushPadding;
+  const int latency = hardware_.index_latency;
+  const size_t total_steps = scan_end + static_cast<size_t>(latency);
+
+  std::vector<tagger::Tag> tags;
+  for (size_t step = 0; step < total_steps; ++step) {
+    const unsigned char byte =
+        step < padded.size() ? static_cast<unsigned char>(padded[step])
+                             : static_cast<unsigned char>(kFlushByte);
+    for (int b = 0; b < 8; ++b) {
+      sim.SetInput(hardware_.data_in[b], (byte >> b) & 1);
+    }
+    sim.Step();
+    if (step < static_cast<size_t>(latency)) continue;
+    const size_t offset = step - static_cast<size_t>(latency);
+    if (offset >= scan_end) continue;
+    if (!sim.Get(hardware_.index_valid)) continue;
+    uint32_t index = 0;
+    for (size_t k = 0; k < hardware_.index_bits.size(); ++k) {
+      if (sim.Get(hardware_.index_bits[k])) index |= 1u << k;
+    }
+    if (index >= hardware_.leaf_token.size() ||
+        hardware_.leaf_token[index] < 0) {
+      return InternalError("encoder reported an unmapped index " +
+                           std::to_string(index));
+    }
+    tagger::Tag tag;
+    tag.token = hardware_.leaf_token[index];
+    tag.end = offset;
+    tags.push_back(tag);
+  }
+  return tags;
+}
+
+StatusOr<ImplementationReport> CompiledTagger::Implement(
+    const rtl::Device& device, bool optimize) const {
+  rtl::TechMapper mapper(device.lut_inputs);
+  rtl::Netlist optimized;
+  const rtl::Netlist* to_map = &hardware_.netlist;
+  if (optimize) {
+    CFGTAG_ASSIGN_OR_RETURN(optimized,
+                            rtl::Optimize(hardware_.netlist, nullptr));
+    to_map = &optimized;
+  }
+  CFGTAG_ASSIGN_OR_RETURN(auto mapped, mapper.Map(*to_map));
+  CFGTAG_ASSIGN_OR_RETURN(auto timing,
+                          rtl::TimingAnalyzer::Analyze(mapped, device));
+  ImplementationReport report;
+  report.device = device.name;
+  report.area.luts = mapped.NumLuts();
+  report.area.ffs = mapped.NumFfs();
+  report.area.pattern_bytes = hardware_.pattern_bytes;
+  report.area.luts_per_byte =
+      hardware_.pattern_bytes == 0
+          ? 0.0
+          : static_cast<double>(report.area.luts) /
+                static_cast<double>(hardware_.pattern_bytes);
+  report.area.breakdown = rtl::BreakdownByScope(mapped);
+  report.timing = std::move(timing);
+  report.bandwidth_gbps = report.timing.fmax_mhz * 1e6 *
+                          static_cast<double>(options_.bytes_per_cycle) * 8.0 /
+                          1e9;
+  return report;
+}
+
+StatusOr<std::string> CompiledTagger::ExportVhdl(
+    const std::string& entity_name) const {
+  return rtl::VhdlEmitter::Emit(hardware_.netlist, entity_name);
+}
+
+StatusOr<std::string> CompiledTagger::ExportVhdlTestbench(
+    const std::string& entity_name, std::string_view input) const {
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  const size_t scan_end = input.size() + kFlushPadding;
+  const size_t lanes = static_cast<size_t>(hardware_.lanes);
+
+  rtl::TestbenchStimulus stimulus;
+  stimulus.lanes = hardware_.lanes;
+  int max_latency = 0;
+  for (int lat : hardware_.lane_match_latency) {
+    max_latency = std::max(max_latency, lat);
+  }
+  const size_t total_cycles =
+      (scan_end + lanes - 1) / lanes + static_cast<size_t>(max_latency) + 1;
+  for (size_t cycle = 0; cycle < total_cycles; ++cycle) {
+    std::vector<unsigned char> row(lanes, kFlushByte);
+    for (size_t k = 0; k < lanes; ++k) {
+      const size_t offset = cycle * lanes + k;
+      if (offset < padded.size()) {
+        row[k] = static_cast<unsigned char>(padded[offset]);
+      }
+    }
+    stimulus.bytes.push_back(std::move(row));
+  }
+
+  // Expected observations from the functional model.
+  std::vector<rtl::TestbenchCheck> checks;
+  const std::string padded_for_model = Padded(input, kFlushPadding + 1);
+  model_->Run(padded_for_model, [&](const tagger::Tag& t) {
+    if (t.end >= scan_end) return true;
+    const size_t lane = t.end % lanes;
+    const size_t cycle = t.end / lanes +
+                         static_cast<size_t>(
+                             hardware_.lane_match_latency[lane]);
+    std::string port = lanes == 1
+                           ? "match_t" + std::to_string(t.token)
+                           : "match_l" + std::to_string(lane) + "_t" +
+                                 std::to_string(t.token);
+    checks.push_back(rtl::TestbenchCheck{cycle, std::move(port), true});
+    return true;
+  });
+  // A few negative checks: the first token's match port must be low while
+  // the pipeline is still filling.
+  if (hardware_.num_tokens > 0) {
+    const std::string port0 =
+        lanes == 1 ? "match_t0" : "match_l0_t0";
+    for (uint64_t cycle = 0;
+         cycle + 1 < static_cast<uint64_t>(hardware_.match_latency);
+         ++cycle) {
+      checks.push_back(rtl::TestbenchCheck{cycle, port0, false});
+    }
+  }
+  return rtl::EmitVhdlTestbench(hardware_.netlist, entity_name, stimulus,
+                                checks);
+}
+
+Status CompiledTagger::DumpWaveform(std::string_view input,
+                                    std::ostream& os) const {
+  CFGTAG_ASSIGN_OR_RETURN(auto sim,
+                          rtl::Simulator::Create(&hardware_.netlist));
+  rtl::VcdWriter vcd(&os, &hardware_.netlist);
+  for (size_t b = 0; b < hardware_.data_in.size(); ++b) {
+    vcd.AddSignal(hardware_.data_in[b], "d" + std::to_string(b));
+  }
+  for (size_t i = 0; i < hardware_.match_regs.size(); ++i) {
+    const size_t t = i % hardware_.num_tokens;
+    const size_t lane = i / hardware_.num_tokens;
+    std::string name = "match_" + grammar_->tokens()[t].name;
+    if (hardware_.lanes > 1) name += "_l" + std::to_string(lane);
+    // VCD identifiers must not contain spaces.
+    for (char& c : name) {
+      if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+    }
+    vcd.AddSignal(hardware_.match_regs[i], name);
+  }
+  if (hardware_.index_valid != rtl::kInvalidNode) {
+    vcd.AddSignal(hardware_.index_valid, "index_valid");
+    for (size_t k = 0; k < hardware_.index_bits.size(); ++k) {
+      vcd.AddSignal(hardware_.index_bits[k], "index" + std::to_string(k));
+    }
+  }
+  vcd.WriteHeader();
+
+  const std::string padded = Padded(input, kFlushPadding + 1);
+  const size_t lanes = static_cast<size_t>(hardware_.lanes);
+  // Run long enough for the slowest output (the index encoder adds
+  // ceil(log2 N) stages on top of the match latency) to drain.
+  const int drain =
+      std::max(hardware_.match_latency, hardware_.index_latency);
+  const size_t total_steps = (padded.size() + lanes - 1) / lanes +
+                             static_cast<size_t>(drain) + 1;
+  for (size_t step = 0; step < total_steps; ++step) {
+    for (size_t k = 0; k < lanes; ++k) {
+      const size_t offset = step * lanes + k;
+      const unsigned char byte =
+          offset < padded.size() ? static_cast<unsigned char>(padded[offset])
+                                 : static_cast<unsigned char>(kFlushByte);
+      for (size_t b = 0; b < 8; ++b) {
+        sim.SetInput(hardware_.data_in[k * 8 + b], (byte >> b) & 1);
+      }
+    }
+    sim.Step();
+    vcd.Sample(sim);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cfgtag::core

@@ -1,0 +1,119 @@
+#ifndef CFGTAG_CORE_TOKEN_TAGGER_H_
+#define CFGTAG_CORE_TOKEN_TAGGER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+#include "hwgen/tagger_gen.h"
+#include "rtl/device.h"
+#include "rtl/techmap.h"
+#include "rtl/timing.h"
+#include "tagger/functional_model.h"
+#include "tagger/tag.h"
+
+namespace cfgtag::core {
+
+// Area of an implementation, in the units of the paper's Table 1.
+struct AreaReport {
+  size_t luts = 0;
+  size_t ffs = 0;
+  size_t pattern_bytes = 0;
+  double luts_per_byte = 0.0;
+  // Per-module attribution (decoder / tokenizer / syntax / encoder) — the
+  // breakdown behind the paper's "as the size of the grammar increases ...
+  // the number of LUTs per byte decreases" amortization argument.
+  std::vector<rtl::AreaBucket> breakdown;
+};
+
+// One Table 1 row: what the vendor flow would report for a device.
+struct ImplementationReport {
+  std::string device;
+  AreaReport area;
+  rtl::TimingReport timing;
+  // Fmax x bytes-per-cycle x 8 bits.
+  double bandwidth_gbps = 0.0;
+};
+
+// The library's main entry point: compiles a grammar into (a) a fast
+// software tagger, (b) a gate-level netlist of the paper's architecture,
+// and (c) area/timing reports for a target FPGA device. The two tagging
+// engines implement identical semantics; the cycle-accurate engine exists
+// to validate the hardware, the functional model to use it at speed.
+class CompiledTagger {
+ public:
+  static StatusOr<CompiledTagger> Compile(grammar::Grammar grammar,
+                                          const hwgen::HwOptions& options = {});
+
+  CompiledTagger(CompiledTagger&&) = default;
+  CompiledTagger& operator=(CompiledTagger&&) = default;
+
+  const grammar::Grammar& grammar() const { return *grammar_; }
+  const hwgen::GeneratedTagger& hardware() const { return hardware_; }
+  const tagger::FunctionalTagger& model() const { return *model_; }
+  const hwgen::HwOptions& options() const { return options_; }
+
+  // --- Tagging -----------------------------------------------------------
+  // The input is extended with kFlushPadding flush bytes (a delimiter, so
+  // no new token can start there) before scanning; a trailing open-class
+  // token may therefore report an end offset just past the input.
+
+  // Fast software tagging via the bit-parallel functional model.
+  std::vector<tagger::Tag> Tag(std::string_view input) const;
+  void Tag(std::string_view input, const tagger::TagSink& sink) const;
+
+  // Cycle-accurate tagging: simulates the generated netlist gate by gate
+  // and decodes the per-token match registers. Bit-identical to Tag() —
+  // the equivalence tests enforce it — but orders of magnitude slower.
+  StatusOr<std::vector<tagger::Tag>> TagCycleAccurate(
+      std::string_view input) const;
+
+  // Cycle-accurate tagging through the §3.4 index-encoder bus instead of
+  // the per-token match bits. Valid when at most one token matches per
+  // cycle (or priorities per eq. 5 are in force).
+  StatusOr<std::vector<tagger::Tag>> TagViaIndexBus(
+      std::string_view input) const;
+
+  // --- Implementation reports --------------------------------------------
+  // Maps the generated netlist onto `device` and runs timing analysis.
+  // With `optimize` set, a synthesis-style cleanup pass (CSE, constant
+  // folding, dead-logic removal) runs first; the default reports the raw
+  // generated structure, which is what the Table 1 calibration assumes.
+  StatusOr<ImplementationReport> Implement(const rtl::Device& device,
+                                           bool optimize = false) const;
+
+  // Structural VHDL for the generated design (the paper generator's output
+  // artifact).
+  StatusOr<std::string> ExportVhdl(const std::string& entity_name) const;
+
+  // Debug aid: simulates `input` through the netlist while dumping a VCD
+  // waveform of the input byte, every match register and the index bus to
+  // `os`. View with any VCD viewer (gtkwave etc.).
+  Status DumpWaveform(std::string_view input, std::ostream& os) const;
+
+  // Emits a self-checking VHDL testbench that feeds `input` into the
+  // exported design (ExportVhdl with the same entity name) and asserts the
+  // match outputs this library computed — the hand-off artifact for users
+  // verifying the VHDL in a real simulator (GHDL etc.).
+  StatusOr<std::string> ExportVhdlTestbench(const std::string& entity_name,
+                                            std::string_view input) const;
+
+  static constexpr size_t kFlushPadding = 8;
+  static constexpr char kFlushByte = '\n';
+
+ private:
+  CompiledTagger() = default;
+
+  std::unique_ptr<grammar::Grammar> grammar_;  // stable address
+  hwgen::HwOptions options_;
+  hwgen::GeneratedTagger hardware_;
+  std::unique_ptr<tagger::FunctionalTagger> model_;
+};
+
+}  // namespace cfgtag::core
+
+#endif  // CFGTAG_CORE_TOKEN_TAGGER_H_

@@ -1,0 +1,136 @@
+#include "grammar/analysis.h"
+
+#include <algorithm>
+
+namespace cfgtag::grammar {
+
+namespace {
+
+// Inserts `src` into `dst`; returns true if `dst` grew.
+bool UnionInto(std::set<int32_t>& dst, const std::set<int32_t>& src) {
+  const size_t before = dst.size();
+  dst.insert(src.begin(), src.end());
+  return dst.size() != before;
+}
+
+}  // namespace
+
+std::pair<std::set<int32_t>, bool> Analysis::FirstOfSequence(
+    const std::vector<Symbol>& seq, size_t from) const {
+  std::set<int32_t> first;
+  for (size_t i = from; i < seq.size(); ++i) {
+    const Symbol& s = seq[i];
+    if (s.IsTerminal()) {
+      first.insert(s.index);
+      return {first, false};
+    }
+    first.insert(first_nt[s.index].begin(), first_nt[s.index].end());
+    if (!nullable[s.index]) return {first, false};
+  }
+  return {first, true};
+}
+
+std::string Analysis::ToString(const Grammar& g) const {
+  std::string out;
+  auto render_set = [&](const std::set<int32_t>& set) {
+    std::string s = "{";
+    bool first = true;
+    for (int32_t t : set) {
+      if (!first) s += ", ";
+      first = false;
+      s += t == kEndMarker ? "eps" : g.tokens()[t].name;
+    }
+    s += "}";
+    return s;
+  };
+  out += "start tokens: " + render_set(start_tokens) + "\n";
+  for (size_t t = 0; t < g.NumTokens(); ++t) {
+    out += "Follow(" + g.tokens()[t].name +
+           ") = " + render_set(follow_tok[t]) + "\n";
+  }
+  for (size_t nt = 0; nt < g.NumNonterminals(); ++nt) {
+    out += "First(" + g.nonterminals()[nt] +
+           ") = " + render_set(first_nt[nt]) +
+           (nullable[nt] ? " nullable" : "") + "\n";
+  }
+  return out;
+}
+
+StatusOr<Analysis> Analyze(const Grammar& g) {
+  CFGTAG_RETURN_IF_ERROR(g.Validate());
+
+  Analysis a;
+  const size_t num_nt = g.NumNonterminals();
+  const size_t num_tok = g.NumTokens();
+  a.nullable.assign(num_nt, false);
+  a.first_nt.assign(num_nt, {});
+  a.follow_nt.assign(num_nt, {});
+  a.follow_tok.assign(num_tok, {});
+
+  // The start symbol can be followed by end-of-input (the ε of Fig. 10).
+  a.follow_nt[g.start()].insert(Analysis::kEndMarker);
+
+  auto first_of = [&](const Symbol& s) -> std::set<int32_t> {
+    if (s.IsTerminal()) return {s.index};
+    return a.first_nt[s.index];
+  };
+  auto nullable_of = [&](const Symbol& s) {
+    return !s.IsTerminal() && a.nullable[s.index];
+  };
+  auto follow_of = [&](const Symbol& s) -> std::set<int32_t>& {
+    return s.IsTerminal() ? a.follow_tok[s.index] : a.follow_nt[s.index];
+  };
+
+  // Fig. 8: repeat until FIRST, FOLLOW and nullable no longer change.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : g.productions()) {
+      const std::vector<Symbol>& y = p.rhs;
+      const size_t k = y.size();
+
+      // if Y1...Yk are all nullable (or if k = 0) then nullable[X] = true
+      bool all_nullable = true;
+      for (const Symbol& s : y) all_nullable &= nullable_of(s);
+      if (all_nullable && !a.nullable[p.lhs]) {
+        a.nullable[p.lhs] = true;
+        changed = true;
+      }
+
+      for (size_t i = 0; i < k; ++i) {
+        // if Y1...Yi-1 are all nullable (or i = 1)
+        //   then FIRST[X] <- FIRST[X] u FIRST[Yi]
+        bool prefix_nullable = true;
+        for (size_t q = 0; q < i; ++q) prefix_nullable &= nullable_of(y[q]);
+        if (prefix_nullable) {
+          changed |= UnionInto(a.first_nt[p.lhs], first_of(y[i]));
+        }
+
+        // if Yi+1...Yk are all nullable (or i = k)
+        //   then FOLLOW[Yi] <- FOLLOW[Yi] u FOLLOW[X]
+        bool suffix_nullable = true;
+        for (size_t q = i + 1; q < k; ++q) suffix_nullable &= nullable_of(y[q]);
+        if (suffix_nullable) {
+          changed |= UnionInto(follow_of(y[i]), a.follow_nt[p.lhs]);
+        }
+
+        // for each j from i+1 to k:
+        //   if Yi+1...Yj-1 are all nullable (or i+1 = j)
+        //     then FOLLOW[Yi] <- FOLLOW[Yi] u FIRST[Yj]
+        bool middle_nullable = true;
+        for (size_t j = i + 1; j < k; ++j) {
+          if (middle_nullable) {
+            changed |= UnionInto(follow_of(y[i]), first_of(y[j]));
+          }
+          middle_nullable &= nullable_of(y[j]);
+        }
+      }
+    }
+  }
+
+  a.start_tokens = a.first_nt[g.start()];
+  a.start_nullable = a.nullable[g.start()];
+  return a;
+}
+
+}  // namespace cfgtag::grammar

@@ -1,0 +1,43 @@
+#ifndef CFGTAG_GRAMMAR_ANALYSIS_H_
+#define CFGTAG_GRAMMAR_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// nullable / First / Follow computed with the fixpoint algorithm of paper
+// Fig. 8 — the standard predictive-parser-generator algorithm — applied to
+// nonterminals *and* terminals. The terminal Follow sets are what the
+// hardware generator wires (Fig. 10/11): the match output of token t
+// enables exactly the tokenizers in follow_tok[t].
+struct Analysis {
+  // Stands for ε / end-of-input in Follow sets (the ε entries of Fig. 10).
+  static constexpr int32_t kEndMarker = -1;
+
+  std::vector<bool> nullable;                // per nonterminal
+  std::vector<std::set<int32_t>> first_nt;   // per nonterminal: token ids
+  std::vector<std::set<int32_t>> follow_nt;  // token ids and/or kEndMarker
+  std::vector<std::set<int32_t>> follow_tok; // per token
+  std::set<int32_t> start_tokens;            // First(start symbol)
+  bool start_nullable = false;
+
+  // First set of a symbol sequence plus whether the whole sequence is
+  // nullable (used by the LL parser's table construction).
+  std::pair<std::set<int32_t>, bool> FirstOfSequence(
+      const std::vector<Symbol>& seq, size_t from) const;
+
+  // Human-readable dump in the style of Fig. 10.
+  std::string ToString(const Grammar& g) const;
+};
+
+// Runs the Fig. 8 fixpoint over a validated grammar.
+StatusOr<Analysis> Analyze(const Grammar& g);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_ANALYSIS_H_

@@ -1,0 +1,306 @@
+#include "grammar/dtd.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace cfgtag::grammar {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' ||
+         c == '-';
+}
+
+class DtdParser {
+ public:
+  explicit DtdParser(const std::string& text) : s_(text) {}
+
+  StatusOr<Dtd> Parse() {
+    Dtd dtd;
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size()) break;
+      if (!Consume("<!")) {
+        return InvalidArgumentError("expected '<!' at offset " +
+                                    std::to_string(pos_));
+      }
+      if (Consume("--")) {  // comment
+        const size_t end = s_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return InvalidArgumentError("unterminated XML comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (!Consume("ELEMENT")) {
+        return UnimplementedError(
+            "only <!ELEMENT ...> declarations are supported");
+      }
+      SkipWs();
+      std::string name = TakeName();
+      if (name.empty()) {
+        return InvalidArgumentError("missing element name in <!ELEMENT>");
+      }
+      SkipWs();
+      CFGTAG_ASSIGN_OR_RETURN(auto content, ParseContent());
+      SkipWs();
+      if (!Consume(">")) {
+        return InvalidArgumentError("missing '>' after <!ELEMENT " + name);
+      }
+      dtd.elements.push_back(DtdElement{std::move(name), std::move(content)});
+    }
+    if (dtd.elements.empty()) {
+      return InvalidArgumentError("DTD declares no elements");
+    }
+    return dtd;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string TakeName() {
+    std::string out;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) out.push_back(s_[pos_++]);
+    return out;
+  }
+
+  std::unique_ptr<DtdContent> MakeNode(DtdContent::Kind kind) {
+    auto n = std::make_unique<DtdContent>();
+    n->kind = kind;
+    return n;
+  }
+
+  StatusOr<std::unique_ptr<DtdContent>> ParseContent() {
+    SkipWs();
+    if (Consume("EMPTY")) return MakeNode(DtdContent::Kind::kEmpty);
+    if (Consume("ANY")) {
+      return UnimplementedError("ANY content model not supported");
+    }
+    return ParseCp();
+  }
+
+  // cp := (group | name | #PCDATA) ('?' | '*' | '+')?
+  StatusOr<std::unique_ptr<DtdContent>> ParseCp() {
+    SkipWs();
+    std::unique_ptr<DtdContent> node;
+    if (Consume("#PCDATA")) {
+      node = MakeNode(DtdContent::Kind::kPcdata);
+    } else if (Consume("(")) {
+      CFGTAG_ASSIGN_OR_RETURN(node, ParseGroup());
+    } else {
+      std::string name = TakeName();
+      if (name.empty()) {
+        return InvalidArgumentError("expected name, '(' or #PCDATA at offset " +
+                                    std::to_string(pos_));
+      }
+      node = MakeNode(DtdContent::Kind::kElementRef);
+      node->name = std::move(name);
+    }
+    if (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '?' || c == '*' || c == '+') {
+        ++pos_;
+        auto wrapper = MakeNode(c == '?'   ? DtdContent::Kind::kOptional
+                                : c == '*' ? DtdContent::Kind::kStar
+                                           : DtdContent::Kind::kPlus);
+        wrapper->children.push_back(std::move(node));
+        node = std::move(wrapper);
+      }
+    }
+    return node;
+  }
+
+  // Called after '('. group := cp ((',' cp)* | ('|' cp)*) ')'
+  StatusOr<std::unique_ptr<DtdContent>> ParseGroup() {
+    std::vector<std::unique_ptr<DtdContent>> parts;
+    CFGTAG_ASSIGN_OR_RETURN(auto first, ParseCp());
+    parts.push_back(std::move(first));
+    SkipWs();
+    char sep = 0;
+    while (pos_ < s_.size() && (s_[pos_] == ',' || s_[pos_] == '|')) {
+      if (sep == 0) {
+        sep = s_[pos_];
+      } else if (s_[pos_] != sep) {
+        return InvalidArgumentError(
+            "mixed ',' and '|' at one level of a content model");
+      }
+      ++pos_;
+      CFGTAG_ASSIGN_OR_RETURN(auto next, ParseCp());
+      parts.push_back(std::move(next));
+      SkipWs();
+    }
+    if (!Consume(")")) {
+      return InvalidArgumentError("missing ')' in content model");
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    auto group = MakeNode(sep == '|' ? DtdContent::Kind::kChoice
+                                     : DtdContent::Kind::kSequence);
+    group->children = std::move(parts);
+    return group;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// Lowers DTD content models into grammar productions.
+class Lowerer {
+ public:
+  Lowerer(const Dtd& dtd, Grammar* g) : dtd_(dtd), g_(g) {}
+
+  Status Run(const std::string& root) {
+    const DtdElement* root_elem = dtd_.Find(root);
+    if (root_elem == nullptr) {
+      return NotFoundError("root element '" + root + "' not declared in DTD");
+    }
+    CFGTAG_ASSIGN_OR_RETURN(pcdata_token_, g_->AddToken("PCDATA", "[^<>]+"));
+    CFGTAG_RETURN_IF_ERROR(LowerElement(*root_elem).status());
+    g_->SetStart(g_->FindNonterminal(NtName(root)));
+    return Status::Ok();
+  }
+
+ private:
+  static std::string NtName(const std::string& element) {
+    return "elem_" + element;
+  }
+
+  // Returns the nonterminal id for an element, lowering it on first use.
+  StatusOr<int32_t> LowerElement(const DtdElement& elem) {
+    const std::string nt_name = NtName(elem.name);
+    const int32_t existing = g_->FindNonterminal(nt_name);
+    if (existing >= 0) return existing;
+    const int32_t nt = g_->AddNonterminal(nt_name);
+
+    CFGTAG_ASSIGN_OR_RETURN(int32_t open,
+                            g_->AddLiteralToken("<" + elem.name + ">"));
+    CFGTAG_ASSIGN_OR_RETURN(int32_t close,
+                            g_->AddLiteralToken("</" + elem.name + ">"));
+
+    std::vector<Symbol> rhs;
+    rhs.push_back(Symbol::Terminal(open));
+    CFGTAG_RETURN_IF_ERROR(
+        LowerContent(*elem.content, elem.name, &rhs));
+    rhs.push_back(Symbol::Terminal(close));
+    g_->AddProduction(nt, std::move(rhs));
+    return nt;
+  }
+
+  // Appends the symbols for `content` to `rhs`, creating helper
+  // nonterminals for choice/repetition.
+  Status LowerContent(const DtdContent& content, const std::string& scope,
+                      std::vector<Symbol>* rhs) {
+    switch (content.kind) {
+      case DtdContent::Kind::kEmpty:
+        return Status::Ok();
+      case DtdContent::Kind::kPcdata:
+        rhs->push_back(Symbol::Terminal(pcdata_token_));
+        return Status::Ok();
+      case DtdContent::Kind::kElementRef: {
+        const DtdElement* elem = dtd_.Find(content.name);
+        if (elem == nullptr) {
+          return NotFoundError("element '" + content.name +
+                               "' referenced but not declared");
+        }
+        CFGTAG_ASSIGN_OR_RETURN(int32_t nt, LowerElement(*elem));
+        rhs->push_back(Symbol::Nonterminal(nt));
+        return Status::Ok();
+      }
+      case DtdContent::Kind::kSequence:
+        for (const auto& child : content.children) {
+          CFGTAG_RETURN_IF_ERROR(LowerContent(*child, scope, rhs));
+        }
+        return Status::Ok();
+      case DtdContent::Kind::kChoice: {
+        const int32_t nt = FreshNt(scope + "_choice");
+        for (const auto& child : content.children) {
+          std::vector<Symbol> alt;
+          CFGTAG_RETURN_IF_ERROR(LowerContent(*child, scope, &alt));
+          g_->AddProduction(nt, std::move(alt));
+        }
+        rhs->push_back(Symbol::Nonterminal(nt));
+        return Status::Ok();
+      }
+      case DtdContent::Kind::kOptional: {
+        const int32_t nt = FreshNt(scope + "_opt");
+        g_->AddProduction(nt, {});
+        std::vector<Symbol> alt;
+        CFGTAG_RETURN_IF_ERROR(LowerContent(*content.children[0], scope, &alt));
+        g_->AddProduction(nt, std::move(alt));
+        rhs->push_back(Symbol::Nonterminal(nt));
+        return Status::Ok();
+      }
+      case DtdContent::Kind::kStar:
+      case DtdContent::Kind::kPlus: {
+        // rep: eps | item rep   — and Plus emits one mandatory item first.
+        const int32_t rep = FreshNt(scope + "_rep");
+        g_->AddProduction(rep, {});
+        std::vector<Symbol> again;
+        CFGTAG_RETURN_IF_ERROR(
+            LowerContent(*content.children[0], scope, &again));
+        again.push_back(Symbol::Nonterminal(rep));
+        g_->AddProduction(rep, std::move(again));
+        if (content.kind == DtdContent::Kind::kPlus) {
+          CFGTAG_RETURN_IF_ERROR(
+              LowerContent(*content.children[0], scope, rhs));
+        }
+        rhs->push_back(Symbol::Nonterminal(rep));
+        return Status::Ok();
+      }
+    }
+    return InternalError("unhandled DTD content kind");
+  }
+
+  int32_t FreshNt(const std::string& base) {
+    std::string name = base;
+    int suffix = 0;
+    while (g_->FindNonterminal(name) >= 0) {
+      name = base + std::to_string(++suffix);
+    }
+    return g_->AddNonterminal(name);
+  }
+
+  const Dtd& dtd_;
+  Grammar* g_;
+  int32_t pcdata_token_ = -1;
+};
+
+}  // namespace
+
+const DtdElement* Dtd::Find(const std::string& name) const {
+  for (const DtdElement& e : elements) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+StatusOr<Dtd> ParseDtd(const std::string& text) {
+  return DtdParser(text).Parse();
+}
+
+StatusOr<Grammar> DtdToGrammar(const Dtd& dtd,
+                               const std::string& root_element) {
+  Grammar g;
+  Lowerer lower(dtd, &g);
+  CFGTAG_RETURN_IF_ERROR(lower.Run(root_element));
+  CFGTAG_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+}  // namespace cfgtag::grammar

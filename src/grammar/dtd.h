@@ -1,0 +1,61 @@
+#ifndef CFGTAG_GRAMMAR_DTD_H_
+#define CFGTAG_GRAMMAR_DTD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Content model of one <!ELEMENT ...> declaration. Covers the subset used
+// by the XML-RPC DTD (paper Fig. 13): #PCDATA, element references,
+// sequences, choices and the ?/*/+ occurrence operators, plus EMPTY.
+struct DtdContent {
+  enum class Kind {
+    kPcdata,
+    kEmpty,
+    kElementRef,
+    kSequence,  // (a, b, c)
+    kChoice,    // (a | b | c)
+    kOptional,  // x?
+    kStar,      // x*
+    kPlus,      // x+
+  };
+
+  Kind kind = Kind::kEmpty;
+  std::string name;  // kElementRef only
+  std::vector<std::unique_ptr<DtdContent>> children;
+};
+
+struct DtdElement {
+  std::string name;
+  std::unique_ptr<DtdContent> content;
+};
+
+struct Dtd {
+  std::vector<DtdElement> elements;
+
+  const DtdElement* Find(const std::string& name) const;
+};
+
+// Parses a sequence of <!ELEMENT name (content)> declarations. XML comments
+// (<!-- -->) are skipped; other declaration types (<!ATTLIST, <!ENTITY) are
+// rejected with kUnimplemented since the paper's grammar needs none.
+StatusOr<Dtd> ParseDtd(const std::string& text);
+
+// Converts a DTD into a BNF grammar (paper §4.1): every element X becomes
+//
+//   x: "<X>" <content> "</X>" ;
+//
+// with #PCDATA mapped to a PCDATA token ([^<>]+) and the occurrence
+// operators lowered through helper nonterminals (x_opt / x_rep). The
+// `root_element` becomes the start symbol; elements unreachable from it are
+// dropped.
+StatusOr<Grammar> DtdToGrammar(const Dtd& dtd, const std::string& root_element);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_DTD_H_

@@ -1,0 +1,164 @@
+#include "grammar/grammar.h"
+
+#include "common/strings.h"
+#include "regex/regex_parser.h"
+
+namespace cfgtag::grammar {
+
+Grammar Grammar::Clone() const {
+  Grammar g;
+  g.tokens_ = tokens_;
+  g.nonterminals_ = nonterminals_;
+  g.productions_ = productions_;
+  g.start_ = start_;
+  return g;
+}
+
+StatusOr<int32_t> Grammar::AddToken(const std::string& name,
+                                    const std::string& pattern) {
+  if (FindToken(name) >= 0) {
+    return InvalidArgumentError("duplicate token name: " + name);
+  }
+  CFGTAG_ASSIGN_OR_RETURN(auto regex, regex::ParseRegex(pattern));
+  TokenDef def;
+  def.name = name;
+  def.pattern = pattern;
+  def.regex = std::shared_ptr<const regex::RegexNode>(std::move(regex));
+  tokens_.push_back(std::move(def));
+  return static_cast<int32_t>(tokens_.size() - 1);
+}
+
+StatusOr<int32_t> Grammar::AddLiteralToken(const std::string& text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty literal token");
+  }
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].is_literal && tokens_[i].literal_text == text) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  TokenDef def;
+  def.name = "\"" + CEscape(text) + "\"";
+  def.pattern = def.name;
+  def.regex = std::shared_ptr<const regex::RegexNode>(
+      regex::RegexNode::FromString(text));
+  def.is_literal = true;
+  def.literal_text = text;
+  tokens_.push_back(std::move(def));
+  return static_cast<int32_t>(tokens_.size() - 1);
+}
+
+int32_t Grammar::AddTokenDef(TokenDef def) {
+  tokens_.push_back(std::move(def));
+  return static_cast<int32_t>(tokens_.size() - 1);
+}
+
+int32_t Grammar::AddNonterminal(const std::string& name) {
+  const int32_t existing = FindNonterminal(name);
+  if (existing >= 0) return existing;
+  nonterminals_.push_back(name);
+  return static_cast<int32_t>(nonterminals_.size() - 1);
+}
+
+void Grammar::AddProduction(int32_t lhs, std::vector<Symbol> rhs) {
+  productions_.push_back(Production{lhs, std::move(rhs)});
+  if (start_ < 0) start_ = lhs;
+}
+
+int32_t Grammar::FindToken(const std::string& name) const {
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+int32_t Grammar::FindNonterminal(const std::string& name) const {
+  for (size_t i = 0; i < nonterminals_.size(); ++i) {
+    if (nonterminals_[i] == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+std::string Grammar::SymbolName(Symbol s) const {
+  if (s.IsTerminal()) {
+    if (s.index >= 0 && static_cast<size_t>(s.index) < tokens_.size()) {
+      return tokens_[s.index].name;
+    }
+    return "<bad-token-" + std::to_string(s.index) + ">";
+  }
+  if (s.index >= 0 && static_cast<size_t>(s.index) < nonterminals_.size()) {
+    return nonterminals_[s.index];
+  }
+  return "<bad-nonterminal-" + std::to_string(s.index) + ">";
+}
+
+size_t Grammar::PatternBytes() const {
+  size_t total = 0;
+  for (const TokenDef& t : tokens_) total += t.regex->LiteralCount();
+  return total;
+}
+
+Status Grammar::Validate() const {
+  if (start_ < 0) return FailedPreconditionError("grammar has no start symbol");
+  if (static_cast<size_t>(start_) >= nonterminals_.size()) {
+    return InternalError("start symbol out of range");
+  }
+  std::vector<bool> has_production(nonterminals_.size(), false);
+  for (const Production& p : productions_) {
+    if (p.lhs < 0 || static_cast<size_t>(p.lhs) >= nonterminals_.size()) {
+      return InternalError("production lhs out of range");
+    }
+    has_production[p.lhs] = true;
+    for (const Symbol& s : p.rhs) {
+      const size_t limit =
+          s.IsTerminal() ? tokens_.size() : nonterminals_.size();
+      if (s.index < 0 || static_cast<size_t>(s.index) >= limit) {
+        return InternalError("production references undefined symbol in rule " +
+                             nonterminals_[p.lhs]);
+      }
+    }
+  }
+  for (size_t i = 0; i < nonterminals_.size(); ++i) {
+    if (!has_production[i]) {
+      return FailedPreconditionError("nonterminal '" + nonterminals_[i] +
+                                     "' has no production");
+    }
+  }
+  for (const TokenDef& t : tokens_) {
+    if (t.regex->Nullable()) {
+      return FailedPreconditionError(
+          "token '" + t.name +
+          "' can match the empty string; hardware tokenizers need >= 1 byte");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Grammar::ToString() const {
+  std::string out;
+  for (const TokenDef& t : tokens_) {
+    if (t.is_literal) continue;
+    out += t.name + " " + t.pattern + "\n";
+  }
+  out += "%%\n";
+  // Group productions by lhs, preserving first-appearance order.
+  std::vector<bool> emitted(nonterminals_.size(), false);
+  for (const Production& p : productions_) {
+    if (emitted[p.lhs]) continue;
+    emitted[p.lhs] = true;
+    out += nonterminals_[p.lhs] + ":";
+    bool first_alt = true;
+    for (const Production& q : productions_) {
+      if (q.lhs != p.lhs) continue;
+      if (!first_alt) out += " |";
+      first_alt = false;
+      for (const Symbol& s : q.rhs) out += " " + SymbolName(s);
+      if (q.rhs.empty()) out += " /*empty*/";
+    }
+    out += " ;\n";
+  }
+  out += "%%\n";
+  return out;
+}
+
+}  // namespace cfgtag::grammar

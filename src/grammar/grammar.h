@@ -1,0 +1,117 @@
+#ifndef CFGTAG_GRAMMAR_GRAMMAR_H_
+#define CFGTAG_GRAMMAR_GRAMMAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/regex_ast.h"
+
+namespace cfgtag::grammar {
+
+// A grammar symbol: either a terminal (token) or a nonterminal, each in its
+// own id space.
+struct Symbol {
+  enum class Kind : uint8_t { kTerminal, kNonterminal };
+  Kind kind = Kind::kTerminal;
+  int32_t index = 0;
+
+  static Symbol Terminal(int32_t i) { return {Kind::kTerminal, i}; }
+  static Symbol Nonterminal(int32_t i) { return {Kind::kNonterminal, i}; }
+  bool IsTerminal() const { return kind == Kind::kTerminal; }
+
+  friend bool operator==(const Symbol& a, const Symbol& b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+};
+
+// A token (terminal) definition: a name plus the regex that recognizes it.
+struct TokenDef {
+  std::string name;
+  std::string pattern;  // source text of the regex
+  std::shared_ptr<const regex::RegexNode> regex;
+  // True when the token came from a quoted literal inside a production
+  // (e.g. "<methodCall>") rather than the definitions section.
+  bool is_literal = false;
+  std::string literal_text;  // the raw bytes when is_literal
+};
+
+struct Production {
+  int32_t lhs = 0;          // nonterminal index
+  std::vector<Symbol> rhs;  // empty = epsilon production
+};
+
+// A context-free grammar in the paper's input form (Fig. 14): a token list
+// (terminals with regex patterns) plus a production list over tokens and
+// nonterminals. The first-added nonterminal with a production is the start
+// symbol unless overridden.
+class Grammar {
+ public:
+  Grammar() = default;
+  Grammar(Grammar&&) = default;
+  Grammar& operator=(Grammar&&) = default;
+  Grammar(const Grammar&) = delete;
+  Grammar& operator=(const Grammar&) = delete;
+
+  // Deep copy (token regexes are shared, which is safe: they are immutable).
+  Grammar Clone() const;
+
+  // Defines a named token with a regex pattern. Fails on duplicate names or
+  // unparsable patterns.
+  StatusOr<int32_t> AddToken(const std::string& name,
+                             const std::string& pattern);
+
+  // Defines (or returns the existing) literal-string token. Literal tokens
+  // are deduplicated by content.
+  StatusOr<int32_t> AddLiteralToken(const std::string& text);
+
+  // Appends a fully-formed token definition verbatim (no deduplication).
+  // Used by grammar transforms such as context expansion, which create
+  // several distinct tokens sharing one regex.
+  int32_t AddTokenDef(TokenDef def);
+
+  // Declares (or returns the existing) nonterminal with this name.
+  int32_t AddNonterminal(const std::string& name);
+
+  void AddProduction(int32_t lhs, std::vector<Symbol> rhs);
+
+  void SetStart(int32_t nonterminal) { start_ = nonterminal; }
+  int32_t start() const { return start_; }
+
+  int32_t FindToken(const std::string& name) const;        // -1 if absent
+  int32_t FindNonterminal(const std::string& name) const;  // -1 if absent
+
+  const std::vector<TokenDef>& tokens() const { return tokens_; }
+  const std::vector<std::string>& nonterminals() const { return nonterminals_; }
+  const std::vector<Production>& productions() const { return productions_; }
+
+  size_t NumTokens() const { return tokens_.size(); }
+  size_t NumNonterminals() const { return nonterminals_.size(); }
+
+  std::string SymbolName(Symbol s) const;
+
+  // Total "pattern bytes": the sum of literal positions over all token
+  // regexes — the grammar-size metric of Table 1 ("300 bytes of pattern
+  // data" for XML-RPC).
+  size_t PatternBytes() const;
+
+  // Checks: a start symbol exists, every nonterminal has a production,
+  // every symbol reference is in range, and no token matches the empty
+  // string (a hardware tokenizer needs at least one byte).
+  Status Validate() const;
+
+  // Renders the grammar back to the Fig. 14 textual form.
+  std::string ToString() const;
+
+ private:
+  std::vector<TokenDef> tokens_;
+  std::vector<std::string> nonterminals_;
+  std::vector<Production> productions_;
+  int32_t start_ = -1;
+};
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_GRAMMAR_H_

@@ -1,0 +1,324 @@
+#include "grammar/grammar_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace cfgtag::grammar {
+
+namespace {
+
+// Removes // and /* */ comments, preserving newlines so that the
+// definitions section stays line-oriented.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  bool in_string = false;
+  char string_quote = '"';
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < text.size()) {
+        out.push_back(text[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (c == string_quote) in_string = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      string_quote = '"';
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i = (i + 1 < text.size()) ? i + 2 : text.size();
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+// Token stream over the rules section.
+class RuleLexer {
+ public:
+  struct Token {
+    enum class Kind { kIdent, kLiteral, kColon, kPipe, kSemi, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string text;  // identifier name or literal contents
+    size_t offset = 0;
+  };
+
+  explicit RuleLexer(std::string_view s) : s_(s) {}
+
+  StatusOr<Token> Next() {
+    SkipWs();
+    Token t;
+    t.offset = pos_;
+    if (pos_ >= s_.size()) {
+      t.kind = Token::Kind::kEnd;
+      return t;
+    }
+    const char c = s_[pos_];
+    if (c == ':') {
+      ++pos_;
+      t.kind = Token::Kind::kColon;
+      return t;
+    }
+    if (c == '|') {
+      ++pos_;
+      t.kind = Token::Kind::kPipe;
+      return t;
+    }
+    if (c == ';') {
+      ++pos_;
+      t.kind = Token::Kind::kSemi;
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string lit;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        char lc = s_[pos_++];
+        if (lc == '\\' && pos_ < s_.size()) {
+          const char e = s_[pos_++];
+          switch (e) {
+            case 'n': lc = '\n'; break;
+            case 't': lc = '\t'; break;
+            case 'r': lc = '\r'; break;
+            default: lc = e; break;
+          }
+        }
+        lit.push_back(lc);
+      }
+      if (pos_ >= s_.size()) {
+        return InvalidArgumentError("unterminated string literal in rules");
+      }
+      ++pos_;  // closing quote
+      t.kind = Token::Kind::kLiteral;
+      t.text = lit;
+      return t;
+    }
+    // `c' or 'c' single-character literal (Fig. 14 uses the backquote form).
+    if (c == '`' || c == '\'') {
+      if (pos_ + 2 >= s_.size()) {
+        return InvalidArgumentError("unterminated character literal");
+      }
+      const char lit = s_[pos_ + 1];
+      const char close = s_[pos_ + 2];
+      if (close != '\'') {
+        return InvalidArgumentError(
+            "bad character literal (expected closing ')");
+      }
+      pos_ += 3;
+      t.kind = Token::Kind::kLiteral;
+      t.text = std::string(1, lit);
+      return t;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = pos_;
+      while (pos_ < s_.size() && IsIdentChar(s_[pos_])) ++pos_;
+      t.kind = Token::Kind::kIdent;
+      t.text = std::string(s_.substr(start, pos_ - start));
+      return t;
+    }
+    return InvalidArgumentError("unexpected character '" + std::string(1, c) +
+                                "' in rules section at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Grammar> ParseGrammar(const std::string& raw_text) {
+  const std::string text = StripComments(raw_text);
+
+  // Split into definitions / rules (/ trailer) on %% lines.
+  std::vector<std::string> sections;
+  {
+    std::string cur;
+    for (const std::string& line : StrSplit(text, '\n')) {
+      if (StripWhitespace(line) == "%%") {
+        sections.push_back(cur);
+        cur.clear();
+      } else {
+        cur += line;
+        cur += '\n';
+      }
+    }
+    sections.push_back(cur);
+  }
+  if (sections.size() < 2) {
+    return InvalidArgumentError(
+        "grammar must have a definitions section, '%%', and a rules section");
+  }
+  const std::string& defs = sections[0];
+  const std::string& rules = sections[1];
+
+  Grammar g;
+
+  // ---- Definitions: "NAME[, NAME...]  pattern-to-eol" ------------------
+  for (const std::string& line : StrSplit(defs, '\n')) {
+    std::string_view body = StripWhitespace(line);
+    if (body.empty()) continue;
+    // Find the end of the name list: the first whitespace not preceded by a
+    // comma-continuation.
+    size_t i = 0;
+    std::vector<std::string> names;
+    std::string cur_name;
+    bool in_names = true;
+    while (i < body.size() && in_names) {
+      const char c = body[i];
+      if (IsIdentChar(c) || IsIdentStart(c)) {
+        cur_name.push_back(c);
+        ++i;
+      } else if (c == ',') {
+        if (cur_name.empty()) {
+          return InvalidArgumentError("bad token definition line: " +
+                                      std::string(body));
+        }
+        names.push_back(cur_name);
+        cur_name.clear();
+        ++i;
+        while (i < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[i]))) {
+          ++i;
+        }
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        in_names = false;
+      } else {
+        return InvalidArgumentError("bad token definition line: " +
+                                    std::string(body));
+      }
+    }
+    if (!cur_name.empty()) names.push_back(cur_name);
+    std::string_view pattern = StripWhitespace(body.substr(i));
+    if (names.empty() || pattern.empty()) {
+      return InvalidArgumentError("bad token definition line: " +
+                                  std::string(body));
+    }
+    for (const std::string& name : names) {
+      CFGTAG_RETURN_IF_ERROR(g.AddToken(name, std::string(pattern)).status());
+    }
+  }
+
+  // ---- Rules ------------------------------------------------------------
+  // First pass: collect rule LHS names so identifiers can be classified.
+  {
+    RuleLexer scan(rules);
+    bool expect_lhs = true;
+    std::string pending;
+    while (true) {
+      CFGTAG_ASSIGN_OR_RETURN(auto tok, scan.Next());
+      if (tok.kind == RuleLexer::Token::Kind::kEnd) break;
+      if (expect_lhs && tok.kind == RuleLexer::Token::Kind::kIdent) {
+        pending = tok.text;
+        expect_lhs = false;
+      } else if (tok.kind == RuleLexer::Token::Kind::kColon &&
+                 !pending.empty()) {
+        if (g.FindToken(pending) >= 0) {
+          return InvalidArgumentError("rule name '" + pending +
+                                      "' collides with a token name");
+        }
+        g.AddNonterminal(pending);
+        pending.clear();
+      } else if (tok.kind == RuleLexer::Token::Kind::kSemi) {
+        expect_lhs = true;
+        pending.clear();
+      }
+    }
+  }
+
+  RuleLexer lex(rules);
+  CFGTAG_ASSIGN_OR_RETURN(auto tok, lex.Next());
+  bool any_rule = false;
+  while (tok.kind != RuleLexer::Token::Kind::kEnd) {
+    if (tok.kind != RuleLexer::Token::Kind::kIdent) {
+      return InvalidArgumentError("expected rule name in rules section");
+    }
+    const int32_t lhs = g.FindNonterminal(tok.text);
+    if (lhs < 0) {
+      return InternalError("rule name not interned: " + tok.text);
+    }
+    CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+    if (tok.kind != RuleLexer::Token::Kind::kColon) {
+      return InvalidArgumentError("expected ':' after rule name");
+    }
+    // Alternatives.
+    std::vector<Symbol> rhs;
+    CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+    while (true) {
+      if (tok.kind == RuleLexer::Token::Kind::kIdent) {
+        const int32_t t = g.FindToken(tok.text);
+        if (t >= 0) {
+          rhs.push_back(Symbol::Terminal(t));
+        } else {
+          const int32_t nt = g.FindNonterminal(tok.text);
+          if (nt < 0) {
+            return InvalidArgumentError("undefined symbol '" + tok.text +
+                                        "' in rule");
+          }
+          rhs.push_back(Symbol::Nonterminal(nt));
+        }
+        CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+      } else if (tok.kind == RuleLexer::Token::Kind::kLiteral) {
+        CFGTAG_ASSIGN_OR_RETURN(int32_t t, g.AddLiteralToken(tok.text));
+        rhs.push_back(Symbol::Terminal(t));
+        CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+      } else if (tok.kind == RuleLexer::Token::Kind::kPipe) {
+        g.AddProduction(lhs, std::move(rhs));
+        rhs.clear();
+        any_rule = true;
+        CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+      } else if (tok.kind == RuleLexer::Token::Kind::kSemi) {
+        g.AddProduction(lhs, std::move(rhs));
+        rhs.clear();
+        any_rule = true;
+        CFGTAG_ASSIGN_OR_RETURN(tok, lex.Next());
+        break;
+      } else {
+        return InvalidArgumentError("unexpected token in rule body");
+      }
+    }
+  }
+  if (!any_rule) {
+    return InvalidArgumentError("rules section defines no productions");
+  }
+  return g;
+}
+
+}  // namespace cfgtag::grammar

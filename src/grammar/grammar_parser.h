@@ -1,0 +1,30 @@
+#ifndef CFGTAG_GRAMMAR_GRAMMAR_PARSER_H_
+#define CFGTAG_GRAMMAR_GRAMMAR_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Parses the Yacc/Lex-style grammar format of paper Fig. 14:
+//
+//   NAME[, NAME...]   <pattern to end of line>     (definitions section)
+//   %%
+//   rule: elem elem ... | elem ... ;               (rules section)
+//   %%                                             (optional trailer)
+//
+// Rule elements are:
+//   "literal"   — a fixed-string token (deduplicated across the grammar),
+//   `c' or 'c'  — a single-character literal token,
+//   identifier  — a token if declared in the definitions section,
+//                 otherwise a nonterminal.
+// An empty alternative (e.g. "param: | ... ;") is an epsilon production.
+// `//` and `/* */` comments are allowed everywhere. The LHS of the first
+// rule becomes the start symbol.
+StatusOr<Grammar> ParseGrammar(const std::string& text);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_GRAMMAR_PARSER_H_

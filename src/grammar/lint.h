@@ -1,0 +1,48 @@
+#ifndef CFGTAG_GRAMMAR_LINT_H_
+#define CFGTAG_GRAMMAR_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Static diagnostics over a grammar, predicting hardware-level surprises
+// before generation. None of these block compilation — the architecture
+// tolerates them (parallel paths, superset acceptance) — but each one is a
+// condition the paper calls out as needing thought (§3.3 simultaneous
+// transitions, §3.4 encoder conflicts).
+struct LintFinding {
+  enum class Kind {
+    // A nonterminal that can never be reached from the start symbol.
+    kUnreachableNonterminal,
+    // A token defined but never used in any production.
+    kUnusedToken,
+    // Two tokens armed in the same context whose first-byte classes
+    // overlap: they can run in parallel and may match at the same cycle —
+    // the §3.4 simultaneous-detection case. Lists both tokens.
+    kArmConflict,
+    // A token whose pattern is a prefix of another token armed in the same
+    // context: the shorter one fires mid-way through the longer one
+    // (resolve with eq. 5 priorities at the back-end).
+    kPrefixShadow,
+    // A nonterminal that can derive no terminal string (useless recursion).
+    kNonproductiveNonterminal,
+  };
+
+  Kind kind;
+  // Symbols involved (token or nonterminal names).
+  std::vector<std::string> symbols;
+  std::string message;
+};
+
+// Runs all checks. Requires a valid grammar.
+StatusOr<std::vector<LintFinding>> Lint(const Grammar& g);
+
+const char* LintKindName(LintFinding::Kind kind);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_LINT_H_

@@ -1,0 +1,63 @@
+#include "grammar/token_context.h"
+
+namespace cfgtag::grammar {
+
+StatusOr<ContextExpansion> ExpandContexts(const Grammar& g) {
+  CFGTAG_RETURN_IF_ERROR(g.Validate());
+
+  // Count occurrence sites of each token.
+  std::vector<int> site_count(g.NumTokens(), 0);
+  for (const Production& p : g.productions()) {
+    for (const Symbol& s : p.rhs) {
+      if (s.IsTerminal()) site_count[s.index]++;
+    }
+  }
+
+  ContextExpansion out;
+
+  // Single-site and unused tokens carry over 1:1 (in original order, so
+  // their ids shift only by the splits inserted before them — we rebuild
+  // ids from scratch and record the mapping).
+  std::vector<int32_t> carried_id(g.NumTokens(), -1);
+  for (size_t t = 0; t < g.NumTokens(); ++t) {
+    if (site_count[t] > 1) continue;
+    carried_id[t] = out.grammar.AddTokenDef(g.tokens()[t]);
+    out.contexts.push_back(TokenContext{carried_id[t],
+                                        static_cast<int32_t>(t), -1, -1});
+  }
+
+  for (const std::string& nt : g.nonterminals()) {
+    out.grammar.AddNonterminal(nt);
+  }
+
+  for (size_t pi = 0; pi < g.productions().size(); ++pi) {
+    const Production& p = g.productions()[pi];
+    std::vector<Symbol> rhs;
+    rhs.reserve(p.rhs.size());
+    for (size_t pos = 0; pos < p.rhs.size(); ++pos) {
+      const Symbol& s = p.rhs[pos];
+      if (!s.IsTerminal()) {
+        rhs.push_back(s);
+        continue;
+      }
+      if (carried_id[s.index] >= 0) {
+        rhs.push_back(Symbol::Terminal(carried_id[s.index]));
+        continue;
+      }
+      // Multi-site token: mint a per-site copy.
+      TokenDef def = g.tokens()[s.index];
+      def.name += "@p" + std::to_string(pi) + "." + std::to_string(pos);
+      // A split literal is no longer deduplicatable by content.
+      const int32_t id = out.grammar.AddTokenDef(std::move(def));
+      out.contexts.push_back(TokenContext{id, s.index,
+                                          static_cast<int32_t>(pi),
+                                          static_cast<int32_t>(pos)});
+      rhs.push_back(Symbol::Terminal(id));
+    }
+    out.grammar.AddProduction(p.lhs, std::move(rhs));
+  }
+  out.grammar.SetStart(g.start());
+  return out;
+}
+
+}  // namespace cfgtag::grammar

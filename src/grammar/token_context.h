@@ -1,0 +1,35 @@
+#ifndef CFGTAG_GRAMMAR_TOKEN_CONTEXT_H_
+#define CFGTAG_GRAMMAR_TOKEN_CONTEXT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Where an expanded token came from in the original grammar.
+struct TokenContext {
+  int32_t token = 0;       // token id in the expanded grammar
+  int32_t base_token = 0;  // token id in the original grammar
+  int32_t production = -1; // production index in the original grammar
+  int32_t position = -1;   // RHS position; -1 for tokens kept as-is
+};
+
+struct ContextExpansion {
+  Grammar grammar;                     // the rewritten grammar
+  std::vector<TokenContext> contexts;  // indexed by expanded token id
+};
+
+// Implements the token-duplication step of paper §3.2: a token that occurs
+// at more than one (production, position) site is split into one fresh
+// token per site — same regex, distinct identity — so the hardware can
+// report *which grammatical context* matched, not just which pattern.
+// Tokens occurring at a single site (or none) keep their original identity.
+//
+// The expanded tokens are named "<base>@p<production>.<position>".
+StatusOr<ContextExpansion> ExpandContexts(const Grammar& g);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_TOKEN_CONTEXT_H_

@@ -1,0 +1,40 @@
+#include "grammar/transforms.h"
+
+namespace cfgtag::grammar {
+
+StatusOr<Grammar> DuplicateGrammar(const Grammar& g, int copies) {
+  CFGTAG_RETURN_IF_ERROR(g.Validate());
+  if (copies < 1) return InvalidArgumentError("copies must be >= 1");
+
+  Grammar out;
+  const int32_t super_start = out.AddNonterminal("dup_start");
+
+  for (int k = 0; k < copies; ++k) {
+    const std::string suffix = "#" + std::to_string(k);
+    std::vector<int32_t> token_map(g.NumTokens());
+    for (size_t t = 0; t < g.NumTokens(); ++t) {
+      TokenDef def = g.tokens()[t];
+      def.name += suffix;
+      token_map[t] = out.AddTokenDef(std::move(def));
+    }
+    std::vector<int32_t> nt_map(g.NumNonterminals());
+    for (size_t n = 0; n < g.NumNonterminals(); ++n) {
+      nt_map[n] = out.AddNonterminal(g.nonterminals()[n] + suffix);
+    }
+    for (const Production& p : g.productions()) {
+      std::vector<Symbol> rhs;
+      rhs.reserve(p.rhs.size());
+      for (const Symbol& s : p.rhs) {
+        rhs.push_back(s.IsTerminal() ? Symbol::Terminal(token_map[s.index])
+                                     : Symbol::Nonterminal(nt_map[s.index]));
+      }
+      out.AddProduction(p.lhs >= 0 ? nt_map[p.lhs] : p.lhs, std::move(rhs));
+    }
+    out.AddProduction(super_start, {Symbol::Nonterminal(nt_map[g.start()])});
+  }
+  out.SetStart(super_start);
+  CFGTAG_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace cfgtag::grammar

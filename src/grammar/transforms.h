@@ -1,0 +1,19 @@
+#ifndef CFGTAG_GRAMMAR_TRANSFORMS_H_
+#define CFGTAG_GRAMMAR_TRANSFORMS_H_
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Builds a grammar containing `copies` independent renamed copies of `g`,
+// under a fresh start symbol with one alternative per copy. This is the
+// paper's §4.3 scaling methodology ("larger XML grammars were created by
+// repeatedly duplicating the 300 byte grammar"): every copy gets its own
+// tokens (so tokenizer logic scales linearly) while the character decoders
+// are shared, which is why LUTs/byte falls as the grammar grows.
+StatusOr<Grammar> DuplicateGrammar(const Grammar& g, int copies);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_TRANSFORMS_H_

@@ -1,0 +1,130 @@
+#include "hwgen/decoder_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace cfgtag::hwgen {
+
+rtl::NodeId DecoderGenerator::CharReg(unsigned char c) {
+  auto it = char_regs_.find(c);
+  if (it != char_regs_.end()) return it->second;
+  // Fig. 4: an 8-input AND with inversions where the byte has 0 bits,
+  // pipelined as two 4-input ANDs feeding a 2-input AND (one LUT level per
+  // register stage).
+  std::vector<rtl::NodeId> half[2];
+  for (int bit = 0; bit < 8; ++bit) {
+    const rtl::NodeId wire = data_bits_[bit];
+    half[bit / 4].push_back((c >> bit) & 1 ? wire : netlist_->Not(wire));
+  }
+  const rtl::NodeId lo = netlist_->Reg(netlist_->And(std::move(half[0])));
+  const rtl::NodeId hi = netlist_->Reg(netlist_->And(std::move(half[1])));
+  const rtl::NodeId dec = netlist_->Reg(netlist_->And2(lo, hi));
+  netlist_->SetName(dec, "dec_" + ByteName(c));
+  char_regs_.emplace(c, dec);
+  return dec;
+}
+
+DecoderGenerator::DecoderGenerator(
+    rtl::Netlist* netlist, const std::vector<rtl::NodeId>& data_bits,
+    const std::vector<regex::CharClass>& classes, bool replicate,
+    uint32_t replication_threshold)
+    : netlist_(netlist),
+      data_bits_(data_bits),
+      replicate_(replicate),
+      replication_threshold_(replication_threshold) {
+  rtl::ScopedNetlistScope scope(netlist_, "decoder");
+  // Build every class's pre-final signal and record its pipeline depth
+  // (char decoders are depth 2).
+  struct Pending {
+    regex::CharClass cls;
+    rtl::NodeId node;
+    int depth;
+  };
+  std::vector<Pending> pending;
+  int max_depth = 2;
+  for (const regex::CharClass& cls : classes) {
+    if (cls.Empty()) continue;
+    bool seen = false;
+    for (const Pending& p : pending) {
+      if (p.cls == cls) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+
+    rtl::NodeId node;
+    int depth = 2;
+    if (cls.Count() == 1) {
+      node = CharReg(cls.Members()[0]);
+    } else if (cls.Count() > 128) {
+      // Wide class: decode the complement and invert (e.g. [^<>]); the NOT
+      // folds into the final OR level's LUT.
+      std::vector<rtl::NodeId> terms;
+      for (unsigned char c : cls.Complement().Members()) {
+        terms.push_back(CharReg(c));
+      }
+      auto [or_node, or_depth] = netlist_->PipelinedOr(std::move(terms));
+      // PipelinedOr registers its last level, so invert *after* it and
+      // absorb the inversion in the final class register's LUT.
+      node = netlist_->Not(or_node);
+      depth += or_depth;
+    } else {
+      std::vector<rtl::NodeId> terms;
+      for (unsigned char c : cls.Members()) terms.push_back(CharReg(c));
+      auto [or_node, or_depth] = netlist_->PipelinedOr(std::move(terms));
+      node = or_node;
+      depth += or_depth;
+    }
+    max_depth = std::max(max_depth, depth);
+    pending.push_back(Pending{cls, node, depth});
+  }
+
+  // Pad every class to the common depth, then one final register — the
+  // high-fan-out decoded wire of the paper's timing analysis.
+  depth_ = max_depth + 1;
+  for (Pending& p : pending) {
+    const rtl::NodeId padded =
+        netlist_->DelayLine(p.node, max_depth - p.depth);
+    ClassState state;
+    state.prefinal = padded;
+    state.replicas.push_back(Replica{
+        netlist_->Reg(padded, rtl::kInvalidNode, false,
+                      "decreg_" + p.cls.ToString()),
+        0});
+    class_replicas_.emplace(p.cls, std::move(state));
+  }
+}
+
+rtl::NodeId DecoderGenerator::GetDecoded(const regex::CharClass& cls) {
+  auto it = class_replicas_.find(cls);
+  if (it == class_replicas_.end()) {
+    // Callers must pre-declare classes; failing loudly here would need a
+    // Status return on a hot builder path, so make it a programming error.
+    assert(false && "class not pre-declared to DecoderGenerator");
+    return netlist_->Const0();
+  }
+  ClassState& state = it->second;
+  Replica* r = &state.replicas.back();
+  if (replicate_ && r->uses >= replication_threshold_) {
+    rtl::ScopedNetlistScope scope(netlist_, "decoder");
+    state.replicas.push_back(Replica{
+        netlist_->Reg(state.prefinal, rtl::kInvalidNode, false,
+                      "decreg_" + cls.ToString() + "_r" +
+                          std::to_string(state.replicas.size())),
+        0});
+    r = &state.replicas.back();
+  }
+  r->uses++;
+  return r->reg;
+}
+
+size_t DecoderGenerator::NumReplicaRegs() const {
+  size_t n = 0;
+  for (const auto& [cls, state] : class_replicas_) n += state.replicas.size();
+  return n;
+}
+
+}  // namespace cfgtag::hwgen

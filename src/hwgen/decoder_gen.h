@@ -1,0 +1,82 @@
+#ifndef CFGTAG_HWGEN_DECODER_GEN_H_
+#define CFGTAG_HWGEN_DECODER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/char_class.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::hwgen {
+
+// Builds the character-decoder stage of the tagger (paper Fig. 4–5):
+//
+//   * one 8-input AND decoder per distinct byte value used by any token
+//     (inputs inverted per the byte's bit pattern, Fig. 4), pipelined as
+//     two 4-input ANDs followed by a 2-input AND,
+//   * one pre-decoded wire per distinct character *class* (case-insensitive
+//     letters, [a-zA-Z0-9], delimiters, ...): a pipelined OR tree over the
+//     member bytes' decoders — or, for classes covering more than half the
+//     alphabet, a NOT over the complement's OR (Fig. 5),
+//   * delay padding so every decoded class emerges after the same number of
+//     register stages (depth()), keeping the whole datapath aligned, and a
+//     final per-class register.
+//
+// There is exactly one gate level between registers — the paper's "fine
+// grain pipelined" property — so the decoder never bounds the clock; what
+// does is the *fan-out* of the final class registers, which grows linearly
+// with grammar size (the paper's §4.3 critical path). GetDecoded()
+// optionally replicates that final register (the §5.2 "replicating decoders
+// and balancing the fanout" future-work fix) once a replica exceeds
+// `replication_threshold` sinks.
+class DecoderGenerator {
+ public:
+  // `netlist` must outlive the generator. `data_bits` are the 8 input-port
+  // nets, LSB first. `classes` must list every class GetDecoded() will be
+  // asked for (duplicates are fine).
+  DecoderGenerator(rtl::Netlist* netlist,
+                   const std::vector<rtl::NodeId>& data_bits,
+                   const std::vector<regex::CharClass>& classes,
+                   bool replicate = false,
+                   uint32_t replication_threshold = 64);
+
+  // Register stages from the input port to a decoded class wire.
+  int depth() const { return depth_; }
+
+  // The registered decoded wire for a character class. Each call counts one
+  // sink; with replication enabled, sinks are spread across replicas.
+  rtl::NodeId GetDecoded(const regex::CharClass& cls);
+
+  size_t NumCharDecoders() const { return char_regs_.size(); }
+  size_t NumClassDecoders() const { return class_replicas_.size(); }
+  size_t NumReplicaRegs() const;
+
+ private:
+  struct Replica {
+    rtl::NodeId reg;
+    uint32_t uses = 0;
+  };
+  struct ClassState {
+    rtl::NodeId prefinal;  // signal one stage before the final register
+    std::vector<Replica> replicas;
+  };
+
+  // Pipelined per-byte decoder (two stages); memoized.
+  rtl::NodeId CharReg(unsigned char c);
+
+  rtl::Netlist* netlist_;
+  std::vector<rtl::NodeId> data_bits_;
+  bool replicate_;
+  uint32_t replication_threshold_;
+  int depth_ = 0;
+  std::unordered_map<unsigned char, rtl::NodeId> char_regs_;
+  std::unordered_map<regex::CharClass, ClassState, regex::CharClassHash>
+      class_replicas_;
+};
+
+}  // namespace cfgtag::hwgen
+
+#endif  // CFGTAG_HWGEN_DECODER_GEN_H_

@@ -1,0 +1,190 @@
+#include "hwgen/encoder_gen.h"
+
+#include <algorithm>
+
+namespace cfgtag::hwgen {
+
+namespace {
+
+// One node of the merge tree: match-any plus the index bits accumulated so
+// far (bit k decided at tree level k).
+struct TreeNode {
+  rtl::NodeId any;
+  std::vector<rtl::NodeId> idx;  // LSB first
+};
+
+}  // namespace
+
+EncoderPorts EncoderGenerator::BuildPipelined(
+    rtl::Netlist* netlist, const std::vector<rtl::NodeId>& inputs,
+    const std::string& prefix) {
+  EncoderPorts ports;
+  if (inputs.empty()) {
+    ports.valid = netlist->Const0();
+    return ports;
+  }
+
+  std::vector<TreeNode> level;
+  level.reserve(inputs.size());
+  for (rtl::NodeId in : inputs) level.push_back(TreeNode{in, {}});
+
+  int depth = 0;
+  if (level.size() == 1) {
+    // Degenerate tree: still register the output ("registers at the output
+    // encoded address bits", §3.4) so the latency contract is uniform.
+    level[0].any = netlist->Reg(level[0].any);
+    depth = 1;
+  }
+  while (level.size() > 1) {
+    std::vector<TreeNode> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t j = 0; j + 1 < level.size(); j += 2) {
+      TreeNode& l = level[j];
+      TreeNode& r = level[j + 1];
+      TreeNode merged;
+      merged.any = netlist->Reg(netlist->Or2(l.any, r.any));
+      // Carried index bits OR together (one asserted input assumption /
+      // eq. 5 priority masks make the OR correct).
+      for (size_t k = 0; k < l.idx.size(); ++k) {
+        merged.idx.push_back(netlist->Reg(netlist->Or2(l.idx[k], r.idx[k])));
+      }
+      // The new bit for this level: "the odd node is asserted" (eqs. 1-4).
+      merged.idx.push_back(netlist->Reg(r.any));
+      next.push_back(std::move(merged));
+    }
+    if (level.size() % 2 == 1) {
+      // Odd node promotes one level with a 0 bit appended.
+      TreeNode& o = level.back();
+      TreeNode promoted;
+      promoted.any = netlist->Reg(o.any);
+      for (rtl::NodeId b : o.idx) promoted.idx.push_back(netlist->Reg(b));
+      promoted.idx.push_back(netlist->Const0());
+      next.push_back(std::move(promoted));
+    }
+    level = std::move(next);
+    ++depth;
+  }
+
+  ports.valid = level[0].any;
+  ports.index_bits = std::move(level[0].idx);
+  ports.latency = depth;
+  netlist->SetName(ports.valid, prefix + "_valid");
+  for (size_t k = 0; k < ports.index_bits.size(); ++k) {
+    if (ports.index_bits[k] != netlist->Const0()) {
+      netlist->SetName(ports.index_bits[k],
+                       prefix + "_idx" + std::to_string(k));
+    }
+  }
+  return ports;
+}
+
+EncoderPorts EncoderGenerator::BuildNaive(rtl::Netlist* netlist,
+                                          const std::vector<rtl::NodeId>& inputs,
+                                          const std::string& prefix) {
+  EncoderPorts ports;
+  if (inputs.empty()) {
+    ports.valid = netlist->Const0();
+    return ports;
+  }
+  size_t bits = 0;
+  while ((static_cast<size_t>(1) << bits) < inputs.size()) ++bits;
+
+  // Priority cascade, lowest index first: each stage muxes its own index
+  // over the accumulated result when its input asserts.
+  std::vector<rtl::NodeId> idx(bits, netlist->Const0());
+  rtl::NodeId valid = netlist->Const0();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const rtl::NodeId sel = inputs[i];
+    const rtl::NodeId not_sel = netlist->Not(sel);
+    for (size_t k = 0; k < bits; ++k) {
+      const bool bit_set = (i >> k) & 1;
+      // idx_k' = sel ? bit : idx_k  ==  (sel & bit) | (!sel & idx_k)
+      idx[k] = netlist->Or2(bit_set ? sel : netlist->Const0(),
+                            netlist->And2(not_sel, idx[k]));
+    }
+    valid = netlist->Or2(valid, sel);
+  }
+  for (size_t k = 0; k < bits; ++k) {
+    const rtl::NodeId bit = netlist->Reg(idx[k]);
+    netlist->SetName(bit, prefix + "_idx" + std::to_string(k));
+    ports.index_bits.push_back(bit);
+  }
+  ports.valid = netlist->Reg(valid);
+  netlist->SetName(ports.valid, prefix + "_valid");
+  ports.latency = 1;
+  return ports;
+}
+
+StatusOr<std::vector<int32_t>> AssignPriorityIndices(
+    size_t num_tokens,
+    const std::vector<std::vector<int32_t>>& priority_groups,
+    int num_index_bits) {
+  if (num_index_bits <= 0 || num_index_bits > 30) {
+    return InvalidArgumentError("num_index_bits out of range");
+  }
+  const size_t num_leaves = static_cast<size_t>(1) << num_index_bits;
+  if (num_tokens > num_leaves) {
+    return InvalidArgumentError("too many tokens for the index width");
+  }
+
+  std::vector<int32_t> leaf_token(num_leaves, -1);
+  std::vector<uint8_t> token_placed(num_tokens, 0);
+  std::vector<uint8_t> bit_used(num_index_bits, 0);
+  bool zero_used = false;
+
+  for (const std::vector<int32_t>& group : priority_groups) {
+    if (group.empty()) continue;
+    for (int32_t t : group) {
+      if (t < 0 || static_cast<size_t>(t) >= num_tokens) {
+        return InvalidArgumentError("priority group references bad token id");
+      }
+      if (token_placed[t]) {
+        return InvalidArgumentError("token appears in two priority groups");
+      }
+    }
+    // A group of size k needs a chain of k nested masks. The all-zero mask
+    // can seed one chain (if leaf 0 is free); every further mask consumes a
+    // dedicated fresh bit.
+    size_t need_bits = group.size() - (zero_used || leaf_token[0] != -1 ? 0 : 1);
+    std::vector<int> bits;
+    for (int b = 0; b < num_index_bits && bits.size() < need_bits; ++b) {
+      if (!bit_used[b]) bits.push_back(b);
+    }
+    if (bits.size() < need_bits) {
+      return InvalidArgumentError(
+          "not enough index bits for a priority group of size " +
+          std::to_string(group.size()));
+    }
+    uint32_t mask = 0;
+    size_t bi = 0;
+    for (size_t j = 0; j < group.size(); ++j) {
+      if (j > 0 || zero_used || leaf_token[0] != -1) {
+        mask |= 1u << bits[bi];
+        bit_used[bits[bi]] = 1;
+        ++bi;
+      } else {
+        zero_used = true;  // lowest priority sits at index 0
+      }
+      if (leaf_token[mask] != -1) {
+        return InternalError("priority mask collision");
+      }
+      leaf_token[mask] = group[j];
+      token_placed[group[j]] = 1;
+    }
+  }
+
+  // Remaining tokens take the remaining leaves in order.
+  size_t next_leaf = 0;
+  for (size_t t = 0; t < num_tokens; ++t) {
+    if (token_placed[t]) continue;
+    while (next_leaf < num_leaves && leaf_token[next_leaf] != -1) ++next_leaf;
+    if (next_leaf >= num_leaves) {
+      return InternalError("ran out of encoder leaves");
+    }
+    leaf_token[next_leaf] = static_cast<int32_t>(t);
+    token_placed[t] = 1;
+  }
+  return leaf_token;
+}
+
+}  // namespace cfgtag::hwgen

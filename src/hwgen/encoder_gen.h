@@ -1,0 +1,63 @@
+#ifndef CFGTAG_HWGEN_ENCODER_GEN_H_
+#define CFGTAG_HWGEN_ENCODER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::hwgen {
+
+struct EncoderPorts {
+  rtl::NodeId valid = rtl::kInvalidNode;     // any input asserted
+  std::vector<rtl::NodeId> index_bits;       // LSB first
+  int latency = 0;                           // pipeline stages added
+};
+
+// Token-index encoders (paper §3.4). `inputs[i]` is the (registered) match
+// wire of the token assigned to index i; the reported index is the binary
+// position of the asserted input. When several inputs assert at once the
+// output is the bitwise OR of their indices — which the eq. 5 priority
+// assignment (below) turns into "the highest-priority index wins".
+class EncoderGenerator {
+ public:
+  // The pipelined binary OR-tree encoder of eqs. 1–4: index bit k collects
+  // the odd nodes of tree level k. Built as a merge tree that carries
+  // (any, index-so-far) pairs with a register after every 2-input merge, so
+  // there is exactly one gate level between registers and the latency is
+  // ceil(log2(n)) cycles.
+  static EncoderPorts BuildPipelined(rtl::Netlist* netlist,
+                                     const std::vector<rtl::NodeId>& inputs,
+                                     const std::string& prefix);
+
+  // The naive encoder the paper warns about (§3.4: "an encoder with CASE
+  // statements does not translate efficiently ... almost always the
+  // critical path"): a priority chain of 2:1 muxes, exactly what a VHDL
+  // if/elsif (CASE) cascade synthesizes to. One output register (latency
+  // 1), but the combinational depth grows *linearly* with the input count,
+  // so it dominates the clock for large token sets — the encoder-ablation
+  // baseline. On simultaneous inputs the highest index wins.
+  static EncoderPorts BuildNaive(rtl::Netlist* netlist,
+                                 const std::vector<rtl::NodeId>& inputs,
+                                 const std::string& prefix);
+};
+
+// Assigns encoder leaf indices to tokens such that tokens that can match
+// simultaneously still encode correctly (paper eq. 5): within each
+// `priority_groups` entry (token ids in ascending priority), indices are
+// nested bit masks, so the OR of any subset equals the index of its
+// highest-priority member. Tokens outside any group get the remaining
+// index values. Fails if a group needs more bits than `num_index_bits`
+// provides or if tokens do not fit in 2^num_index_bits indices.
+//
+// Returns a vector of size 2^num_index_bits mapping leaf index -> token id
+// (-1 for unused leaves).
+StatusOr<std::vector<int32_t>> AssignPriorityIndices(
+    size_t num_tokens, const std::vector<std::vector<int32_t>>& priority_groups,
+    int num_index_bits);
+
+}  // namespace cfgtag::hwgen
+
+#endif  // CFGTAG_HWGEN_ENCODER_GEN_H_

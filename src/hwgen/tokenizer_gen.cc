@@ -1,0 +1,85 @@
+#include "hwgen/tokenizer_gen.h"
+
+namespace cfgtag::hwgen {
+
+TokenizerGenerator::TokenizerGenerator(rtl::Netlist* netlist)
+    : netlist_(netlist) {}
+
+TokenizerPorts TokenizerGenerator::Allocate(const regex::PositionAutomaton& pa,
+                                            const std::string& token_name) {
+  rtl::ScopedNetlistScope scope(netlist_, "tokenizer");
+  TokenizerPorts ports;
+  ports.state_regs.reserve(pa.NumPositions());
+  for (size_t p = 0; p < pa.NumPositions(); ++p) {
+    ports.state_regs.push_back(netlist_->RegPlaceholder(
+        rtl::kInvalidNode, false,
+        "s_" + token_name + "_" + std::to_string(p)));
+  }
+  ports.arm_held = netlist_->RegPlaceholder(rtl::kInvalidNode, false,
+                                            "arm_" + token_name);
+  return ports;
+}
+
+std::vector<rtl::NodeId> TokenizerGenerator::StepLane(
+    const regex::PositionAutomaton& pa, const std::vector<rtl::NodeId>& prev,
+    DecoderGenerator* lane_decoder, rtl::NodeId inject_start) {
+  rtl::ScopedNetlistScope scope(netlist_, "tokenizer");
+  std::vector<uint8_t> is_first(pa.NumPositions(), 0);
+  for (uint32_t p : pa.first) is_first[p] = 1;
+
+  std::vector<rtl::NodeId> next(pa.NumPositions());
+  for (size_t q = 0; q < pa.NumPositions(); ++q) {
+    std::vector<rtl::NodeId> sources;
+    if (is_first[q]) sources.push_back(inject_start);
+    for (size_t p = 0; p < pa.NumPositions(); ++p) {
+      for (uint32_t f : pa.follow[p]) {
+        if (f == q) sources.push_back(prev[p]);
+      }
+    }
+    next[q] = netlist_->And({lane_decoder->GetDecoded(pa.positions[q]),
+                             netlist_->Or(std::move(sources))});
+  }
+  return next;
+}
+
+rtl::NodeId TokenizerGenerator::MatchPulse(
+    const regex::PositionAutomaton& pa, const std::vector<rtl::NodeId>& state,
+    DecoderGenerator* next_decoder, bool longest_match,
+    const std::string& name) {
+  rtl::ScopedNetlistScope scope(netlist_, "tokenizer");
+  std::vector<rtl::NodeId> accepting;
+  for (size_t p = 0; p < pa.NumPositions(); ++p) {
+    if (pa.is_last[p]) accepting.push_back(state[p]);
+  }
+  rtl::NodeId accept = netlist_->Or(std::move(accepting));
+
+  rtl::NodeId pulse = accept;
+  if (longest_match) {
+    // Fig. 7: suppress the detection while the accepted run can consume the
+    // next byte: some *accepting* live position has a follow edge whose
+    // class matches the next byte's decode. Fixed-length tokens get no
+    // extend logic (their accepting positions have no follow edges),
+    // matching the paper's application of the look-ahead to +/* patterns.
+    std::vector<rtl::NodeId> extend_terms;
+    for (size_t q = 0; q < pa.NumPositions(); ++q) {
+      std::vector<rtl::NodeId> preds;
+      for (size_t p = 0; p < pa.NumPositions(); ++p) {
+        if (!pa.is_last[p]) continue;
+        for (uint32_t f : pa.follow[p]) {
+          if (f == q) preds.push_back(state[p]);
+        }
+      }
+      if (preds.empty()) continue;
+      extend_terms.push_back(
+          netlist_->And({next_decoder->GetDecoded(pa.positions[q]),
+                         netlist_->Or(std::move(preds))}));
+    }
+    if (!extend_terms.empty()) {
+      pulse = netlist_->AndNot(accept, netlist_->Or(std::move(extend_terms)));
+    }
+  }
+  if (!name.empty()) netlist_->SetName(pulse, name);
+  return pulse;
+}
+
+}  // namespace cfgtag::hwgen

@@ -1,0 +1,63 @@
+#ifndef CFGTAG_HWGEN_TOKENIZER_GEN_H_
+#define CFGTAG_HWGEN_TOKENIZER_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "hwgen/decoder_gen.h"
+#include "regex/position_automaton.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::hwgen {
+
+// Hardware handles of one token's detection chain.
+struct TokenizerPorts {
+  // One pipeline register per Glushkov position — the "one register per
+  // pattern byte" structure of paper §3.2 (string detectors are chains of
+  // pipelined AND gates; +/*/? fold into the follow edges). For a W-byte
+  // datapath these registers capture the state after the *last* lane; the
+  // intermediate lanes are combinational ladder stages.
+  std::vector<rtl::NodeId> state_regs;
+  // Arm-hold register: keeps a pending arm alive across delimiter bytes
+  // (the Fig. 6 first-register stall). D is patched by the syntax wiring.
+  rtl::NodeId arm_held = rtl::kInvalidNode;
+};
+
+// Emits tokenizer building blocks into a netlist. The top-level generator
+// (TaggerGenerator) owns lane sequencing and the syntactic arm wiring;
+// this class provides the per-token primitives:
+//   * Allocate()   — the state/arm registers,
+//   * StepLane()   — one byte's worth of Glushkov transitions, as
+//                    combinational logic from arbitrary state bits,
+//   * MatchPulse() — accept-OR plus the Fig. 7 longest-match look-ahead
+//                    against the decoder of the *next* byte.
+class TokenizerGenerator {
+ public:
+  explicit TokenizerGenerator(rtl::Netlist* netlist);
+
+  TokenizerPorts Allocate(const regex::PositionAutomaton& pa,
+                          const std::string& token_name);
+
+  // Combinational state after consuming one byte decoded by `lane_decoder`,
+  // starting from `prev` (register outputs or an earlier ladder stage).
+  // `inject_start` arms the first positions (already gated by NOT-delim).
+  std::vector<rtl::NodeId> StepLane(const regex::PositionAutomaton& pa,
+                                    const std::vector<rtl::NodeId>& prev,
+                                    DecoderGenerator* lane_decoder,
+                                    rtl::NodeId inject_start);
+
+  // Match signal for the state in `state`; when `longest_match` is set the
+  // detection is suppressed while an accepting position can consume the
+  // byte decoded by `next_decoder` (Fig. 7).
+  rtl::NodeId MatchPulse(const regex::PositionAutomaton& pa,
+                         const std::vector<rtl::NodeId>& state,
+                         DecoderGenerator* next_decoder, bool longest_match,
+                         const std::string& name);
+
+ private:
+  rtl::Netlist* netlist_;
+};
+
+}  // namespace cfgtag::hwgen
+
+#endif  // CFGTAG_HWGEN_TOKENIZER_GEN_H_

@@ -1,0 +1,108 @@
+#include "nids/context_filter.h"
+
+#include <algorithm>
+
+namespace cfgtag::nids {
+
+StatusOr<ContextFilter> ContextFilter::Create(grammar::Grammar grammar,
+                                              std::vector<Rule> rules,
+                                              const hwgen::HwOptions& options) {
+  if (rules.empty()) {
+    return InvalidArgumentError("a filter needs at least one rule");
+  }
+  std::vector<std::string> patterns;
+  patterns.reserve(rules.size());
+  for (const Rule& r : rules) {
+    if (r.pattern.empty()) {
+      return InvalidArgumentError("rule '" + r.id + "' has an empty pattern");
+    }
+    patterns.push_back(r.pattern);
+  }
+
+  std::vector<std::vector<size_t>> by_token(grammar.NumTokens());
+  bool any_context_free = false;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].context_token.empty()) {
+      any_context_free = true;
+      continue;
+    }
+    const int32_t t = grammar.FindToken(rules[i].context_token);
+    if (t < 0) {
+      return NotFoundError("rule '" + rules[i].id + "' binds to token '" +
+                           rules[i].context_token +
+                           "' which the grammar does not define");
+    }
+    by_token[t].push_back(i);
+  }
+  (void)any_context_free;  // context-free rules are matched globally below
+
+  CFGTAG_ASSIGN_OR_RETURN(
+      auto tagger, core::CompiledTagger::Compile(std::move(grammar), options));
+  return ContextFilter(std::move(rules), std::move(tagger),
+                       tagger::NaiveMatcher(std::move(patterns)),
+                       std::move(by_token));
+}
+
+std::vector<Alert> ContextFilter::Scan(std::string_view stream,
+                                       ScanStats* stats) const {
+  ScanStats local;
+  local.bytes = stream.size();
+  std::vector<Alert> alerts;
+
+  // Context spans from the tag stream: a target token's span is
+  // (previous tag end, its own tag end].
+  uint64_t prev_end = 0;
+  bool any_tag = false;
+  for (const tagger::Tag& tag : tagger_.Tag(stream)) {
+    local.tokens++;
+    const uint64_t begin = any_tag ? prev_end + 1 : 0;
+    if (tag.token >= 0 &&
+        static_cast<size_t>(tag.token) < rules_by_token_.size() &&
+        !rules_by_token_[tag.token].empty() && tag.end < stream.size() &&
+        begin <= tag.end) {
+      local.spans_scanned++;
+      const std::string_view span =
+          stream.substr(begin, tag.end - begin + 1);
+      matcher_.Scan(span, [&](int32_t pattern, uint64_t end) {
+        const auto& bound = rules_by_token_[tag.token];
+        if (std::find(bound.begin(), bound.end(),
+                      static_cast<size_t>(pattern)) != bound.end()) {
+          alerts.push_back(Alert{static_cast<size_t>(pattern), begin + end});
+        }
+        return true;
+      });
+    }
+    prev_end = tag.end;
+    any_tag = true;
+  }
+
+  // Context-free rules run over the whole stream.
+  bool has_global = false;
+  for (const Rule& r : rules_) has_global |= r.context_token.empty();
+  if (has_global) {
+    matcher_.Scan(stream, [&](int32_t pattern, uint64_t end) {
+      if (rules_[pattern].context_token.empty()) {
+        alerts.push_back(Alert{static_cast<size_t>(pattern), end});
+      }
+      return true;
+    });
+  }
+
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const Alert& a, const Alert& b) { return a.end < b.end; });
+  local.alerts = alerts.size();
+  if (stats != nullptr) *stats = local;
+  return alerts;
+}
+
+std::vector<Alert> ContextFilter::ScanContextFree(
+    std::string_view stream) const {
+  std::vector<Alert> alerts;
+  matcher_.Scan(stream, [&](int32_t pattern, uint64_t end) {
+    alerts.push_back(Alert{static_cast<size_t>(pattern), end});
+    return true;
+  });
+  return alerts;
+}
+
+}  // namespace cfgtag::nids

@@ -1,0 +1,125 @@
+#include "regex/char_class.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace cfgtag::regex {
+
+CharClass CharClass::Of(unsigned char c) {
+  CharClass cc;
+  cc.Set(c);
+  return cc;
+}
+
+CharClass CharClass::Range(unsigned char lo, unsigned char hi) {
+  CharClass cc;
+  cc.SetRange(lo, hi);
+  return cc;
+}
+
+CharClass CharClass::NoCase(unsigned char c) {
+  CharClass cc;
+  cc.Set(static_cast<unsigned char>(std::tolower(c)));
+  cc.Set(static_cast<unsigned char>(std::toupper(c)));
+  return cc;
+}
+
+CharClass CharClass::Any() {
+  CharClass cc;
+  cc.SetRange(0, 255);
+  return cc;
+}
+
+CharClass CharClass::Digit() { return Range('0', '9'); }
+
+CharClass CharClass::Alpha() {
+  return Range('a', 'z').Union(Range('A', 'Z'));
+}
+
+CharClass CharClass::AlphaNum() { return Alpha().Union(Digit()); }
+
+CharClass CharClass::Whitespace() {
+  CharClass cc;
+  for (unsigned char c : {' ', '\t', '\n', '\r', '\f', '\v'}) cc.Set(c);
+  return cc;
+}
+
+void CharClass::SetRange(unsigned char lo, unsigned char hi) {
+  for (int c = lo; c <= hi; ++c) bits_.set(static_cast<size_t>(c));
+}
+
+CharClass CharClass::Union(const CharClass& other) const {
+  CharClass out;
+  out.bits_ = bits_ | other.bits_;
+  return out;
+}
+
+CharClass CharClass::Intersect(const CharClass& other) const {
+  CharClass out;
+  out.bits_ = bits_ & other.bits_;
+  return out;
+}
+
+CharClass CharClass::Complement() const {
+  CharClass out;
+  out.bits_ = ~bits_;
+  return out;
+}
+
+CharClass CharClass::Minus(const CharClass& other) const {
+  CharClass out;
+  out.bits_ = bits_ & ~other.bits_;
+  return out;
+}
+
+std::vector<unsigned char> CharClass::Members() const {
+  std::vector<unsigned char> out;
+  for (int c = 0; c < 256; ++c) {
+    if (bits_.test(static_cast<size_t>(c))) {
+      out.push_back(static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+std::string CharClass::ToString() const {
+  const size_t n = Count();
+  if (n == 0) return "[]";
+  if (n == 1) return ByteName(Members()[0]);
+  if (n == 256) return ".";
+  std::string out = "[";
+  int c = 0;
+  while (c < 256) {
+    if (!bits_.test(static_cast<size_t>(c))) {
+      ++c;
+      continue;
+    }
+    int end = c;
+    while (end + 1 < 256 && bits_.test(static_cast<size_t>(end + 1))) ++end;
+    out += ByteName(static_cast<unsigned char>(c));
+    if (end > c) {
+      out += "-";
+      out += ByteName(static_cast<unsigned char>(end));
+    }
+    c = end + 1;
+  }
+  out += "]";
+  return out;
+}
+
+size_t CharClass::Hash() const {
+  // FNV-1a over the four 64-bit words.
+  size_t h = 1469598103934665603ULL;
+  for (int word = 0; word < 4; ++word) {
+    uint64_t w = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      if (bits_.test(static_cast<size_t>(word * 64 + bit))) w |= 1ULL << bit;
+    }
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace cfgtag::regex

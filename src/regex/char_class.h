@@ -1,0 +1,67 @@
+#ifndef CFGTAG_REGEX_CHAR_CLASS_H_
+#define CFGTAG_REGEX_CHAR_CLASS_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfgtag::regex {
+
+// A set of byte values. This is the alphabet unit of the whole system: the
+// regex engine matches one CharClass per input byte, and the hardware
+// decoder (paper Fig. 4–5) emits one decoded wire per distinct CharClass.
+class CharClass {
+ public:
+  CharClass() = default;
+
+  static CharClass Of(unsigned char c);
+  static CharClass Range(unsigned char lo, unsigned char hi);
+  // Both cases of a letter; non-letters behave like Of().
+  static CharClass NoCase(unsigned char c);
+  static CharClass Any();        // all 256 byte values
+  static CharClass Digit();      // [0-9]
+  static CharClass Alpha();      // [a-zA-Z]  (paper Fig. 5 "alphabet")
+  static CharClass AlphaNum();   // [a-zA-Z0-9] (paper Fig. 5)
+  static CharClass Whitespace(); // space, \t, \n, \r, \f, \v
+
+  bool Test(unsigned char c) const { return bits_.test(c); }
+  void Set(unsigned char c) { bits_.set(c); }
+  void SetRange(unsigned char lo, unsigned char hi);
+
+  CharClass Union(const CharClass& other) const;
+  CharClass Intersect(const CharClass& other) const;
+  CharClass Complement() const;
+  // Set difference: bytes in this class but not in `other`.
+  CharClass Minus(const CharClass& other) const;
+
+  bool Empty() const { return bits_.none(); }
+  size_t Count() const { return bits_.count(); }
+  bool Intersects(const CharClass& other) const {
+    return (bits_ & other.bits_).any();
+  }
+
+  // All member bytes in ascending order.
+  std::vector<unsigned char> Members() const;
+
+  // Compact debug rendering, e.g. "[a-z0-9_]" or "'x'".
+  std::string ToString() const;
+
+  friend bool operator==(const CharClass& a, const CharClass& b) {
+    return a.bits_ == b.bits_;
+  }
+
+  // Stable hash for use as a map key (decoder sharing).
+  size_t Hash() const;
+
+ private:
+  std::bitset<256> bits_;
+};
+
+struct CharClassHash {
+  size_t operator()(const CharClass& c) const { return c.Hash(); }
+};
+
+}  // namespace cfgtag::regex
+
+#endif  // CFGTAG_REGEX_CHAR_CLASS_H_

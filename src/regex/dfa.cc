@@ -1,0 +1,133 @@
+#include "regex/dfa.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cfgtag::regex {
+
+Dfa Dfa::Build(const Nfa& nfa) {
+  Dfa dfa;
+  const size_t n = nfa.states_.size();
+
+  // Subset construction keyed on sorted state-id vectors.
+  std::map<std::vector<uint32_t>, uint32_t> subset_id;
+  std::vector<std::vector<uint32_t>> worklist;
+
+  auto closure_of = [&](std::vector<uint32_t> seed) {
+    std::vector<uint8_t> member(n, 0);
+    for (uint32_t s : seed) member[s] = 1;
+    nfa.EpsClosure(seed, member);
+    std::vector<uint32_t> sorted;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (member[s]) sorted.push_back(s);
+    }
+    return sorted;
+  };
+
+  auto intern = [&](std::vector<uint32_t> set) {
+    auto [it, inserted] =
+        subset_id.emplace(std::move(set), static_cast<uint32_t>(subset_id.size()));
+    if (inserted) {
+      worklist.push_back(it->first);
+      dfa.trans_.emplace_back();
+      dfa.trans_.back().fill(kDead);
+      bool acc = false;
+      for (uint32_t s : it->first) acc |= (s == nfa.accept_);
+      dfa.accept_.push_back(acc ? 1 : 0);
+    }
+    return it->second;
+  };
+
+  dfa.start_ = intern(closure_of({nfa.start_}));
+
+  for (size_t w = 0; w < worklist.size(); ++w) {
+    const std::vector<uint32_t> current = worklist[w];
+    const uint32_t cur_id = subset_id.at(current);
+    // For each input byte, collect successor NFA states.
+    for (int c = 0; c < 256; ++c) {
+      std::vector<uint32_t> next;
+      for (uint32_t s : current) {
+        for (const auto& t : nfa.states_[s].arcs) {
+          if (t.on.Test(static_cast<unsigned char>(c))) next.push_back(t.to);
+        }
+      }
+      if (next.empty()) continue;
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      const uint32_t next_id = intern(closure_of(std::move(next)));
+      dfa.trans_[cur_id][c] = static_cast<int32_t>(next_id);
+    }
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  const size_t n = NumStates();
+  // Moore partition refinement with an explicit dead class (-1 handled as
+  // its own implicit partition).
+  std::vector<uint32_t> part(n);
+  for (size_t s = 0; s < n; ++s) part[s] = accept_[s] ? 1 : 0;
+  uint32_t num_parts = 2;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current partition, partition of each byte successor).
+    std::map<std::vector<int64_t>, uint32_t> sig_to_new;
+    std::vector<uint32_t> new_part(n);
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<int64_t> sig;
+      sig.reserve(257);
+      sig.push_back(part[s]);
+      for (int c = 0; c < 256; ++c) {
+        const int32_t t = trans_[s][c];
+        sig.push_back(t == kDead ? -1 : static_cast<int64_t>(part[t]));
+      }
+      auto [it, inserted] = sig_to_new.emplace(
+          std::move(sig), static_cast<uint32_t>(sig_to_new.size()));
+      new_part[s] = it->second;
+    }
+    if (sig_to_new.size() != num_parts) {
+      changed = true;
+      num_parts = static_cast<uint32_t>(sig_to_new.size());
+    }
+    part = std::move(new_part);
+  }
+
+  Dfa out;
+  out.trans_.resize(num_parts);
+  for (auto& row : out.trans_) row.fill(kDead);
+  out.accept_.assign(num_parts, 0);
+  for (size_t s = 0; s < n; ++s) {
+    const uint32_t p = part[s];
+    out.accept_[p] = accept_[s];
+    for (int c = 0; c < 256; ++c) {
+      const int32_t t = trans_[s][c];
+      out.trans_[p][c] = t == kDead ? kDead : static_cast<int32_t>(part[t]);
+    }
+  }
+  out.start_ = part[start_];
+  return out;
+}
+
+bool Dfa::FullMatch(std::string_view input) const {
+  int32_t s = static_cast<int32_t>(start_);
+  for (char ch : input) {
+    s = trans_[s][static_cast<unsigned char>(ch)];
+    if (s == kDead) return false;
+  }
+  return accept_[s];
+}
+
+size_t Dfa::LongestPrefixMatch(std::string_view input, size_t pos) const {
+  int32_t s = static_cast<int32_t>(start_);
+  size_t best = accept_[s] ? 0 : kNoMatch;
+  for (size_t i = pos; i < input.size(); ++i) {
+    s = trans_[s][static_cast<unsigned char>(input[i])];
+    if (s == kDead) break;
+    if (accept_[s]) best = i - pos + 1;
+  }
+  return best;
+}
+
+}  // namespace cfgtag::regex

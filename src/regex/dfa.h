@@ -1,0 +1,46 @@
+#ifndef CFGTAG_REGEX_DFA_H_
+#define CFGTAG_REGEX_DFA_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "regex/nfa.h"
+
+namespace cfgtag::regex {
+
+// Deterministic automaton produced by subset construction from an Nfa.
+// Drives the software baseline lexer; also used in property tests as an
+// independently-derived matcher to cross-check the NFA oracle.
+class Dfa {
+ public:
+  static constexpr size_t kNoMatch = static_cast<size_t>(-1);
+  static constexpr int32_t kDead = -1;
+
+  static Dfa Build(const Nfa& nfa);
+
+  // Hopcroft-style state minimization (Moore partition refinement).
+  Dfa Minimize() const;
+
+  bool FullMatch(std::string_view input) const;
+
+  // Length of the longest prefix of input[pos..] accepted, or kNoMatch.
+  size_t LongestPrefixMatch(std::string_view input, size_t pos) const;
+
+  size_t NumStates() const { return accept_.size(); }
+  bool IsAccept(uint32_t state) const { return accept_[state]; }
+  int32_t Transition(uint32_t state, unsigned char c) const {
+    return trans_[state][c];
+  }
+  uint32_t start() const { return start_; }
+
+ private:
+  std::vector<std::array<int32_t, 256>> trans_;
+  std::vector<uint8_t> accept_;
+  uint32_t start_ = 0;
+};
+
+}  // namespace cfgtag::regex
+
+#endif  // CFGTAG_REGEX_DFA_H_

@@ -1,0 +1,269 @@
+#include "regex/regex_ast.h"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <cstdio>
+#include <cstring>
+
+namespace cfgtag::regex {
+
+namespace {
+
+// Renders one byte for use inside (or outside) a regex character class,
+// escaping metacharacters and non-printables so the output re-parses.
+std::string RegexByte(unsigned char c, bool in_class) {
+  const char* meta = in_class ? "]^-\\" : "()[]|*+?.\"\\`'";
+  if (std::isprint(c) && std::strchr(meta, c) == nullptr) {
+    return std::string(1, static_cast<char>(c));
+  }
+  switch (c) {
+    case '\n': return "\\n";
+    case '\t': return "\\t";
+    case '\r': return "\\r";
+    default: break;
+  }
+  if (std::isprint(c)) return std::string("\\") + static_cast<char>(c);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+  return buf;
+}
+
+// Renders a CharClass as parseable regex syntax: a bare (escaped) char for
+// singletons, otherwise a [...] (or [^...]) range expression.
+std::string RegexClass(const CharClass& cls) {
+  if (cls.Count() == 1) return RegexByte(cls.Members()[0], /*in_class=*/false);
+  const bool negate = cls.Count() > 128;
+  const CharClass body = negate ? cls.Complement() : cls;
+  std::string out = negate ? "[^" : "[";
+  int c = 0;
+  while (c < 256) {
+    if (!body.Test(static_cast<unsigned char>(c))) {
+      ++c;
+      continue;
+    }
+    int end = c;
+    while (end + 1 < 256 && body.Test(static_cast<unsigned char>(end + 1))) {
+      ++end;
+    }
+    out += RegexByte(static_cast<unsigned char>(c), /*in_class=*/true);
+    if (end == c + 1) {
+      out += RegexByte(static_cast<unsigned char>(end), true);
+    } else if (end > c) {
+      out += "-";
+      out += RegexByte(static_cast<unsigned char>(end), true);
+    }
+    c = end + 1;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<RegexNode> RegexNode::Epsilon() {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kEpsilon;
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Literal(CharClass c) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kLiteral;
+  n->char_class = c;
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Concat(
+    std::vector<std::unique_ptr<RegexNode>> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kConcat;
+  n->children = std::move(parts);
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Alternate(
+    std::vector<std::unique_ptr<RegexNode>> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kAlternate;
+  n->children = std::move(parts);
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Star(std::unique_ptr<RegexNode> inner) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kStar;
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Plus(std::unique_ptr<RegexNode> inner) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kPlus;
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::Optional(
+    std::unique_ptr<RegexNode> inner) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kOptional;
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::FromString(const std::string& s,
+                                                 bool nocase) {
+  std::vector<std::unique_ptr<RegexNode>> parts;
+  parts.reserve(s.size());
+  for (char c : s) {
+    const unsigned char b = static_cast<unsigned char>(c);
+    parts.push_back(Literal(nocase ? CharClass::NoCase(b) : CharClass::Of(b)));
+  }
+  return Concat(std::move(parts));
+}
+
+std::unique_ptr<RegexNode> RegexNode::Clone() const {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = kind;
+  n->char_class = char_class;
+  n->children.reserve(children.size());
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  return n;
+}
+
+bool RegexNode::Nullable() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+    case Kind::kStar:
+    case Kind::kOptional:
+      return true;
+    case Kind::kLiteral:
+      return false;
+    case Kind::kPlus:
+      return children[0]->Nullable();
+    case Kind::kConcat:
+      return std::all_of(children.begin(), children.end(),
+                         [](const auto& c) { return c->Nullable(); });
+    case Kind::kAlternate:
+      return std::any_of(children.begin(), children.end(),
+                         [](const auto& c) { return c->Nullable(); });
+  }
+  return false;
+}
+
+size_t RegexNode::LiteralCount() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+      return 0;
+    case Kind::kLiteral:
+      return 1;
+    default: {
+      size_t n = 0;
+      for (const auto& c : children) n += c->LiteralCount();
+      return n;
+    }
+  }
+}
+
+size_t RegexNode::MinLength() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+    case Kind::kStar:
+    case Kind::kOptional:
+      return 0;
+    case Kind::kLiteral:
+      return 1;
+    case Kind::kPlus:
+      return children[0]->MinLength();
+    case Kind::kConcat: {
+      size_t n = 0;
+      for (const auto& c : children) n += c->MinLength();
+      return n;
+    }
+    case Kind::kAlternate: {
+      size_t n = SIZE_MAX;
+      for (const auto& c : children) n = std::min(n, c->MinLength());
+      return n;
+    }
+  }
+  return 0;
+}
+
+size_t RegexNode::MaxLength() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+      return 0;
+    case Kind::kLiteral:
+      return 1;
+    case Kind::kStar:
+    case Kind::kPlus:
+      return SIZE_MAX;
+    case Kind::kOptional:
+      return children[0]->MaxLength();
+    case Kind::kConcat: {
+      size_t n = 0;
+      for (const auto& c : children) {
+        const size_t m = c->MaxLength();
+        if (m == SIZE_MAX) return SIZE_MAX;
+        n += m;
+      }
+      return n;
+    }
+    case Kind::kAlternate: {
+      size_t n = 0;
+      for (const auto& c : children) n = std::max(n, c->MaxLength());
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::string RegexNode::ToString() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+      return "()";
+    case Kind::kLiteral:
+      return RegexClass(char_class);
+    case Kind::kConcat: {
+      std::string out;
+      for (const auto& c : children) {
+        const bool paren = c->kind == Kind::kAlternate;
+        if (paren) out += "(";
+        out += c->ToString();
+        if (paren) out += ")";
+      }
+      return out;
+    }
+    case Kind::kAlternate: {
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += "|";
+        out += children[i]->ToString();
+      }
+      return out;
+    }
+    case Kind::kStar:
+    case Kind::kPlus:
+    case Kind::kOptional: {
+      const char suffix =
+          kind == Kind::kStar ? '*' : (kind == Kind::kPlus ? '+' : '?');
+      const RegexNode& inner = *children[0];
+      const bool paren =
+          inner.kind != Kind::kLiteral && inner.kind != Kind::kEpsilon;
+      std::string out;
+      if (paren) out += "(";
+      out += inner.ToString();
+      if (paren) out += ")";
+      out += suffix;
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace cfgtag::regex

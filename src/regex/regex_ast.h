@@ -1,0 +1,66 @@
+#ifndef CFGTAG_REGEX_REGEX_AST_H_
+#define CFGTAG_REGEX_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regex/char_class.h"
+
+namespace cfgtag::regex {
+
+// Abstract syntax of the Lex-style token patterns used by the paper's
+// grammars (Fig. 14): single-character classes, concatenation, alternation
+// and the postfix operators `?`, `+`, `*` (Fig. 6 templates). Negation is
+// expressed at the character level ([^...]), matching the hardware `!a`
+// template (Fig. 6b).
+struct RegexNode {
+  enum class Kind {
+    kEpsilon,    // matches the empty string
+    kLiteral,    // matches one byte from char_class
+    kConcat,     // children in sequence
+    kAlternate,  // any one child
+    kStar,       // zero or more of children[0]
+    kPlus,       // one or more of children[0]
+    kOptional,   // zero or one of children[0]
+  };
+
+  Kind kind = Kind::kEpsilon;
+  CharClass char_class;  // kLiteral only
+  std::vector<std::unique_ptr<RegexNode>> children;
+
+  static std::unique_ptr<RegexNode> Epsilon();
+  static std::unique_ptr<RegexNode> Literal(CharClass c);
+  static std::unique_ptr<RegexNode> Concat(
+      std::vector<std::unique_ptr<RegexNode>> parts);
+  static std::unique_ptr<RegexNode> Alternate(
+      std::vector<std::unique_ptr<RegexNode>> parts);
+  static std::unique_ptr<RegexNode> Star(std::unique_ptr<RegexNode> inner);
+  static std::unique_ptr<RegexNode> Plus(std::unique_ptr<RegexNode> inner);
+  static std::unique_ptr<RegexNode> Optional(std::unique_ptr<RegexNode> inner);
+
+  // A literal-per-byte chain for a fixed string; `nocase` folds letters.
+  static std::unique_ptr<RegexNode> FromString(const std::string& s,
+                                               bool nocase = false);
+
+  std::unique_ptr<RegexNode> Clone() const;
+
+  // True if the regex can match the empty string.
+  bool Nullable() const;
+
+  // Number of kLiteral nodes — the "pattern bytes" metric of Table 1 for
+  // fixed strings, and the pipeline-stage count of the hardware tokenizer.
+  size_t LiteralCount() const;
+
+  // Minimum / maximum match length in bytes; max is SIZE_MAX for unbounded
+  // (star/plus) patterns.
+  size_t MinLength() const;
+  size_t MaxLength() const;
+
+  // Canonical text form for debugging, e.g. "(ab)|c[0-9]+".
+  std::string ToString() const;
+};
+
+}  // namespace cfgtag::regex
+
+#endif  // CFGTAG_REGEX_REGEX_AST_H_

@@ -1,0 +1,265 @@
+#include "regex/regex_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace cfgtag::regex {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& pattern) : s_(pattern) {}
+
+  StatusOr<std::unique_ptr<RegexNode>> Parse() {
+    CFGTAG_ASSIGN_OR_RETURN(auto node, ParseAlternation());
+    if (!AtEnd()) {
+      return InvalidArgumentError("unexpected '" + std::string(1, Peek()) +
+                                  "' at offset " + std::to_string(pos_) +
+                                  " in pattern: " + s_);
+    }
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char Take() { return s_[pos_++]; }
+
+  StatusOr<std::unique_ptr<RegexNode>> ParseAlternation() {
+    std::vector<std::unique_ptr<RegexNode>> alts;
+    CFGTAG_ASSIGN_OR_RETURN(auto first, ParseConcat());
+    alts.push_back(std::move(first));
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      CFGTAG_ASSIGN_OR_RETURN(auto next, ParseConcat());
+      alts.push_back(std::move(next));
+    }
+    return RegexNode::Alternate(std::move(alts));
+  }
+
+  StatusOr<std::unique_ptr<RegexNode>> ParseConcat() {
+    std::vector<std::unique_ptr<RegexNode>> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      CFGTAG_ASSIGN_OR_RETURN(auto part, ParsePostfix());
+      parts.push_back(std::move(part));
+    }
+    return RegexNode::Concat(std::move(parts));
+  }
+
+  StatusOr<std::unique_ptr<RegexNode>> ParsePostfix() {
+    CFGTAG_ASSIGN_OR_RETURN(auto node, ParseAtom());
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '*') {
+        Take();
+        node = RegexNode::Star(std::move(node));
+      } else if (c == '+') {
+        Take();
+        node = RegexNode::Plus(std::move(node));
+      } else if (c == '?') {
+        Take();
+        node = RegexNode::Optional(std::move(node));
+      } else if (c == '{') {
+        Take();
+        CFGTAG_ASSIGN_OR_RETURN(node, ParseBound(std::move(node)));
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  // Called after '{'. Parses {m}, {m,} or {m,n} and expands structurally.
+  StatusOr<std::unique_ptr<RegexNode>> ParseBound(
+      std::unique_ptr<RegexNode> inner) {
+    auto take_number = [&]() -> StatusOr<int> {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return InvalidArgumentError("expected number in {m,n}: " + s_);
+      }
+      int v = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        v = v * 10 + (Take() - '0');
+        if (v > 256) {
+          return InvalidArgumentError("repetition bound too large: " + s_);
+        }
+      }
+      return v;
+    };
+    CFGTAG_ASSIGN_OR_RETURN(int lo, take_number());
+    int hi = lo;
+    bool unbounded = false;
+    if (!AtEnd() && Peek() == ',') {
+      Take();
+      if (!AtEnd() && Peek() == '}') {
+        unbounded = true;
+      } else {
+        CFGTAG_ASSIGN_OR_RETURN(hi, take_number());
+      }
+    }
+    if (AtEnd() || Take() != '}') {
+      return InvalidArgumentError("missing '}' in repetition: " + s_);
+    }
+    if (!unbounded && hi < lo) {
+      return InvalidArgumentError("inverted repetition bound: " + s_);
+    }
+    // Mandatory part: lo copies.
+    std::vector<std::unique_ptr<RegexNode>> parts;
+    for (int i = 0; i < lo; ++i) parts.push_back(inner->Clone());
+    if (unbounded) {
+      parts.push_back(RegexNode::Star(inner->Clone()));
+    } else {
+      // Optional tail: nested (e(e(...)?)?)? so each copy is one stage.
+      std::unique_ptr<RegexNode> tail;
+      for (int i = 0; i < hi - lo; ++i) {
+        std::vector<std::unique_ptr<RegexNode>> seq;
+        seq.push_back(inner->Clone());
+        if (tail) seq.push_back(std::move(tail));
+        tail = RegexNode::Optional(RegexNode::Concat(std::move(seq)));
+      }
+      if (tail) parts.push_back(std::move(tail));
+    }
+    return RegexNode::Concat(std::move(parts));
+  }
+
+  StatusOr<std::unique_ptr<RegexNode>> ParseAtom() {
+    if (AtEnd()) return InvalidArgumentError("pattern ends unexpectedly: " + s_);
+    const char c = Take();
+    switch (c) {
+      case '(': {
+        CFGTAG_ASSIGN_OR_RETURN(auto inner, ParseAlternation());
+        if (AtEnd() || Take() != ')') {
+          return InvalidArgumentError("missing ')' in pattern: " + s_);
+        }
+        return inner;
+      }
+      case '[':
+        return ParseClass();
+      case '"': {
+        std::vector<std::unique_ptr<RegexNode>> parts;
+        while (!AtEnd() && Peek() != '"') {
+          char lit = Take();
+          if (lit == '\\' && !AtEnd()) {
+            CFGTAG_ASSIGN_OR_RETURN(unsigned char e, TakeEscape());
+            lit = static_cast<char>(e);
+          }
+          parts.push_back(RegexNode::Literal(
+              CharClass::Of(static_cast<unsigned char>(lit))));
+        }
+        if (AtEnd()) {
+          return InvalidArgumentError("missing closing '\"' in pattern: " + s_);
+        }
+        Take();  // closing quote
+        return RegexNode::Concat(std::move(parts));
+      }
+      case '.': {
+        // Lex behaviour: any byte except newline.
+        CharClass any = CharClass::Any();
+        any = any.Minus(CharClass::Of('\n'));
+        return RegexNode::Literal(any);
+      }
+      case '\\': {
+        CFGTAG_ASSIGN_OR_RETURN(unsigned char e, TakeEscape());
+        return RegexNode::Literal(CharClass::Of(e));
+      }
+      case '*':
+      case '+':
+      case '?':
+        return InvalidArgumentError(
+            std::string("postfix operator '") + c +
+            "' with nothing to repeat in pattern: " + s_);
+      default:
+        return RegexNode::Literal(CharClass::Of(static_cast<unsigned char>(c)));
+    }
+  }
+
+  // Called after the backslash has been consumed.
+  StatusOr<unsigned char> TakeEscape() {
+    if (AtEnd()) return InvalidArgumentError("dangling '\\' in pattern: " + s_);
+    const char c = Take();
+    switch (c) {
+      case 'n': return static_cast<unsigned char>('\n');
+      case 't': return static_cast<unsigned char>('\t');
+      case 'r': return static_cast<unsigned char>('\r');
+      case 'f': return static_cast<unsigned char>('\f');
+      case 'v': return static_cast<unsigned char>('\v');
+      case '0': return static_cast<unsigned char>('\0');
+      case 'x': {
+        if (pos_ + 1 >= s_.size() ||
+            !std::isxdigit(static_cast<unsigned char>(s_[pos_])) ||
+            !std::isxdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+          return InvalidArgumentError("bad \\x escape in pattern: " + s_);
+        }
+        auto hex = [](char h) {
+          if (h >= '0' && h <= '9') return h - '0';
+          return std::tolower(h) - 'a' + 10;
+        };
+        const int v = hex(Take()) * 16;
+        return static_cast<unsigned char>(v + hex(Take()));
+      }
+      default:
+        // Escaped metacharacter or any other byte: itself.
+        return static_cast<unsigned char>(c);
+    }
+  }
+
+  // Called after '[' has been consumed.
+  StatusOr<std::unique_ptr<RegexNode>> ParseClass() {
+    CharClass cc;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        return InvalidArgumentError("missing ']' in pattern: " + s_);
+      }
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      unsigned char lo;
+      if (c == '\\') {
+        CFGTAG_ASSIGN_OR_RETURN(lo, TakeEscape());
+      } else {
+        lo = static_cast<unsigned char>(c);
+      }
+      // Range?
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < s_.size() &&
+          s_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hc = Take();
+        unsigned char hi;
+        if (hc == '\\') {
+          CFGTAG_ASSIGN_OR_RETURN(hi, TakeEscape());
+        } else {
+          hi = static_cast<unsigned char>(hc);
+        }
+        if (hi < lo) {
+          return InvalidArgumentError("inverted range in pattern: " + s_);
+        }
+        cc.SetRange(lo, hi);
+      } else {
+        cc.Set(lo);
+      }
+    }
+    if (negate) cc = cc.Complement();
+    if (cc.Empty()) {
+      return InvalidArgumentError("empty character class in pattern: " + s_);
+    }
+    return RegexNode::Literal(cc);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RegexNode>> ParseRegex(const std::string& pattern) {
+  return Parser(pattern).Parse();
+}
+
+}  // namespace cfgtag::regex

@@ -1,0 +1,30 @@
+#ifndef CFGTAG_REGEX_REGEX_PARSER_H_
+#define CFGTAG_REGEX_REGEX_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "regex/regex_ast.h"
+
+namespace cfgtag::regex {
+
+// Parses the Lex-style pattern subset the paper's grammars use:
+//
+//   atom     := char | '\' escape | '.' | '[' class ']' | '(' regex ')'
+//             | '"' literal-chars '"'
+//   postfix  := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//   concat   := postfix+
+//   regex    := concat ('|' concat)*
+//
+// Character classes support ranges ([a-zA-Z0-9]), leading '^' negation and
+// escapes. '.' matches any byte except newline (Lex behaviour). Inside
+// double quotes all characters are literal. Bounded repetition expands
+// structurally: e{3} = eee, e{1,3} = e(e(e)?)?, e{2,} = ee e* — each copy
+// becomes its own hardware pipeline stage, exactly as Lex-era generators
+// did.
+StatusOr<std::unique_ptr<RegexNode>> ParseRegex(const std::string& pattern);
+
+}  // namespace cfgtag::regex
+
+#endif  // CFGTAG_REGEX_REGEX_PARSER_H_

@@ -1,0 +1,52 @@
+#ifndef CFGTAG_RTL_DEVICE_H_
+#define CFGTAG_RTL_DEVICE_H_
+
+#include <string>
+
+namespace cfgtag::rtl {
+
+// Analytical FPGA device model used by the timing analyzer.
+//
+// This replaces the vendor place-and-route flow the paper used (Synplify
+// Pro 8.1 + Xilinx ISE 7.1). A register-to-register path through one level
+// of logic costs
+//
+//   t_clk2q + t_lut + t_route(fanout) + t_setup
+//
+// where t_route(f) = route_base_ns + route_fanout_ns * sqrt(f): the loads
+// of a net occupy a placement region whose area grows linearly with the
+// number of loads, so the worst wire length — and with it the routing
+// delay — grows with the square root of the fan-out. This reproduces the
+// paper's observed mechanism: the critical path of large grammars is
+// *routing* delay on high-fan-out decoded-character bits (§4.3, "just
+// under 2 ns" at 3000 pattern bytes), not logic delay.
+//
+// The constants below are calibrated against the two Table 1 anchor points
+// per device (300-byte XML-RPC grammar, and for the Virtex 4 also the
+// 3000-byte grammar); interior sweep points are predictions.
+struct Device {
+  std::string name;
+  int lut_inputs = 4;
+  double t_lut_ns = 0.0;           // LUT propagation delay
+  double t_clk2q_ns = 0.0;         // register clock-to-out
+  double t_setup_ns = 0.0;         // register setup
+  double route_base_ns = 0.0;      // per-net routing floor
+  double route_fanout_ns = 0.0;    // multiplies sqrt(fanout)
+  double max_freq_mhz = 0.0;       // global clock-tree ceiling
+  int capacity_luts = 0;
+
+  // Routing delay of a net with `fanout` sink pins.
+  double RouteDelayNs(uint32_t fanout) const;
+};
+
+// Xilinx Virtex-E 2000 (-8): the 2002-era part the paper's first
+// implementation targeted (196 MHz on the 300-byte XML-RPC grammar).
+Device VirtexE2000();
+
+// Xilinx Virtex-4 LX200 (-11): the 2005-era part of the main sweep
+// (533 MHz at 300 bytes down to ~316 MHz at 3000 bytes).
+Device Virtex4LX200();
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_DEVICE_H_

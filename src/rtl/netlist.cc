@@ -1,0 +1,270 @@
+#include "rtl/netlist.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cfgtag::rtl {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kConst0: return "const0";
+    case NodeKind::kConst1: return "const1";
+    case NodeKind::kInput: return "input";
+    case NodeKind::kAnd: return "and";
+    case NodeKind::kOr: return "or";
+    case NodeKind::kNot: return "not";
+    case NodeKind::kXor: return "xor";
+    case NodeKind::kBuf: return "buf";
+    case NodeKind::kReg: return "reg";
+  }
+  return "?";
+}
+
+Netlist::Netlist() {
+  nodes_.push_back(Node{NodeKind::kConst0, {}, kInvalidNode, false, "const0"});
+  nodes_.push_back(Node{NodeKind::kConst1, {}, kInvalidNode, false, "const1"});
+}
+
+NodeId Netlist::AddNode(Node node) {
+  node.scope = current_scope_;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Netlist::SetScope(const std::string& label) {
+  for (size_t i = 0; i < scopes_.size(); ++i) {
+    if (scopes_[i] == label) {
+      current_scope_ = static_cast<uint16_t>(i);
+      return;
+    }
+  }
+  scopes_.push_back(label);
+  current_scope_ = static_cast<uint16_t>(scopes_.size() - 1);
+}
+
+NodeId Netlist::AddInput(std::string name) {
+  NodeId id = AddNode(Node{NodeKind::kInput, {}, kInvalidNode, false,
+                           std::move(name)});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::And(std::vector<NodeId> inputs) {
+  std::vector<NodeId> kept;
+  kept.reserve(inputs.size());
+  for (NodeId in : inputs) {
+    if (in == Const0()) return Const0();
+    if (in == Const1()) continue;  // neutral element
+    kept.push_back(in);
+  }
+  if (kept.empty()) return Const1();
+  if (kept.size() == 1) return kept[0];
+  return AddNode(Node{NodeKind::kAnd, std::move(kept), kInvalidNode, false, ""});
+}
+
+NodeId Netlist::Or(std::vector<NodeId> inputs) {
+  std::vector<NodeId> kept;
+  kept.reserve(inputs.size());
+  for (NodeId in : inputs) {
+    if (in == Const1()) return Const1();
+    if (in == Const0()) continue;  // neutral element
+    kept.push_back(in);
+  }
+  if (kept.empty()) return Const0();
+  if (kept.size() == 1) return kept[0];
+  return AddNode(Node{NodeKind::kOr, std::move(kept), kInvalidNode, false, ""});
+}
+
+NodeId Netlist::Not(NodeId input) {
+  if (input == Const0()) return Const1();
+  if (input == Const1()) return Const0();
+  // Fold double negation.
+  if (nodes_[input].kind == NodeKind::kNot) return nodes_[input].fanin[0];
+  return AddNode(Node{NodeKind::kNot, {input}, kInvalidNode, false, ""});
+}
+
+NodeId Netlist::Xor(NodeId a, NodeId b) {
+  if (a == Const0()) return b;
+  if (b == Const0()) return a;
+  if (a == Const1()) return Not(b);
+  if (b == Const1()) return Not(a);
+  return AddNode(Node{NodeKind::kXor, {a, b}, kInvalidNode, false, ""});
+}
+
+NodeId Netlist::Buf(NodeId input, std::string name) {
+  return AddNode(
+      Node{NodeKind::kBuf, {input}, kInvalidNode, false, std::move(name)});
+}
+
+NodeId Netlist::Reg(NodeId d, NodeId enable, bool init, std::string name) {
+  return AddNode(Node{NodeKind::kReg, {d}, enable, init, std::move(name)});
+}
+
+NodeId Netlist::DelayLine(NodeId d, int depth) {
+  NodeId cur = d;
+  for (int i = 0; i < depth; ++i) cur = Reg(cur);
+  return cur;
+}
+
+std::pair<NodeId, int> Netlist::PipelinedOr(std::vector<NodeId> inputs,
+                                            int arity) {
+  int depth = 0;
+  while (inputs.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((inputs.size() + arity - 1) / arity);
+    for (size_t i = 0; i < inputs.size(); i += arity) {
+      std::vector<NodeId> group(
+          inputs.begin() + i,
+          inputs.begin() + std::min(inputs.size(), i + arity));
+      next.push_back(Reg(Or(std::move(group))));
+    }
+    inputs = std::move(next);
+    ++depth;
+  }
+  if (inputs.empty()) return {Const0(), 0};
+  return {inputs[0], depth};
+}
+
+NodeId Netlist::RegPlaceholder(NodeId enable, bool init, std::string name) {
+  return AddNode(
+      Node{NodeKind::kReg, {Const0()}, enable, init, std::move(name)});
+}
+
+void Netlist::SetRegD(NodeId reg, NodeId d) {
+  nodes_[reg].fanin[0] = d;
+}
+
+void Netlist::SetRegEnable(NodeId reg, NodeId enable) {
+  nodes_[reg].enable = enable;
+}
+
+void Netlist::MarkOutput(NodeId node, std::string name) {
+  outputs_.push_back(OutputPort{std::move(name), node});
+}
+
+void Netlist::SetName(NodeId node, std::string name) {
+  nodes_[node].name = std::move(name);
+}
+
+NodeId Netlist::FindByName(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name && !name.empty()) return i;
+  }
+  return kInvalidNode;
+}
+
+Status Netlist::Validate() const {
+  std::unordered_set<std::string> port_names;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (NodeId in : n.fanin) {
+      if (in >= nodes_.size()) {
+        return InternalError("node " + std::to_string(i) +
+                             " references out-of-range fan-in");
+      }
+      // Combinational nodes must only reference earlier nodes — this is
+      // what lets the simulator settle in one in-order sweep. Registers
+      // are the only legal feedback points.
+      if (n.kind != NodeKind::kReg && in >= i) {
+        return InternalError("combinational node " + std::to_string(i) +
+                             " references a later node (feedback must go "
+                             "through a register)");
+      }
+    }
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+        if (!n.fanin.empty()) {
+          return InternalError("source node with fan-in");
+        }
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        if (n.fanin.size() < 2) {
+          return InternalError("and/or gate with fan-in < 2");
+        }
+        break;
+      case NodeKind::kNot:
+      case NodeKind::kBuf:
+        if (n.fanin.size() != 1) {
+          return InternalError("not/buf gate with fan-in != 1");
+        }
+        break;
+      case NodeKind::kXor:
+        if (n.fanin.size() != 2) {
+          return InternalError("xor gate with fan-in != 2");
+        }
+        break;
+      case NodeKind::kReg:
+        if (n.fanin.size() != 1) {
+          return InternalError("register with fan-in != 1");
+        }
+        if (n.enable != kInvalidNode && n.enable >= nodes_.size()) {
+          return InternalError("register enable out of range");
+        }
+        break;
+    }
+    if (n.kind == NodeKind::kInput) {
+      if (n.name.empty()) return InternalError("unnamed input port");
+      if (!port_names.insert("i:" + n.name).second) {
+        return InternalError("duplicate input name: " + n.name);
+      }
+    }
+  }
+  for (const OutputPort& out : outputs_) {
+    if (out.name.empty()) return InternalError("unnamed output port");
+    if (out.node >= nodes_.size()) {
+      return InternalError("output references out-of-range node");
+    }
+    if (!port_names.insert("o:" + out.name).second) {
+      return InternalError("duplicate output name: " + out.name);
+    }
+  }
+  return Status::Ok();
+}
+
+Netlist::Stats Netlist::ComputeStats() const {
+  Stats s;
+  s.num_inputs = inputs_.size();
+  s.num_outputs = outputs_.size();
+  // Combinational depth via DP over node ids. Fan-ins always precede their
+  // users (the builder API only references existing nodes), so a single
+  // forward pass suffices. Registers and sources have depth 0.
+  std::vector<uint32_t> depth(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+      case NodeKind::kReg:
+        s.num_regs += (n.kind == NodeKind::kReg);
+        depth[i] = 0;
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+      case NodeKind::kNot:
+      case NodeKind::kXor:
+      case NodeKind::kBuf: {
+        uint32_t d = 0;
+        for (NodeId in : n.fanin) d = std::max(d, depth[in]);
+        depth[i] = d + 1;
+        s.num_gates++;
+        s.comb_depth = std::max<size_t>(s.comb_depth, depth[i]);
+        switch (n.kind) {
+          case NodeKind::kAnd: s.num_and++; break;
+          case NodeKind::kOr: s.num_or++; break;
+          case NodeKind::kNot: s.num_not++; break;
+          case NodeKind::kXor: s.num_xor++; break;
+          case NodeKind::kBuf: s.num_buf++; break;
+          default: break;
+        }
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace cfgtag::rtl

@@ -1,0 +1,188 @@
+#ifndef CFGTAG_RTL_NETLIST_H_
+#define CFGTAG_RTL_NETLIST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cfgtag::rtl {
+
+// Index of a node within a Netlist. Node 0/1 are the constant drivers.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : uint8_t {
+  kConst0,
+  kConst1,
+  kInput,  // primary input, driven by the testbench every cycle
+  kAnd,    // arbitrary fan-in
+  kOr,     // arbitrary fan-in
+  kNot,    // single fan-in
+  kXor,    // exactly two fan-ins
+  kBuf,    // single fan-in (used to name nets / model fan-out buffers)
+  kReg,    // D flip-flop: fanin[0] = D; optional clock-enable
+};
+
+const char* NodeKindName(NodeKind kind);
+
+struct Node {
+  NodeKind kind = NodeKind::kConst0;
+  std::vector<NodeId> fanin;
+  // For kReg only: clock-enable net. kInvalidNode means always enabled.
+  NodeId enable = kInvalidNode;
+  // For kReg only: power-on value.
+  bool init = false;
+  // Debug / port name. Mandatory for kInput, optional elsewhere.
+  std::string name;
+  // Index into the netlist's scope table (0 = unscoped). Set from the
+  // builder's current scope; used for area attribution after mapping.
+  uint16_t scope = 0;
+};
+
+struct OutputPort {
+  std::string name;
+  NodeId node;
+};
+
+class Netlist;
+
+// Defined in serialize.h; friend of Netlist so the loader can reconstruct
+// nodes with exact ids (the builder API folds, which would renumber).
+StatusOr<Netlist> ParseNetlist(const std::string& text);
+
+// A flat, single-clock gate-level netlist. This is the hardware IR the
+// generator emits; the simulator, technology mapper, timing analyzer and
+// VHDL emitter all consume it.
+//
+// Gates have arbitrary fan-in (decomposition into k-input LUTs happens in
+// the technology mapper). Registers are positive-edge DFFs with an optional
+// clock enable — the two primitives the paper's architecture uses.
+class Netlist {
+ public:
+  Netlist();
+
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  NodeId Const0() const { return 0; }
+  NodeId Const1() const { return 1; }
+
+  NodeId AddInput(std::string name);
+
+  // Gate constructors. Degenerate arities fold to simpler nodes:
+  // And({}) == Const1, Or({}) == Const0, And({x}) == x, Or({x}) == x.
+  // Constant inputs are folded (And with Const0 -> Const0, etc.).
+  NodeId And(std::vector<NodeId> inputs);
+  NodeId Or(std::vector<NodeId> inputs);
+  NodeId Not(NodeId input);
+  NodeId Xor(NodeId a, NodeId b);
+  NodeId Buf(NodeId input, std::string name = "");
+
+  NodeId And2(NodeId a, NodeId b) { return And({a, b}); }
+  NodeId Or2(NodeId a, NodeId b) { return Or({a, b}); }
+  // a AND (NOT b) — the inhibition shape used by longest-match look-ahead.
+  NodeId AndNot(NodeId a, NodeId b) { return And({a, Not(b)}); }
+
+  // D flip-flop. `enable` of kInvalidNode means the register loads every
+  // cycle; otherwise it holds its value when the enable net is low.
+  NodeId Reg(NodeId d, NodeId enable = kInvalidNode, bool init = false,
+             std::string name = "");
+
+  // A chain of `depth` always-enabled registers (pipeline delay line).
+  NodeId DelayLine(NodeId d, int depth);
+
+  // Reduction OR tree with a register after every level, `arity` inputs per
+  // gate (one LUT level per pipeline stage). Returns the root and the
+  // number of register stages inserted (0 when inputs collapse to a single
+  // node). Inputs of size 0/1 fold like Or().
+  std::pair<NodeId, int> PipelinedOr(std::vector<NodeId> inputs,
+                                     int arity = 4);
+
+  // Creates a register whose D input is wired up later with SetRegD().
+  // Needed for feedback loops (e.g. a state bit whose next value depends on
+  // itself). The placeholder D is Const0 until patched.
+  NodeId RegPlaceholder(NodeId enable = kInvalidNode, bool init = false,
+                        std::string name = "");
+  void SetRegD(NodeId reg, NodeId d);
+  void SetRegEnable(NodeId reg, NodeId enable);
+
+  void MarkOutput(NodeId node, std::string name);
+  void SetName(NodeId node, std::string name);
+
+  // Area-attribution scopes: every node created after SetScope(label) is
+  // stamped with that label until the next SetScope. Labels are interned;
+  // SetScope("") returns to unscoped.
+  void SetScope(const std::string& label);
+  const std::string& ScopeName(uint16_t scope_id) const {
+    return scopes_[scope_id];
+  }
+  const std::string& NodeScope(NodeId id) const {
+    return scopes_[nodes_[id].scope];
+  }
+  const std::string& CurrentScope() const { return scopes_[current_scope_]; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  // Looks up an input or named node by name; kInvalidNode if absent.
+  NodeId FindByName(const std::string& name) const;
+
+  // Structural sanity: every fan-in reference is in range, arities match
+  // node kinds, input/output names are unique and non-empty.
+  Status Validate() const;
+
+  struct Stats {
+    size_t num_inputs = 0;
+    size_t num_outputs = 0;
+    size_t num_gates = 0;  // and/or/not/xor/buf
+    size_t num_regs = 0;
+    size_t num_and = 0;
+    size_t num_or = 0;
+    size_t num_not = 0;
+    size_t num_xor = 0;
+    size_t num_buf = 0;
+    // Longest chain of gates between register/input boundaries.
+    size_t comb_depth = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  friend StatusOr<Netlist> ParseNetlist(const std::string& text);
+
+  NodeId AddNode(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::vector<std::string> scopes_ = {""};
+  uint16_t current_scope_ = 0;
+};
+
+// RAII helper: sets a scope for the enclosing block, restoring on exit.
+class ScopedNetlistScope {
+ public:
+  ScopedNetlistScope(Netlist* netlist, const std::string& label)
+      : netlist_(netlist), saved_(netlist->CurrentScope()) {
+    netlist_->SetScope(label);
+  }
+  ~ScopedNetlistScope() { netlist_->SetScope(saved_); }
+
+  ScopedNetlistScope(const ScopedNetlistScope&) = delete;
+  ScopedNetlistScope& operator=(const ScopedNetlistScope&) = delete;
+
+ private:
+  Netlist* netlist_;
+  std::string saved_;
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_NETLIST_H_

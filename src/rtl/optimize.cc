@@ -1,0 +1,221 @@
+#include "rtl/optimize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "rtl/simulator.h"
+
+namespace cfgtag::rtl {
+
+namespace {
+
+// Structural-hash key for a gate: kind plus (commutative-sorted) fan-ins.
+struct GateKey {
+  NodeKind kind;
+  std::vector<NodeId> fanin;
+
+  bool operator==(const GateKey& other) const {
+    return kind == other.kind && fanin == other.fanin;
+  }
+};
+
+struct GateKeyHash {
+  size_t operator()(const GateKey& k) const {
+    size_t h = static_cast<size_t>(k.kind) * 1099511628211ULL;
+    for (NodeId f : k.fanin) {
+      h ^= f + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+StatusOr<Netlist> Optimize(const Netlist& input, OptimizeStats* stats) {
+  CFGTAG_RETURN_IF_ERROR(input.Validate());
+  OptimizeStats local;
+  const Netlist::Stats before = input.ComputeStats();
+  local.gates_before = before.num_gates;
+  local.regs_before = before.num_regs;
+
+  // ---- Reachability from the output ports ----------------------------
+  // Registers are kept only if some output transitively needs them.
+  std::vector<uint8_t> live(input.NumNodes(), 0);
+  std::vector<NodeId> work;
+  auto mark = [&](NodeId id) {
+    if (id != kInvalidNode && !live[id]) {
+      live[id] = 1;
+      work.push_back(id);
+    }
+  };
+  for (const OutputPort& out : input.outputs()) mark(out.node);
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    const Node& n = input.node(id);
+    for (NodeId f : n.fanin) mark(f);
+    if (n.kind == NodeKind::kReg) mark(n.enable);
+  }
+
+  // ---- Rebuild -------------------------------------------------------
+  Netlist out;
+  std::vector<NodeId> map(input.NumNodes(), kInvalidNode);
+  map[input.Const0()] = out.Const0();
+  map[input.Const1()] = out.Const1();
+
+  // Pass 1: live registers become placeholders (their D/enable may
+  // reference nodes that appear later).
+  for (NodeId id = 0; id < input.NumNodes(); ++id) {
+    const Node& n = input.node(id);
+    if (n.kind != NodeKind::kReg || !live[id]) continue;
+    out.SetScope(input.NodeScope(id));
+    map[id] = out.RegPlaceholder(kInvalidNode, n.init, n.name);
+  }
+
+  // Pass 2: inputs (all of them, to keep the port list stable) and live
+  // combinational logic, with constant folding (inside the builder) and
+  // structural hashing.
+  std::unordered_map<GateKey, NodeId, GateKeyHash> cse;
+  for (NodeId id = 0; id < input.NumNodes(); ++id) {
+    const Node& n = input.node(id);
+    if (n.kind == NodeKind::kInput) {
+      out.SetScope(input.NodeScope(id));
+      map[id] = out.AddInput(n.name);
+      continue;
+    }
+    if (!live[id] || map[id] != kInvalidNode) continue;
+    if (n.kind == NodeKind::kReg) continue;  // done in pass 1
+
+    out.SetScope(input.NodeScope(id));
+    std::vector<NodeId> fanin;
+    fanin.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) fanin.push_back(map[f]);
+
+    NodeId built = kInvalidNode;
+    switch (n.kind) {
+      case NodeKind::kBuf:
+        built = fanin[0];  // sweep
+        break;
+      case NodeKind::kNot: {
+        GateKey key{NodeKind::kNot, fanin};
+        auto it = cse.find(key);
+        if (it != cse.end()) {
+          built = it->second;
+          local.cse_hits++;
+        } else {
+          built = out.Not(fanin[0]);
+          cse.emplace(std::move(key), built);
+        }
+        break;
+      }
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+      case NodeKind::kXor: {
+        std::sort(fanin.begin(), fanin.end());
+        // Idempotence for and/or: drop duplicate inputs.
+        if (n.kind != NodeKind::kXor) {
+          fanin.erase(std::unique(fanin.begin(), fanin.end()), fanin.end());
+        }
+        GateKey key{n.kind, fanin};
+        auto it = cse.find(key);
+        if (it != cse.end()) {
+          built = it->second;
+          local.cse_hits++;
+        } else {
+          built = n.kind == NodeKind::kAnd ? out.And(fanin)
+                  : n.kind == NodeKind::kOr
+                      ? out.Or(fanin)
+                      : out.Xor(fanin[0], fanin[1]);
+          cse.emplace(std::move(key), built);
+        }
+        break;
+      }
+      default:
+        return InternalError("unexpected node kind in optimize");
+    }
+    // Preserve a name if the merged target has none (never rename the
+    // constant drivers).
+    if (!n.name.empty() && built > out.Const1() &&
+        out.node(built).name.empty()) {
+      out.SetName(built, n.name);
+    }
+    map[id] = built;
+  }
+
+  // Pass 3: patch register pins.
+  for (NodeId id = 0; id < input.NumNodes(); ++id) {
+    const Node& n = input.node(id);
+    if (n.kind != NodeKind::kReg || !live[id]) continue;
+    out.SetRegD(map[id], map[n.fanin[0]]);
+    if (n.enable != kInvalidNode) out.SetRegEnable(map[id], map[n.enable]);
+  }
+
+  // Pass 4: outputs.
+  for (const OutputPort& port : input.outputs()) {
+    out.MarkOutput(map[port.node], port.name);
+  }
+  out.SetScope("");
+
+  CFGTAG_RETURN_IF_ERROR(out.Validate());
+  const Netlist::Stats after = out.ComputeStats();
+  local.gates_after = after.num_gates;
+  local.regs_after = after.num_regs;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Status CheckEquivalent(const Netlist& a, const Netlist& b, int vectors,
+                       int cycles, uint64_t seed) {
+  // Match ports by name.
+  std::vector<std::pair<NodeId, NodeId>> in_pairs;
+  for (NodeId ia : a.inputs()) {
+    const NodeId ib = b.FindByName(a.node(ia).name);
+    if (ib == kInvalidNode || b.node(ib).kind != NodeKind::kInput) {
+      return InvalidArgumentError("input '" + a.node(ia).name +
+                                  "' missing in second netlist");
+    }
+    in_pairs.emplace_back(ia, ib);
+  }
+  std::vector<std::pair<const OutputPort*, const OutputPort*>> out_pairs;
+  for (const OutputPort& oa : a.outputs()) {
+    const OutputPort* match = nullptr;
+    for (const OutputPort& ob : b.outputs()) {
+      if (ob.name == oa.name) match = &ob;
+    }
+    if (match == nullptr) {
+      return InvalidArgumentError("output '" + oa.name +
+                                  "' missing in second netlist");
+    }
+    out_pairs.emplace_back(&oa, match);
+  }
+
+  CFGTAG_ASSIGN_OR_RETURN(auto sim_a, Simulator::Create(&a));
+  CFGTAG_ASSIGN_OR_RETURN(auto sim_b, Simulator::Create(&b));
+  Rng rng(seed);
+  for (int v = 0; v < vectors; ++v) {
+    sim_a.Reset();
+    sim_b.Reset();
+    for (int c = 0; c < cycles; ++c) {
+      for (const auto& [ia, ib] : in_pairs) {
+        const bool bit = rng.NextBool();
+        sim_a.SetInput(ia, bit);
+        sim_b.SetInput(ib, bit);
+      }
+      sim_a.Step();
+      sim_b.Step();
+      sim_a.EvalComb();
+      sim_b.EvalComb();
+      for (const auto& [oa, ob] : out_pairs) {
+        if (sim_a.Get(oa->node) != sim_b.Get(ob->node)) {
+          return InternalError("output '" + oa->name +
+                               "' diverges at vector " + std::to_string(v) +
+                               " cycle " + std::to_string(c));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cfgtag::rtl

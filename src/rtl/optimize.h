@@ -1,0 +1,49 @@
+#ifndef CFGTAG_RTL_OPTIMIZE_H_
+#define CFGTAG_RTL_OPTIMIZE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+struct OptimizeStats {
+  size_t gates_before = 0;
+  size_t gates_after = 0;
+  size_t regs_before = 0;
+  size_t regs_after = 0;
+  // How many gate lookups hit the structural-hash table.
+  size_t cse_hits = 0;
+};
+
+// Light logic optimization over a netlist, returning a fresh netlist that
+// computes the same function at every output and register:
+//
+//   * constant propagation (gates with constant inputs fold),
+//   * structural hashing / common-subexpression elimination (identical
+//     gates over identical inputs merge — commutative inputs sorted),
+//   * buffer sweeping (kBuf nodes collapse into their drivers),
+//   * dead logic removal (anything not reachable from an output or a
+//     register pin disappears).
+//
+// Register semantics (enables, init values, feedback) are preserved, and
+// registers are never merged: two registers with identical inputs remain
+// distinct (they may be fan-out replicas placed apart — merging them would
+// undo the §5.2 replication). Scopes and names carry over.
+//
+// This models what a synthesis front end does before mapping; it is OFF by
+// default in the generator flow so Table 1 reports the raw generated
+// structure, and the ablation bench quantifies what it saves.
+StatusOr<Netlist> Optimize(const Netlist& input, OptimizeStats* stats);
+
+// Random-simulation equivalence check: drives both netlists with `vectors`
+// random input sequences of `cycles` cycles (inputs matched by name) and
+// compares every output (matched by name) after each cycle. Returns an
+// error describing the first mismatch; OK means no counterexample found.
+Status CheckEquivalent(const Netlist& a, const Netlist& b, int vectors,
+                       int cycles, uint64_t seed);
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_OPTIMIZE_H_

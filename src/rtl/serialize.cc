@@ -1,0 +1,313 @@
+#include "rtl/serialize.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cfgtag::rtl {
+
+namespace {
+
+constexpr char kHeader[] = "cfgtag-netlist-v1";
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  out->append(CEscape(s));
+  out->push_back('"');
+}
+
+// Token reader over one line: space-separated words plus trailing quoted
+// strings.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view line) : line_(line) {}
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= line_.size();
+  }
+
+  StatusOr<std::string> Word() {
+    SkipWs();
+    if (pos_ >= line_.size()) return InvalidArgumentError("expected word");
+    const size_t start = pos_;
+    while (pos_ < line_.size() && !std::isspace(
+               static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+    return std::string(line_.substr(start, pos_ - start));
+  }
+
+  StatusOr<uint64_t> Number() {
+    CFGTAG_ASSIGN_OR_RETURN(std::string w, Word());
+    uint64_t v = 0;
+    if (w.empty()) return InvalidArgumentError("expected number");
+    for (char c : w) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return InvalidArgumentError("expected number, got '" + w + "'");
+      }
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+  }
+
+  // Parses a C-escaped double-quoted string.
+  StatusOr<std::string> Quoted() {
+    SkipWs();
+    if (pos_ >= line_.size() || line_[pos_] != '"') {
+      return InvalidArgumentError("expected quoted string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c == '\\' && pos_ < line_.size()) {
+        const char e = line_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          case 'x': {
+            if (pos_ + 1 >= line_.size()) {
+              return InvalidArgumentError("bad \\x escape");
+            }
+            auto hex = [](char h) -> int {
+              if (h >= '0' && h <= '9') return h - '0';
+              if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+              if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+              return -1;
+            };
+            const int hi = hex(line_[pos_]);
+            const int lo = hex(line_[pos_ + 1]);
+            if (hi < 0 || lo < 0) {
+              return InvalidArgumentError("bad \\x escape");
+            }
+            pos_ += 2;
+            c = static_cast<char>(hi * 16 + lo);
+            break;
+          }
+          default:
+            c = e;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= line_.size()) {
+      return InvalidArgumentError("unterminated quoted string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  // Peeks whether the next token starts with the given character.
+  bool NextStartsWith(char c) {
+    SkipWs();
+    return pos_ < line_.size() && line_[pos_] == c;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+// Safe bounded parse of a decimal node id; Status instead of the throwing
+// std::stoul (serialized input is untrusted).
+StatusOr<NodeId> ParseNodeId(std::string_view s) {
+  if (s.empty()) return InvalidArgumentError("empty node id");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return InvalidArgumentError("bad node id: " + std::string(s));
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > 0xFFFFFFFFull) {
+      return InvalidArgumentError("node id out of range: " + std::string(s));
+    }
+  }
+  return static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+std::string SerializeNetlist(const Netlist& netlist) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  // Scope table (index 0 is always the empty scope).
+  std::vector<std::string> scopes;
+  for (NodeId id = 0; id < netlist.NumNodes(); ++id) {
+    const uint16_t s = netlist.node(id).scope;
+    if (s >= scopes.size()) scopes.resize(s + 1);
+    scopes[s] = netlist.NodeScope(id);
+  }
+  for (size_t s = 1; s < scopes.size(); ++s) {
+    std::string line = "scope " + std::to_string(s) + " ";
+    AppendQuoted(&line, scopes[s]);
+    os << line << "\n";
+  }
+
+  for (NodeId id = 2; id < netlist.NumNodes(); ++id) {
+    const Node& n = netlist.node(id);
+    std::string line = std::to_string(id) + " ";
+    switch (n.kind) {
+      case NodeKind::kInput: line += "i"; break;
+      case NodeKind::kAnd: line += "a"; break;
+      case NodeKind::kOr: line += "o"; break;
+      case NodeKind::kNot: line += "n"; break;
+      case NodeKind::kXor: line += "x"; break;
+      case NodeKind::kBuf: line += "b"; break;
+      case NodeKind::kReg: line += "r"; break;
+      default: line += "?"; break;
+    }
+    if (n.kind == NodeKind::kReg) {
+      line += " d=" + std::to_string(n.fanin[0]);
+      line += " en=";
+      line += n.enable == kInvalidNode ? "-" : std::to_string(n.enable);
+      line += " init=";
+      line += n.init ? "1" : "0";
+    } else {
+      for (NodeId f : n.fanin) line += " " + std::to_string(f);
+    }
+    if (n.scope != 0) line += " s" + std::to_string(n.scope);
+    if (!n.name.empty()) {
+      line += " ";
+      AppendQuoted(&line, n.name);
+    }
+    os << line << "\n";
+  }
+  for (const OutputPort& out : netlist.outputs()) {
+    std::string line = "out " + std::to_string(out.node) + " ";
+    AppendQuoted(&line, out.name);
+    os << line << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<Netlist> ParseNetlist(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || StripWhitespace(line) != kHeader) {
+    return InvalidArgumentError("missing netlist header");
+  }
+
+  Netlist nl;
+  std::vector<std::string> scopes = {""};
+
+  while (std::getline(is, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    LineReader reader(line);
+    CFGTAG_ASSIGN_OR_RETURN(std::string first, reader.Word());
+
+    if (first == "scope") {
+      CFGTAG_ASSIGN_OR_RETURN(uint64_t index, reader.Number());
+      CFGTAG_ASSIGN_OR_RETURN(std::string name, reader.Quoted());
+      if (index != scopes.size()) {
+        return InvalidArgumentError("scope table out of order");
+      }
+      scopes.push_back(std::move(name));
+      continue;
+    }
+    if (first == "out") {
+      CFGTAG_ASSIGN_OR_RETURN(uint64_t id, reader.Number());
+      CFGTAG_ASSIGN_OR_RETURN(std::string name, reader.Quoted());
+      nl.MarkOutput(static_cast<NodeId>(id), std::move(name));
+      continue;
+    }
+
+    // A node line: "<id> <kind> ...".
+    uint64_t id = 0;
+    for (char c : first) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return InvalidArgumentError("bad node id: " + first);
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (id != nl.NumNodes()) {
+      return InvalidArgumentError("node ids must be dense and ordered, got " +
+                                  first);
+    }
+    CFGTAG_ASSIGN_OR_RETURN(std::string kind, reader.Word());
+
+    Node node;
+    if (kind == "i") {
+      node.kind = NodeKind::kInput;
+    } else if (kind == "a") {
+      node.kind = NodeKind::kAnd;
+    } else if (kind == "o") {
+      node.kind = NodeKind::kOr;
+    } else if (kind == "n") {
+      node.kind = NodeKind::kNot;
+    } else if (kind == "x") {
+      node.kind = NodeKind::kXor;
+    } else if (kind == "b") {
+      node.kind = NodeKind::kBuf;
+    } else if (kind == "r") {
+      node.kind = NodeKind::kReg;
+    } else {
+      return InvalidArgumentError("unknown node kind: " + kind);
+    }
+
+    if (node.kind == NodeKind::kReg) {
+      CFGTAG_ASSIGN_OR_RETURN(std::string d, reader.Word());
+      CFGTAG_ASSIGN_OR_RETURN(std::string en, reader.Word());
+      CFGTAG_ASSIGN_OR_RETURN(std::string init, reader.Word());
+      if (d.rfind("d=", 0) != 0 || en.rfind("en=", 0) != 0 ||
+          init.rfind("init=", 0) != 0) {
+        return InvalidArgumentError("malformed register line: " + line);
+      }
+      CFGTAG_ASSIGN_OR_RETURN(NodeId d_id, ParseNodeId(d.substr(2)));
+      node.fanin.push_back(d_id);
+      if (en == "en=-") {
+        node.enable = kInvalidNode;
+      } else {
+        CFGTAG_ASSIGN_OR_RETURN(node.enable, ParseNodeId(en.substr(3)));
+      }
+      node.init = init == "init=1";
+    } else if (node.kind != NodeKind::kInput) {
+      while (!reader.AtEnd() && !reader.NextStartsWith('"') &&
+             !reader.NextStartsWith('s')) {
+        CFGTAG_ASSIGN_OR_RETURN(uint64_t f, reader.Number());
+        node.fanin.push_back(static_cast<NodeId>(f));
+      }
+    }
+    // Optional scope tag.
+    if (reader.NextStartsWith('s')) {
+      CFGTAG_ASSIGN_OR_RETURN(std::string s, reader.Word());
+      CFGTAG_ASSIGN_OR_RETURN(NodeId index, ParseNodeId(s.substr(1)));
+      if (index >= scopes.size()) {
+        return InvalidArgumentError("scope index out of range: " + s);
+      }
+      node.scope = static_cast<uint16_t>(index);
+    }
+    // Optional name.
+    if (reader.NextStartsWith('"')) {
+      CFGTAG_ASSIGN_OR_RETURN(node.name, reader.Quoted());
+    }
+    if (node.kind == NodeKind::kInput && node.name.empty()) {
+      return InvalidArgumentError("input without a name: " + line);
+    }
+
+    // Install at the exact id (friend access to the raw node table).
+    nl.nodes_.push_back(std::move(node));
+    if (nl.nodes_.back().kind == NodeKind::kInput) {
+      nl.inputs_.push_back(static_cast<NodeId>(id));
+    }
+    // Keep the scope table in sync.
+    while (nl.scopes_.size() < scopes.size()) {
+      nl.scopes_.push_back(scopes[nl.scopes_.size()]);
+    }
+  }
+  CFGTAG_RETURN_IF_ERROR(nl.Validate());
+  return nl;
+}
+
+}  // namespace cfgtag::rtl

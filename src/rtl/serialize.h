@@ -1,0 +1,34 @@
+#ifndef CFGTAG_RTL_SERIALIZE_H_
+#define CFGTAG_RTL_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+// Text serialization of a netlist — a stable on-disk artifact for
+// generated designs (the moral equivalent of an EDIF/structural-netlist
+// dump in a vendor flow). One line per node, node ids explicit, so the
+// round trip is exact: ids, names, scopes, register init/enable and port
+// order all survive.
+//
+//   cfgtag-netlist-v1
+//   scope 1 "decoder"
+//   2 i "d0"
+//   5 a 2 3 4 s1 "maybe a name"
+//   9 r d=5 en=7 init=1 s1 "state"
+//   out 9 "match_t0"
+//
+// Node kinds: i=input a=and o=or n=not x=xor b=buf r=reg. Nodes 0 and 1
+// are the implicit constants. Names are C-escaped and double-quoted.
+std::string SerializeNetlist(const Netlist& netlist);
+
+// Parses the format above. Fails with kInvalidArgument on malformed input;
+// the result always passes Netlist::Validate().
+StatusOr<Netlist> ParseNetlist(const std::string& text);
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_SERIALIZE_H_

@@ -1,0 +1,80 @@
+#include "rtl/simulator.h"
+
+namespace cfgtag::rtl {
+
+StatusOr<Simulator> Simulator::Create(const Netlist* netlist) {
+  CFGTAG_RETURN_IF_ERROR(netlist->Validate());
+  return Simulator(netlist);
+}
+
+Simulator::Simulator(const Netlist* netlist)
+    : netlist_(netlist), values_(netlist->NumNodes(), 0) {
+  for (NodeId i = 0; i < netlist_->NumNodes(); ++i) {
+    if (netlist_->node(i).kind == NodeKind::kReg) regs_.push_back(i);
+  }
+  next_reg_values_.resize(regs_.size(), 0);
+  Reset();
+}
+
+void Simulator::Reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  values_[netlist_->Const1()] = 1;
+  for (NodeId r : regs_) values_[r] = netlist_->node(r).init ? 1 : 0;
+  cycle_count_ = 0;
+}
+
+void Simulator::SetInput(NodeId input, bool value) {
+  values_[input] = value ? 1 : 0;
+}
+
+void Simulator::EvalComb() {
+  const std::vector<Node>& nodes = netlist_->nodes();
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+      case NodeKind::kReg:
+        break;  // sources: value already present
+      case NodeKind::kAnd: {
+        uint8_t v = 1;
+        for (NodeId in : n.fanin) v &= values_[in];
+        values_[i] = v;
+        break;
+      }
+      case NodeKind::kOr: {
+        uint8_t v = 0;
+        for (NodeId in : n.fanin) v |= values_[in];
+        values_[i] = v;
+        break;
+      }
+      case NodeKind::kNot:
+        values_[i] = values_[n.fanin[0]] ^ 1;
+        break;
+      case NodeKind::kXor:
+        values_[i] = values_[n.fanin[0]] ^ values_[n.fanin[1]];
+        break;
+      case NodeKind::kBuf:
+        values_[i] = values_[n.fanin[0]];
+        break;
+    }
+  }
+}
+
+void Simulator::Step() {
+  EvalComb();
+  // Sample phase: compute every register's next value from pre-edge nets.
+  for (size_t k = 0; k < regs_.size(); ++k) {
+    const Node& r = netlist_->node(regs_[k]);
+    const bool enabled = r.enable == kInvalidNode || values_[r.enable] != 0;
+    next_reg_values_[k] = enabled ? values_[r.fanin[0]] : values_[regs_[k]];
+  }
+  // Commit phase.
+  for (size_t k = 0; k < regs_.size(); ++k) {
+    values_[regs_[k]] = next_reg_values_[k];
+  }
+  ++cycle_count_;
+}
+
+}  // namespace cfgtag::rtl

@@ -1,0 +1,62 @@
+#ifndef CFGTAG_RTL_SIMULATOR_H_
+#define CFGTAG_RTL_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+// Cycle-accurate two-phase simulator for a Netlist.
+//
+// Each Step() models one positive clock edge:
+//   1. combinational values are settled from the current register/input
+//      values (the netlist is levelized once at construction);
+//   2. every register samples its D (gated by its clock-enable) and commits.
+//
+// Gates only reference earlier node ids by construction, so combinational
+// evaluation is a single in-order sweep; registers are the only legal
+// feedback points, exactly like a single-clock synchronous circuit.
+class Simulator {
+ public:
+  // The netlist must outlive the simulator.
+  static StatusOr<Simulator> Create(const Netlist* netlist);
+
+  // Resets all registers to their init values and clears inputs.
+  void Reset();
+
+  void SetInput(NodeId input, bool value);
+
+  // Settles combinational logic for the current inputs/state. Get() is valid
+  // afterwards. Step() implies an EvalComb() of the pre-edge state.
+  void EvalComb();
+
+  // One clock edge: EvalComb, then clock all registers.
+  void Step();
+
+  // Value of a node. After Step(), register nodes hold their *post-edge*
+  // values while combinational nodes still hold pre-edge values; call
+  // EvalComb() first when probing combinational nets between edges. The
+  // generated taggers register every output, so reading registered outputs
+  // right after Step() observes the cycle that consumed the last input.
+  bool Get(NodeId node) const { return values_[node] != 0; }
+
+  uint64_t cycle_count() const { return cycle_count_; }
+
+ private:
+  explicit Simulator(const Netlist* netlist);
+
+  const Netlist* netlist_;
+  // Current value of every node (combinational view).
+  std::vector<uint8_t> values_;
+  // Registers in the netlist, precomputed for the commit phase.
+  std::vector<NodeId> regs_;
+  std::vector<uint8_t> next_reg_values_;
+  uint64_t cycle_count_ = 0;
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_SIMULATOR_H_

@@ -1,0 +1,280 @@
+#include "rtl/techmap.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cfgtag::rtl {
+
+namespace {
+
+// Operation of an internal decomposed node. All gates are <= 2 inputs here.
+enum class MOp : uint8_t { kSrc, kAnd2, kOr2, kNot, kXor2, kBuf };
+
+struct MNode {
+  MOp op = MOp::kSrc;
+  uint32_t fanin[2] = {0, 0};
+  uint8_t arity = 0;
+  // Total uses: as another mnode's fan-in, a register D/enable pin, or an
+  // output port.
+  uint32_t fanout = 0;
+  // Netlist node this mnode corresponds to (kInvalidNode for interior
+  // decomposition nodes).
+  NodeId orig = kInvalidNode;
+};
+
+}  // namespace
+
+std::vector<AreaBucket> BreakdownByScope(const MappedNetlist& mapped) {
+  std::vector<AreaBucket> buckets;
+  auto bucket_for = [&](const std::string& scope) -> AreaBucket& {
+    for (AreaBucket& b : buckets) {
+      if (b.scope == scope) return b;
+    }
+    buckets.push_back(AreaBucket{scope, 0, 0});
+    return buckets.back();
+  };
+  for (const MappedNetlist::Net& net : mapped.nets) {
+    if (net.kind == MappedNetlist::NetKind::kLut) {
+      bucket_for(net.scope).luts++;
+    } else if (net.kind == MappedNetlist::NetKind::kReg) {
+      bucket_for(net.scope).ffs++;
+    }
+  }
+  return buckets;
+}
+
+MappedNetlist::NetId MappedNetlist::MaxFanoutNet() const {
+  NetId best = kNoNet;
+  uint32_t best_fanout = 0;
+  for (NetId i = 0; i < nets.size(); ++i) {
+    if (nets[i].fanout > best_fanout) {
+      best_fanout = nets[i].fanout;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TechMapper::TechMapper(int lut_inputs) : lut_inputs_(lut_inputs) {}
+
+StatusOr<MappedNetlist> TechMapper::Map(const Netlist& netlist) const {
+  CFGTAG_RETURN_IF_ERROR(netlist.Validate());
+  if (lut_inputs_ < 2) {
+    return InvalidArgumentError("LUT size must be >= 2");
+  }
+  const size_t k = static_cast<size_t>(lut_inputs_);
+
+  // ---- Phase 1: decompose into <=2-input gates -----------------------
+  std::vector<MNode> m;
+  m.reserve(netlist.NumNodes() * 2);
+  // Root mnode of every netlist node.
+  std::vector<uint32_t> mroot(netlist.NumNodes(), 0);
+
+  auto add_src = [&](NodeId orig) {
+    MNode n;
+    n.op = MOp::kSrc;
+    n.orig = orig;
+    m.push_back(n);
+    return static_cast<uint32_t>(m.size() - 1);
+  };
+  auto add_gate = [&](MOp op, uint32_t a, uint32_t b, uint8_t arity,
+                      NodeId orig) {
+    MNode n;
+    n.op = op;
+    n.fanin[0] = a;
+    n.fanin[1] = b;
+    n.arity = arity;
+    n.orig = orig;
+    m.push_back(n);
+    return static_cast<uint32_t>(m.size() - 1);
+  };
+  // Balanced tree reduction of a wide AND/OR. Every tree node carries the
+  // original gate's NodeId so names and area-attribution scopes survive
+  // the decomposition.
+  auto add_tree = [&](MOp op, std::vector<uint32_t> ins, NodeId orig) {
+    while (ins.size() > 1) {
+      std::vector<uint32_t> next;
+      next.reserve((ins.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < ins.size(); i += 2) {
+        next.push_back(add_gate(op, ins[i], ins[i + 1], 2, orig));
+      }
+      if (ins.size() % 2 == 1) next.push_back(ins.back());
+      ins = std::move(next);
+    }
+    return ins[0];
+  };
+
+  for (NodeId id = 0; id < netlist.NumNodes(); ++id) {
+    const Node& n = netlist.node(id);
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+      case NodeKind::kReg:
+        mroot[id] = add_src(id);
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr: {
+        std::vector<uint32_t> ins;
+        ins.reserve(n.fanin.size());
+        for (NodeId f : n.fanin) ins.push_back(mroot[f]);
+        mroot[id] = add_tree(
+            n.kind == NodeKind::kAnd ? MOp::kAnd2 : MOp::kOr2, std::move(ins),
+            id);
+        break;
+      }
+      case NodeKind::kNot:
+        mroot[id] = add_gate(MOp::kNot, mroot[n.fanin[0]], 0, 1, id);
+        break;
+      case NodeKind::kXor:
+        mroot[id] =
+            add_gate(MOp::kXor2, mroot[n.fanin[0]], mroot[n.fanin[1]], 2, id);
+        break;
+      case NodeKind::kBuf:
+        mroot[id] = add_gate(MOp::kBuf, mroot[n.fanin[0]], 0, 1, id);
+        break;
+    }
+  }
+
+  // ---- Phase 2: fan-out counts ---------------------------------------
+  for (const MNode& n : m) {
+    for (uint8_t i = 0; i < n.arity; ++i) m[n.fanin[i]].fanout++;
+  }
+  for (NodeId id = 0; id < netlist.NumNodes(); ++id) {
+    const Node& n = netlist.node(id);
+    if (n.kind != NodeKind::kReg) continue;
+    m[mroot[n.fanin[0]]].fanout++;
+    if (n.enable != kInvalidNode) m[mroot[n.enable]].fanout++;
+  }
+  for (const OutputPort& out : netlist.outputs()) m[mroot[out.node]].fanout++;
+
+  // ---- Phase 3: greedy cut growing ------------------------------------
+  // cut[i]: the LUT leaf set if mnode i becomes a LUT root. Sources have
+  // themselves as their only leaf.
+  std::vector<std::vector<uint32_t>> cut(m.size());
+  for (uint32_t i = 0; i < m.size(); ++i) {
+    MNode& n = m[i];
+    if (n.op == MOp::kSrc) {
+      cut[i] = {i};
+      continue;
+    }
+    std::vector<uint32_t> leaves;
+    for (uint8_t j = 0; j < n.arity; ++j) leaves.push_back(n.fanin[j]);
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    // Repeatedly expand a single-fan-out gate leaf while the cut fits in k.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t li = 0; li < leaves.size(); ++li) {
+        const uint32_t leaf = leaves[li];
+        if (m[leaf].op == MOp::kSrc || m[leaf].fanout != 1) continue;
+        std::vector<uint32_t> merged;
+        merged.reserve(leaves.size() + cut[leaf].size());
+        for (size_t lj = 0; lj < leaves.size(); ++lj) {
+          if (lj != li) merged.push_back(leaves[lj]);
+        }
+        merged.insert(merged.end(), cut[leaf].begin(), cut[leaf].end());
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        if (merged.size() <= k) {
+          leaves = std::move(merged);
+          changed = true;
+          break;
+        }
+      }
+    }
+    cut[i] = std::move(leaves);
+  }
+
+  // ---- Phase 4: cover extraction --------------------------------------
+  // Walk back from visible pins (register D/enable, outputs); every gate
+  // reached becomes a LUT whose inputs are its cut leaves.
+  MappedNetlist out;
+  out.lut_inputs = lut_inputs_;
+
+  std::vector<MappedNetlist::NetId> net_of(m.size(), MappedNetlist::kNoNet);
+  std::vector<uint32_t> worklist;
+
+  auto require_net = [&](uint32_t mi) {
+    if (net_of[mi] != MappedNetlist::kNoNet) return net_of[mi];
+    MappedNetlist::Net net;
+    net.orig = m[mi].orig;
+    if (m[mi].op == MOp::kSrc) {
+      const Node& src = netlist.node(m[mi].orig);
+      switch (src.kind) {
+        case NodeKind::kConst0:
+        case NodeKind::kConst1:
+          net.kind = MappedNetlist::NetKind::kConst;
+          break;
+        case NodeKind::kInput:
+          net.kind = MappedNetlist::NetKind::kInput;
+          break;
+        case NodeKind::kReg:
+          net.kind = MappedNetlist::NetKind::kReg;
+          break;
+        default:
+          break;
+      }
+      net.name = src.name;
+    } else {
+      net.kind = MappedNetlist::NetKind::kLut;
+      if (m[mi].orig != kInvalidNode) net.name = netlist.node(m[mi].orig).name;
+      worklist.push_back(mi);
+    }
+    if (net.orig != kInvalidNode) net.scope = netlist.NodeScope(net.orig);
+    out.nets.push_back(std::move(net));
+    net_of[mi] = static_cast<MappedNetlist::NetId>(out.nets.size() - 1);
+    return net_of[mi];
+  };
+
+  // Seed from registers and outputs.
+  for (NodeId id = 0; id < netlist.NumNodes(); ++id) {
+    const Node& n = netlist.node(id);
+    if (n.kind != NodeKind::kReg) continue;
+    MappedNetlist::NetId reg_net = require_net(mroot[id]);
+    MappedNetlist::RegPins pins;
+    pins.d = require_net(mroot[n.fanin[0]]);
+    if (n.enable != kInvalidNode) pins.enable = require_net(mroot[n.enable]);
+    out.reg_nets.push_back(reg_net);
+    out.reg_pins.push_back(pins);
+  }
+  for (const OutputPort& port : netlist.outputs()) {
+    MappedNetlist::OutputPin pin;
+    pin.net = require_net(mroot[port.node]);
+    pin.name = port.name;
+    out.outputs.push_back(std::move(pin));
+  }
+  // Also materialize all primary inputs so unused ones still appear.
+  for (NodeId id : netlist.inputs()) {
+    out.input_nets.push_back(require_net(mroot[id]));
+  }
+
+  // Expand LUT cones. require_net() may reallocate out.nets, so resolve the
+  // leaf net id before touching the parent element.
+  while (!worklist.empty()) {
+    const uint32_t mi = worklist.back();
+    worklist.pop_back();
+    const MappedNetlist::NetId self = net_of[mi];
+    for (uint32_t leaf : cut[mi]) {
+      const MappedNetlist::NetId in = require_net(leaf);
+      out.nets[self].inputs.push_back(in);
+    }
+  }
+
+  // ---- Phase 5: sink counting (fan-out in the mapped design) ----------
+  for (const MappedNetlist::Net& net : out.nets) {
+    for (MappedNetlist::NetId in : net.inputs) out.nets[in].fanout++;
+  }
+  for (const MappedNetlist::RegPins& pins : out.reg_pins) {
+    out.nets[pins.d].fanout++;
+    if (pins.enable != MappedNetlist::kNoNet) out.nets[pins.enable].fanout++;
+  }
+  for (const MappedNetlist::OutputPin& pin : out.outputs) {
+    out.nets[pin.net].fanout++;
+  }
+
+  return out;
+}
+
+}  // namespace cfgtag::rtl

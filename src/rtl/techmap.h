@@ -1,0 +1,98 @@
+#ifndef CFGTAG_RTL_TECHMAP_H_
+#define CFGTAG_RTL_TECHMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+// Result of covering a gate netlist with k-input LUTs. Self-contained: the
+// mapped design has its own net ids because wide gates are decomposed into
+// trees whose interior nodes have no netlist counterpart. This mirrors what
+// a vendor synthesis flow reports — LUT/FF counts plus the load graph
+// needed for fan-out-driven timing analysis.
+struct MappedNetlist {
+  using NetId = uint32_t;
+  static constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+  enum class NetKind : uint8_t { kConst, kInput, kReg, kLut };
+
+  // A net driver in the mapped design.
+  struct Net {
+    NetKind kind = NetKind::kConst;
+    // The originating netlist node, when one exists (inputs, registers, and
+    // LUTs rooted at an original gate). kInvalidNode for decomposition
+    // interior LUTs.
+    NodeId orig = kInvalidNode;
+    // For kLut: nets feeding the LUT (<= lut_inputs of them).
+    std::vector<NetId> inputs;
+    // Number of sink pins (LUT inputs, register D/enable, output ports).
+    uint32_t fanout = 0;
+    std::string name;
+    // Area-attribution scope of the originating node ("" when unscoped).
+    std::string scope;
+  };
+
+  struct RegPins {
+    NetId d = kNoNet;
+    NetId enable = kNoNet;  // kNoNet when always enabled
+  };
+
+  struct OutputPin {
+    NetId net = kNoNet;
+    std::string name;
+  };
+
+  int lut_inputs = 4;
+  std::vector<Net> nets;
+  std::vector<NetId> reg_nets;    // nets with kind kReg
+  std::vector<RegPins> reg_pins;  // parallel to reg_nets
+  std::vector<NetId> input_nets;
+  std::vector<OutputPin> outputs;
+
+  size_t NumLuts() const {
+    size_t n = 0;
+    for (const Net& net : nets) n += (net.kind == NetKind::kLut);
+    return n;
+  }
+  size_t NumFfs() const { return reg_nets.size(); }
+
+  // Maximum fan-out over all nets, and the id of a net achieving it.
+  NetId MaxFanoutNet() const;
+};
+
+// LUT/FF counts per netlist scope (see Netlist::SetScope) — the module
+// breakdown a synthesis report would show. Buckets appear in first-seen
+// order; unscoped logic lands in the "" bucket.
+struct AreaBucket {
+  std::string scope;
+  size_t luts = 0;
+  size_t ffs = 0;
+};
+std::vector<AreaBucket> BreakdownByScope(const MappedNetlist& mapped);
+
+// Covers the combinational portion of a netlist with k-input LUTs.
+//
+// The algorithm decomposes arbitrary-fan-in gates into 2-input gates, then
+// grows a cut for every gate in topological order, absorbing single-fan-out
+// fan-in gates while the cut stays within k leaves, and finally extracts
+// the cover reachable from registers and output ports. It is a deliberately
+// simple depth-oblivious mapper: the generated circuits are pipelined at
+// every logic level, so area (LUT count) is the quantity that matters.
+class TechMapper {
+ public:
+  explicit TechMapper(int lut_inputs = 4);
+
+  StatusOr<MappedNetlist> Map(const Netlist& netlist) const;
+
+ private:
+  int lut_inputs_;
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_TECHMAP_H_

@@ -1,0 +1,183 @@
+#include "rtl/timing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cfgtag::rtl {
+
+namespace {
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ns", ns);
+  return buf;
+}
+
+}  // namespace
+
+std::string TimingReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "critical path %.3f ns (Fmax %.1f MHz): logic %.3f ns, "
+                "routing %.3f ns, clk2q+setup %.3f ns; worst net '%s' "
+                "fanout %u route %.3f ns",
+                critical_path_ns, fmax_mhz, logic_ns, routing_ns,
+                sequencing_ns, worst_net_name.c_str(), worst_net_fanout,
+                worst_net_route_ns);
+  return buf;
+}
+
+StatusOr<TimingReport> TimingAnalyzer::Analyze(const MappedNetlist& mapped,
+                                               const Device& device) {
+  using NetId = MappedNetlist::NetId;
+  const size_t n = mapped.nets.size();
+  if (n == 0) return InvalidArgumentError("empty mapped netlist");
+
+  // Topological order over LUT input edges (iterative DFS; the cover
+  // extraction order is not topological).
+  std::vector<NetId> topo;
+  topo.reserve(n);
+  std::vector<uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<NetId, size_t>> stack;
+  for (NetId root = 0; root < n; ++root) {
+    if (state[root] == 2) continue;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [cur, idx] = stack.back();
+      const auto& ins = mapped.nets[cur].inputs;
+      if (idx < ins.size()) {
+        NetId next = ins[idx++];
+        if (state[next] == 0) {
+          state[next] = 1;
+          stack.emplace_back(next, 0);
+        } else if (state[next] == 1) {
+          return InternalError("combinational loop in mapped netlist");
+        }
+      } else {
+        state[cur] = 2;
+        topo.push_back(cur);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Arrival times and critical predecessor per net.
+  std::vector<double> arrival(n, 0.0);
+  std::vector<NetId> prev(n, MappedNetlist::kNoNet);
+  auto route = [&](NetId id) {
+    return device.RouteDelayNs(mapped.nets[id].fanout);
+  };
+  for (NetId id : topo) {
+    const MappedNetlist::Net& net = mapped.nets[id];
+    switch (net.kind) {
+      case MappedNetlist::NetKind::kConst:
+      case MappedNetlist::NetKind::kInput:
+        arrival[id] = 0.0;
+        break;
+      case MappedNetlist::NetKind::kReg:
+        arrival[id] = device.t_clk2q_ns;
+        break;
+      case MappedNetlist::NetKind::kLut: {
+        double worst = 0.0;
+        NetId worst_in = MappedNetlist::kNoNet;
+        for (NetId in : net.inputs) {
+          const double t = arrival[in] + route(in);
+          if (t >= worst) {
+            worst = t;
+            worst_in = in;
+          }
+        }
+        arrival[id] = worst + device.t_lut_ns;
+        prev[id] = worst_in;
+        break;
+      }
+    }
+  }
+
+  // Path endpoints: register D/enable pins (setup) and output ports.
+  double critical = 0.0;
+  NetId critical_driver = MappedNetlist::kNoNet;
+  bool critical_has_setup = false;
+  auto consider = [&](NetId driver, bool has_setup) {
+    if (driver == MappedNetlist::kNoNet) return;
+    if (mapped.nets[driver].kind == MappedNetlist::NetKind::kConst) return;
+    const double t =
+        arrival[driver] + route(driver) + (has_setup ? device.t_setup_ns : 0.0);
+    if (t > critical) {
+      critical = t;
+      critical_driver = driver;
+      critical_has_setup = has_setup;
+    }
+  };
+  for (const MappedNetlist::RegPins& pins : mapped.reg_pins) {
+    consider(pins.d, /*has_setup=*/true);
+    if (pins.enable != MappedNetlist::kNoNet) {
+      consider(pins.enable, /*has_setup=*/true);
+    }
+  }
+  for (const MappedNetlist::OutputPin& pin : mapped.outputs) {
+    consider(pin.net, /*has_setup=*/false);
+  }
+
+  TimingReport report;
+  report.critical_path_ns = critical;
+  if (critical > 0.0) {
+    report.fmax_mhz = std::min(1000.0 / critical, device.max_freq_mhz);
+  } else {
+    report.fmax_mhz = device.max_freq_mhz;
+  }
+
+  // Reconstruct the critical path and decompose its delay.
+  if (critical_driver != MappedNetlist::kNoNet) {
+    std::vector<NetId> chain;
+    for (NetId cur = critical_driver; cur != MappedNetlist::kNoNet;
+         cur = prev[cur]) {
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    double worst_route = -1.0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const NetId id = chain[i];
+      const MappedNetlist::Net& net = mapped.nets[id];
+      const double r = route(id);
+      switch (net.kind) {
+        case MappedNetlist::NetKind::kReg:
+          report.sequencing_ns += device.t_clk2q_ns;
+          break;
+        case MappedNetlist::NetKind::kLut:
+          report.logic_ns += device.t_lut_ns;
+          break;
+        default:
+          break;
+      }
+      report.routing_ns += r;
+      if (r > worst_route) {
+        worst_route = r;
+        report.worst_net_fanout = net.fanout;
+        report.worst_net_route_ns = r;
+        report.worst_net_name =
+            net.name.empty() ? ("net" + std::to_string(id)) : net.name;
+      }
+      TimingPathStep step;
+      step.net = id;
+      char desc[160];
+      std::snprintf(desc, sizeof(desc), "%s %s (fanout %u, route %s)",
+                    net.kind == MappedNetlist::NetKind::kLut   ? "LUT"
+                    : net.kind == MappedNetlist::NetKind::kReg ? "REG"
+                    : net.kind == MappedNetlist::NetKind::kInput ? "IN" : "CONST",
+                    net.name.empty() ? ("net" + std::to_string(id)).c_str()
+                                     : net.name.c_str(),
+                    net.fanout, FormatNs(r).c_str());
+      step.description = desc;
+      step.arrival_ns = arrival[id];
+      report.path.push_back(std::move(step));
+    }
+    if (critical_has_setup) report.sequencing_ns += device.t_setup_ns;
+  }
+
+  return report;
+}
+
+}  // namespace cfgtag::rtl

@@ -1,0 +1,49 @@
+#ifndef CFGTAG_RTL_TIMING_H_
+#define CFGTAG_RTL_TIMING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/device.h"
+#include "rtl/techmap.h"
+
+namespace cfgtag::rtl {
+
+// One hop of the reported critical path.
+struct TimingPathStep {
+  MappedNetlist::NetId net = MappedNetlist::kNoNet;
+  std::string description;  // e.g. "LUT dec_a (fanout 212, route 1.87 ns)"
+  double arrival_ns = 0.0;
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;  // min(1000/critical_path, device ceiling)
+  // Decomposition of the critical path.
+  double logic_ns = 0.0;
+  double routing_ns = 0.0;
+  double sequencing_ns = 0.0;  // clk->q + setup
+  // The single worst net on the critical path.
+  uint32_t worst_net_fanout = 0;
+  double worst_net_route_ns = 0.0;
+  std::string worst_net_name;
+  std::vector<TimingPathStep> path;  // startpoint first
+
+  std::string ToString() const;
+};
+
+// Static timing analysis over a LUT-mapped netlist with the analytical
+// routing model of `Device`. Combinational loops cannot occur (gates only
+// reference earlier nodes by construction), so arrival times are computed
+// with one dynamic-programming pass over the LUT DAG; path endpoints are
+// register D/enable pins and output ports.
+class TimingAnalyzer {
+ public:
+  static StatusOr<TimingReport> Analyze(const MappedNetlist& mapped,
+                                        const Device& device);
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_TIMING_H_

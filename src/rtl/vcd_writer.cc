@@ -1,0 +1,55 @@
+#include "rtl/vcd_writer.h"
+
+namespace cfgtag::rtl {
+
+namespace {
+
+// VCD identifier codes: printable ASCII 33..126, little-endian digits.
+std::string CodeFor(size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream* os, const Netlist* netlist)
+    : os_(os), netlist_(netlist) {}
+
+void VcdWriter::AddSignal(NodeId node, std::string name) {
+  Signal s;
+  s.node = node;
+  s.name = std::move(name);
+  s.code = CodeFor(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::WriteHeader() {
+  *os_ << "$timescale 1ns $end\n$scope module cfgtag $end\n";
+  for (const Signal& s : signals_) {
+    *os_ << "$var wire 1 " << s.code << " " << s.name << " $end\n";
+  }
+  *os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::Sample(const Simulator& sim) {
+  if (!header_written_) WriteHeader();
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    const int v = sim.Get(s.node) ? 1 : 0;
+    if (v == s.last) continue;
+    if (!stamped) {
+      *os_ << "#" << time_ << "\n";
+      stamped = true;
+    }
+    *os_ << v << s.code << "\n";
+    s.last = v;
+  }
+  ++time_;
+}
+
+}  // namespace cfgtag::rtl

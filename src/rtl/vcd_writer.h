@@ -1,0 +1,48 @@
+#ifndef CFGTAG_RTL_VCD_WRITER_H_
+#define CFGTAG_RTL_VCD_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+#include "rtl/simulator.h"
+
+namespace cfgtag::rtl {
+
+// Streams selected netlist signals to a Value-Change-Dump (IEEE 1364) file
+// for waveform debugging. Usage:
+//
+//   VcdWriter vcd(&os, &netlist);
+//   vcd.AddSignal(some_node, "match_if");
+//   vcd.WriteHeader();
+//   for each cycle { drive inputs; sim.Step(); vcd.Sample(sim); }
+class VcdWriter {
+ public:
+  // Both pointers must outlive the writer.
+  VcdWriter(std::ostream* os, const Netlist* netlist);
+
+  void AddSignal(NodeId node, std::string name);
+  void WriteHeader();
+
+  // Records the current simulator values; emits only changed signals.
+  void Sample(const Simulator& sim);
+
+ private:
+  struct Signal {
+    NodeId node;
+    std::string name;
+    std::string code;  // VCD short identifier
+    int last = -1;     // -1 = not yet emitted
+  };
+
+  std::ostream* os_;
+  const Netlist* netlist_;
+  std::vector<Signal> signals_;
+  uint64_t time_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_VCD_WRITER_H_

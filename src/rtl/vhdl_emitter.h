@@ -1,0 +1,24 @@
+#ifndef CFGTAG_RTL_VHDL_EMITTER_H_
+#define CFGTAG_RTL_VHDL_EMITTER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+// Emits a synthesizable structural VHDL-93 architecture from a netlist —
+// the artifact the paper's automatic code generator produced for the Xilinx
+// tool flow. Ports are the netlist's inputs/outputs plus `clk` and a
+// synchronous `rst` that restores every register's init value.
+class VhdlEmitter {
+ public:
+  // `entity_name` must be a valid VHDL identifier.
+  static StatusOr<std::string> Emit(const Netlist& netlist,
+                                    const std::string& entity_name);
+};
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_VHDL_EMITTER_H_

@@ -1,0 +1,40 @@
+#ifndef CFGTAG_RTL_VHDL_TESTBENCH_H_
+#define CFGTAG_RTL_VHDL_TESTBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+
+// One expected observation in a generated VHDL testbench: after `cycle`
+// clock edges, output port `port` must read `value`.
+struct TestbenchCheck {
+  uint64_t cycle = 0;
+  std::string port;
+  bool value = false;
+};
+
+// Byte stimulus for an 8-bit-wide data port group (d0..d7 or lK_d0..lK_d7).
+struct TestbenchStimulus {
+  // Bytes presented per cycle; bytes[c][k] is lane k's byte at cycle c.
+  std::vector<std::vector<unsigned char>> bytes;
+  int lanes = 1;
+};
+
+// Emits a self-checking VHDL testbench for a design produced by
+// VhdlEmitter::Emit(netlist, entity_name): it instantiates the entity,
+// generates a clock, applies the byte stimulus, and asserts every check,
+// reporting failures via VHDL `assert`. This is the hand-off artifact for
+// users with a real simulator (GHDL/ModelSim) who want to confirm the
+// exported design against the tags this library computed.
+StatusOr<std::string> EmitVhdlTestbench(const Netlist& netlist,
+                                        const std::string& entity_name,
+                                        const TestbenchStimulus& stimulus,
+                                        const std::vector<TestbenchCheck>& checks);
+
+}  // namespace cfgtag::rtl
+
+#endif  // CFGTAG_RTL_VHDL_TESTBENCH_H_

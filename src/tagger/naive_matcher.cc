@@ -1,0 +1,78 @@
+#include "tagger/naive_matcher.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cfgtag::tagger {
+
+NaiveMatcher::NaiveMatcher(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns)) {
+  nodes_.emplace_back();  // root
+  // Trie construction.
+  for (size_t pi = 0; pi < patterns_.size(); ++pi) {
+    int32_t cur = 0;
+    for (char ch : patterns_[pi]) {
+      const unsigned char c = static_cast<unsigned char>(ch);
+      if (nodes_[cur].next[c] == -1) {
+        nodes_[cur].next[c] = static_cast<int32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      cur = nodes_[cur].next[c];
+    }
+    nodes_[cur].output.push_back(static_cast<int32_t>(pi));
+  }
+  // Failure links by BFS; convert goto to a complete transition function.
+  std::deque<int32_t> queue;
+  for (int c = 0; c < 256; ++c) {
+    const int32_t t = nodes_[0].next[c];
+    if (t == -1) {
+      nodes_[0].next[c] = 0;
+    } else {
+      nodes_[t].fail = 0;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    const int32_t u = queue.front();
+    queue.pop_front();
+    // Merge outputs of the failure target.
+    const auto& fo = nodes_[nodes_[u].fail].output;
+    nodes_[u].output.insert(nodes_[u].output.end(), fo.begin(), fo.end());
+    for (int c = 0; c < 256; ++c) {
+      const int32_t t = nodes_[u].next[c];
+      if (t == -1) {
+        nodes_[u].next[c] = nodes_[nodes_[u].fail].next[c];
+      } else {
+        nodes_[t].fail = nodes_[nodes_[u].fail].next[c];
+        queue.push_back(t);
+      }
+    }
+  }
+}
+
+void NaiveMatcher::Scan(
+    std::string_view input,
+    const std::function<bool(int32_t, uint64_t)>& cb) const {
+  int32_t state = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    state = nodes_[state].next[static_cast<unsigned char>(input[i])];
+    for (int32_t p : nodes_[state].output) {
+      if (!cb(p, i)) return;
+    }
+  }
+}
+
+std::vector<Tag> NaiveMatcher::Matches(std::string_view input) const {
+  std::vector<Tag> out;
+  Scan(input, [&](int32_t p, uint64_t end) {
+    Tag t;
+    t.token = p;
+    t.end = end;
+    t.length = static_cast<uint32_t>(patterns_[p].size());
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace cfgtag::tagger

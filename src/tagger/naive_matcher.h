@@ -1,0 +1,47 @@
+#ifndef CFGTAG_TAGGER_NAIVE_MATCHER_H_
+#define CFGTAG_TAGGER_NAIVE_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tagger/tag.h"
+
+namespace cfgtag::tagger {
+
+// Context-free multi-pattern scanner (Aho–Corasick): the "naive pattern
+// search" of the paper's introduction. It reports every occurrence of every
+// pattern anywhere in the stream — which is exactly why it produces false
+// positives that the context-aware tagger avoids (the bench_false_positive
+// experiment).
+class NaiveMatcher {
+ public:
+  explicit NaiveMatcher(std::vector<std::string> patterns);
+
+  // Calls `cb(pattern_index, end_offset)` for every occurrence, in stream
+  // order; return false from the callback to stop.
+  void Scan(std::string_view input,
+            const std::function<bool(int32_t, uint64_t)>& cb) const;
+
+  // Convenience: all matches as tags (token = pattern index).
+  std::vector<Tag> Matches(std::string_view input) const;
+
+  size_t NumPatterns() const { return patterns_.size(); }
+  const std::string& pattern(size_t i) const { return patterns_[i]; }
+
+ private:
+  struct Node {
+    int32_t next[256];   // goto function (dense)
+    int32_t fail = 0;
+    std::vector<int32_t> output;  // pattern indices ending here
+    Node() { std::fill(std::begin(next), std::end(next), -1); }
+  };
+
+  std::vector<std::string> patterns_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_NAIVE_MATCHER_H_

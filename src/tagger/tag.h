@@ -1,0 +1,82 @@
+#ifndef CFGTAG_TAGGER_TAG_H_
+#define CFGTAG_TAGGER_TAG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "regex/char_class.h"
+
+namespace cfgtag::tagger {
+
+// One token detection. The hardware reports a token at the cycle its last
+// byte is consumed (paper §3.4), so the primary coordinate is the *end*
+// offset. `length` is filled by software reference parsers; engines that
+// merge overlapping runs (the hardware and its functional model) report
+// kUnknownLength.
+struct Tag {
+  static constexpr uint32_t kUnknownLength = 0;
+
+  int32_t token = -1;   // token id in the tagger's grammar
+  uint64_t end = 0;     // byte offset of the last byte of the match
+  uint32_t length = kUnknownLength;
+
+  friend bool operator==(const Tag& a, const Tag& b) {
+    return a.token == b.token && a.end == b.end;
+  }
+  friend bool operator<(const Tag& a, const Tag& b) {
+    return a.end != b.end ? a.end < b.end : a.token < b.token;
+  }
+};
+
+// Streaming consumer of tags — the "back-end processor" interface of paper
+// §3.5. Returning false stops the scan early.
+using TagSink = std::function<bool(const Tag&)>;
+
+// How the grammar's start tokens get armed (§3.3 offers the first two; the
+// third implements the §5.2 "error recovery" future work).
+enum class ArmMode {
+  // Start tokens armed only at stream start: strict parse mode ("if the
+  // beginning of the text is known, the starting tokenizers can be enabled
+  // once at the beginning of the data").
+  kAnchored,
+  // Start tokens armed at every byte: scan mode ("look for all sequences
+  // of tokens starting at every byte alignment of the data").
+  kScan,
+  // Start tokens additionally armed at every byte that follows a delimiter
+  // (and at stream start): the parser re-synchronizes at token boundaries,
+  // so it "continues processing from the point of the error" — and tags
+  // streams of back-to-back messages without external framing.
+  kResync,
+};
+
+// Knobs shared by the functional model and the hardware generator. The two
+// engines implement identical semantics for any given options value; the
+// equivalence tests sweep these.
+struct TaggerOptions {
+  // Bytes that separate tokens. Arms survive a run of delimiters and are
+  // consumed by the first non-delimiter byte (the Fig. 6 first-register
+  // stall). Tokens never start on a delimiter byte.
+  regex::CharClass delimiters = regex::CharClass::Whitespace();
+
+  ArmMode arm_mode = ArmMode::kAnchored;
+
+  // Deprecated alias used by older call sites; true = kAnchored, false =
+  // kScan. Kept as a helper for terse construction.
+  bool anchored = true;
+
+  // Fig. 7 longest-match look-ahead: suppress a match whose token run can
+  // consume the next byte. Disable to see every intermediate detection.
+  bool longest_match = true;
+
+  // The effective arming mode: `anchored == false` (legacy scan request)
+  // overrides the default-constructed arm_mode.
+  ArmMode EffectiveArmMode() const {
+    if (!anchored && arm_mode == ArmMode::kAnchored) return ArmMode::kScan;
+    return arm_mode;
+  }
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_TAG_H_

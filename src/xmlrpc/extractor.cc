@@ -1,0 +1,128 @@
+#include "xmlrpc/extractor.h"
+
+#include "common/strings.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::xmlrpc {
+
+namespace {
+
+// Scalar value types: open-tag literal -> reported type name.
+struct ScalarKind {
+  const char* open;
+  const char* close;
+  const char* type;
+};
+constexpr ScalarKind kScalars[] = {
+    {"<i4>", "</i4>", "i4"},
+    {"<int>", "</int>", "int"},
+    {"<string>", "</string>", "string"},
+    {"<double>", "</double>", "double"},
+    {"<dateTime.iso8601>", "</dateTime.iso8601>", "dateTime.iso8601"},
+    {"<base64>", "</base64>", "base64"},
+};
+
+}  // namespace
+
+StatusOr<CallExtractor> CallExtractor::Create() {
+  CFGTAG_ASSIGN_OR_RETURN(auto grammar, XmlRpcGrammar());
+  CFGTAG_ASSIGN_OR_RETURN(auto tagger,
+                          core::CompiledTagger::Compile(std::move(grammar)));
+  return CallExtractor(std::move(tagger));
+}
+
+StatusOr<ExtractedCall> CallExtractor::Extract(
+    std::string_view message) const {
+  const grammar::Grammar& g = tagger_.grammar();
+
+  auto literal_token = [&](const std::string& text) {
+    return g.FindToken("\"" + CEscape(text) + "\"");
+  };
+  const int32_t open_method = literal_token("<methodName>");
+  const int32_t close_method = literal_token("</methodName>");
+  const int32_t open_call = literal_token("<methodCall>");
+  const int32_t open_struct = literal_token("<struct>");
+  const int32_t close_struct = literal_token("</struct>");
+  const int32_t open_array = literal_token("<array>");
+  const int32_t close_array = literal_token("</array>");
+  const int32_t open_param = literal_token("<param>");
+
+  struct Scalar {
+    int32_t open_tok;
+    int32_t close_tok;
+    const char* type;
+    size_t close_len;
+  };
+  std::vector<Scalar> scalars;
+  for (const ScalarKind& s : kScalars) {
+    scalars.push_back(Scalar{literal_token(s.open), literal_token(s.close),
+                             s.type, std::string(s.close).size()});
+  }
+
+  ExtractedCall call;
+  bool saw_call = false;
+  bool in_method = false;
+  int depth = 0;  // struct/array nesting inside the current param
+  uint64_t method_start = 0;
+  // Open scalar at top level of the current param, pending its close tag.
+  int pending_scalar = -1;
+  uint64_t pending_start = 0;
+
+  for (const tagger::Tag& t : tagger_.Tag(message)) {
+    if (t.end >= message.size()) continue;  // ends inside flush padding
+    if (t.token == open_call) saw_call = true;
+    if (t.token == open_method) {
+      in_method = true;
+      method_start = t.end + 1;
+      continue;
+    }
+    if (t.token == close_method && in_method) {
+      // Method text: between the tags, trimmed of delimiters.
+      const uint64_t close_start = t.end + 1 - 13;  // "</methodName>"
+      call.method = std::string(StripWhitespace(
+          message.substr(method_start, close_start - method_start)));
+      in_method = false;
+      continue;
+    }
+    if (t.token == open_param) {
+      depth = 0;
+      pending_scalar = -1;
+      continue;
+    }
+    if (t.token == open_struct || t.token == open_array) {
+      if (depth == 0) {
+        call.params.push_back(
+            {t.token == open_struct ? "struct" : "array", ""});
+      }
+      ++depth;
+      continue;
+    }
+    if (t.token == close_struct || t.token == close_array) {
+      if (depth > 0) --depth;
+      continue;
+    }
+    if (depth != 0) continue;  // nested values are summarized by container
+    for (size_t si = 0; si < scalars.size(); ++si) {
+      if (t.token == scalars[si].open_tok) {
+        pending_scalar = static_cast<int>(si);
+        pending_start = t.end + 1;
+      } else if (t.token == scalars[si].close_tok &&
+                 pending_scalar == static_cast<int>(si)) {
+        const uint64_t close_start = t.end + 1 - scalars[si].close_len;
+        call.params.push_back(
+            {scalars[si].type,
+             std::string(StripWhitespace(message.substr(
+                 pending_start, close_start - pending_start)))});
+        pending_scalar = -1;
+      }
+    }
+  }
+
+  if (!saw_call || call.method.empty()) {
+    return InvalidArgumentError(
+        "tag stream lacks methodCall/methodName framing");
+  }
+  return call;
+}
+
+}  // namespace cfgtag::xmlrpc

@@ -1,0 +1,48 @@
+#ifndef CFGTAG_XMLRPC_EXTRACTOR_H_
+#define CFGTAG_XMLRPC_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/token_tagger.h"
+
+namespace cfgtag::xmlrpc {
+
+// A decoded XML-RPC call, recovered purely from the hardware tag stream
+// plus the raw bytes — the §3.5 "back-end processor" doing application
+// work on (token index, data) pairs, no software XML parser involved.
+struct ExtractedCall {
+  struct Param {
+    std::string type;  // "i4", "int", "string", "double", "dateTime.iso8601",
+                       // "base64", "struct", "array"
+    std::string text;  // raw text between the tags; empty for containers
+  };
+
+  std::string method;
+  std::vector<Param> params;  // top-level parameters, in order
+};
+
+// Tags messages with the Fig. 14 grammar and folds the tag stream into
+// ExtractedCall records.
+class CallExtractor {
+ public:
+  static StatusOr<CallExtractor> Create();
+
+  // Extracts the call from one message. Fails if the tag stream lacks the
+  // methodCall framing (malformed input).
+  StatusOr<ExtractedCall> Extract(std::string_view message) const;
+
+  const core::CompiledTagger& tagger() const { return tagger_; }
+
+ private:
+  explicit CallExtractor(core::CompiledTagger tagger)
+      : tagger_(std::move(tagger)) {}
+
+  core::CompiledTagger tagger_;
+};
+
+}  // namespace cfgtag::xmlrpc
+
+#endif  // CFGTAG_XMLRPC_EXTRACTOR_H_

@@ -1,0 +1,153 @@
+#include "xmlrpc/message_gen.h"
+
+#include <cstdio>
+
+namespace cfgtag::xmlrpc {
+
+namespace {
+constexpr char kAlnum[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+constexpr char kBase64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+MessageGenerator::MessageGenerator(MessageGenOptions options, uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {}
+
+void MessageGenerator::EmitWs(std::string* out) {
+  if (!rng_.NextBool(options_.whitespace_prob)) return;
+  static constexpr char kWs[] = {' ', '\n', '\t'};
+  const size_t n = 1 + rng_.NextIndex(3);
+  for (size_t i = 0; i < n; ++i) out->push_back(kWs[rng_.NextIndex(3)]);
+}
+
+std::string MessageGenerator::RandomString(size_t min_len, size_t max_len) {
+  const size_t len =
+      min_len + rng_.NextIndex(max_len - min_len + 1);
+  std::string s = rng_.NextString(len, std::string(kAlnum, 62));
+  if (options_.adversarial && rng_.NextBool(0.7) &&
+      !options_.method_names.empty()) {
+    // Smuggle a service name into the payload.
+    const std::string& svc =
+        options_.method_names[rng_.NextIndex(options_.method_names.size())];
+    const size_t at = rng_.NextIndex(s.size() + 1);
+    s.insert(at, svc);
+  }
+  return s;
+}
+
+void MessageGenerator::EmitValue(std::string* out, int depth) {
+  // Leaf kinds 0..5; container kinds 6..7 only while depth remains.
+  const int num_kinds = depth > 0 ? 8 : 6;
+  const int kind = static_cast<int>(rng_.NextIndex(num_kinds));
+  EmitWs(out);
+  char buf[64];
+  switch (kind) {
+    case 0:
+      std::snprintf(buf, sizeof(buf), "<i4>%+d</i4>",
+                    static_cast<int>(rng_.NextInRange(-99999, 99999)));
+      *out += buf;
+      break;
+    case 1:
+      std::snprintf(buf, sizeof(buf), "<int>%d</int>",
+                    static_cast<int>(rng_.NextInRange(0, 1 << 30)));
+      *out += buf;
+      break;
+    case 2:
+      *out += "<string>" + RandomString(1, 24) + "</string>";
+      break;
+    case 3: {
+      std::snprintf(
+          buf, sizeof(buf),
+          "<dateTime.iso8601>%04d%02d%02dT%02d:%02d:%02d</dateTime.iso8601>",
+          static_cast<int>(rng_.NextInRange(1970, 2038)),
+          static_cast<int>(rng_.NextInRange(1, 12)),
+          static_cast<int>(rng_.NextInRange(1, 28)),
+          static_cast<int>(rng_.NextInRange(0, 23)),
+          static_cast<int>(rng_.NextInRange(0, 59)),
+          static_cast<int>(rng_.NextInRange(0, 59)));
+      *out += buf;
+      break;
+    }
+    case 4:
+      std::snprintf(buf, sizeof(buf), "<double>%d.%02d</double>",
+                    static_cast<int>(rng_.NextInRange(-999, 999)),
+                    static_cast<int>(rng_.NextInRange(0, 99)));
+      *out += buf;
+      break;
+    case 5:
+      *out += "<base64>" + rng_.NextString(4 + rng_.NextIndex(16),
+                                           std::string(kBase64, 64)) +
+              "</base64>";
+      break;
+    case 6: {
+      *out += "<struct>";
+      const size_t members = 1 + rng_.NextIndex(options_.max_members);
+      for (size_t m = 0; m < members; ++m) {
+        EmitWs(out);
+        *out += "<member><name>" + RandomString(1, 12) + "</name>";
+        EmitValue(out, depth - 1);
+        EmitWs(out);
+        *out += "</member>";
+      }
+      EmitWs(out);
+      *out += "</struct>";
+      break;
+    }
+    case 7: {
+      *out += "<array><data>";
+      const size_t values = rng_.NextIndex(options_.max_members + 1);
+      for (size_t v = 0; v < values; ++v) EmitValue(out, depth - 1);
+      EmitWs(out);
+      *out += "</data></array>";
+      break;
+    }
+  }
+  EmitWs(out);
+}
+
+void MessageGenerator::EmitMessage(std::string* out,
+                                   const std::string& method) {
+  *out += "<methodCall>";
+  EmitWs(out);
+  *out += "<methodName>" + method + "</methodName>";
+  EmitWs(out);
+  *out += "<params>";
+  const size_t params = rng_.NextIndex(options_.max_params + 1);
+  for (size_t p = 0; p < params; ++p) {
+    EmitWs(out);
+    *out += "<param>";
+    EmitValue(out, options_.max_depth);
+    *out += "</param>";
+  }
+  EmitWs(out);
+  *out += "</params>";
+  EmitWs(out);
+  *out += "</methodCall>";
+}
+
+std::string MessageGenerator::Generate() {
+  const std::string& method =
+      options_.method_names[rng_.NextIndex(options_.method_names.size())];
+  return GenerateWithMethod(method);
+}
+
+std::string MessageGenerator::GenerateWithMethod(const std::string& method) {
+  std::string out;
+  EmitMessage(&out, method);
+  return out;
+}
+
+std::string MessageGenerator::GenerateStream(size_t count, size_t min_bytes) {
+  std::string out;
+  size_t emitted = 0;
+  while (emitted < count || out.size() < min_bytes) {
+    EmitMessage(&out, options_.method_names[rng_.NextIndex(
+                          options_.method_names.size())]);
+    out.push_back('\n');
+    ++emitted;
+  }
+  return out;
+}
+
+}  // namespace cfgtag::xmlrpc

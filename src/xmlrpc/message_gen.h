@@ -1,0 +1,55 @@
+#ifndef CFGTAG_XMLRPC_MESSAGE_GEN_H_
+#define CFGTAG_XMLRPC_MESSAGE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cfgtag::xmlrpc {
+
+// Workload generator: seeded random XML-RPC messages conforming to the
+// Fig. 14 grammar. Substitutes for the network traffic of the paper's
+// testbed — the tagger only ever sees a byte stream, and the generator
+// covers every value type, nesting through struct/array, and optional
+// whitespace between tokens.
+struct MessageGenOptions {
+  std::vector<std::string> method_names = {"deposit",  "withdraw", "acctinfo",
+                                           "buy",      "sell",     "price"};
+  int max_depth = 3;          // struct/array nesting budget
+  int max_params = 3;         // parameters per call
+  int max_members = 3;        // members per struct / values per array
+  double whitespace_prob = 0.4;  // chance of whitespace between tokens
+  // Adversarial mode: string values deliberately contain service names, so
+  // a context-free matcher reports them as service requests (the
+  // false-positive experiment of the intro).
+  bool adversarial = false;
+};
+
+class MessageGenerator {
+ public:
+  MessageGenerator(MessageGenOptions options, uint64_t seed);
+
+  // One random message; the method name is drawn from the option list.
+  std::string Generate();
+
+  // One random message with a fixed method name.
+  std::string GenerateWithMethod(const std::string& method);
+
+  // A stream of `count` messages separated by newlines, at least
+  // `min_bytes` long (whichever bound is hit last).
+  std::string GenerateStream(size_t count, size_t min_bytes = 0);
+
+ private:
+  void EmitWs(std::string* out);
+  void EmitValue(std::string* out, int depth);
+  void EmitMessage(std::string* out, const std::string& method);
+  std::string RandomString(size_t min_len, size_t max_len);
+
+  MessageGenOptions options_;
+  Rng rng_;
+};
+
+}  // namespace cfgtag::xmlrpc
+
+#endif  // CFGTAG_XMLRPC_MESSAGE_GEN_H_

@@ -1,0 +1,73 @@
+#include "xmlrpc/router.h"
+
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::xmlrpc {
+
+StatusOr<XmlRpcRouter> XmlRpcRouter::Create(const RouterConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(config.services.size());
+  for (const RouterConfig::Service& s : config.services) {
+    names.push_back(s.name);
+  }
+  CFGTAG_ASSIGN_OR_RETURN(auto grammar, XmlRpcRouterGrammar(names));
+
+  // Service keyword tokens are SVC_i = token id i (they are declared
+  // first); STRING can fire on the same cycle as a keyword, so the encoder
+  // gets an eq. 5 priority group with STRING lowest.
+  hwgen::HwOptions options;
+  const int32_t string_token = grammar.FindToken("STRING");
+  if (string_token < 0) return InternalError("router grammar lacks STRING");
+  std::vector<int32_t> group;
+  group.push_back(string_token);
+  for (size_t i = 0; i < config.services.size(); ++i) {
+    group.push_back(static_cast<int32_t>(i));
+  }
+  options.priority_groups.push_back(std::move(group));
+
+  CFGTAG_ASSIGN_OR_RETURN(auto tagger,
+                          core::CompiledTagger::Compile(std::move(grammar),
+                                                        options));
+
+  core::TagRouter switch_fabric(config.default_port);
+  for (size_t i = 0; i < config.services.size(); ++i) {
+    switch_fabric.AddRoute(static_cast<int32_t>(i), config.services[i].port);
+  }
+  return XmlRpcRouter(config, std::move(tagger), std::move(switch_fabric),
+                      string_token);
+}
+
+int32_t XmlRpcRouter::ServiceToken(const std::string& name) const {
+  for (size_t i = 0; i < config_.services.size(); ++i) {
+    if (config_.services[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+int XmlRpcRouter::RouteTags(const std::vector<tagger::Tag>& tags) const {
+  const int32_t num_services = static_cast<int32_t>(config_.services.size());
+  for (const tagger::Tag& t : tags) {
+    if (t.token >= num_services) continue;
+    // A keyword counts only when the STRING fallback fires on the same
+    // cycle (same end offset), which under longest-match happens exactly at
+    // the full method-name boundary.
+    for (const tagger::Tag& u : tags) {
+      if (u.token == string_token_ && u.end == t.end) {
+        return switch_.Route({t});
+      }
+    }
+  }
+  return switch_.default_port();
+}
+
+int XmlRpcRouter::Route(std::string_view message) const {
+  return RouteTags(tagger_.Tag(message));
+}
+
+StatusOr<int> XmlRpcRouter::RouteCycleAccurate(
+    std::string_view message) const {
+  CFGTAG_ASSIGN_OR_RETURN(auto tags, tagger_.TagCycleAccurate(message));
+  return RouteTags(tags);
+}
+
+}  // namespace cfgtag::xmlrpc

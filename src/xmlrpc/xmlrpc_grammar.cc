@@ -1,0 +1,161 @@
+#include "xmlrpc/xmlrpc_grammar.h"
+
+#include <cctype>
+
+#include "grammar/grammar_parser.h"
+
+namespace cfgtag::xmlrpc {
+
+namespace {
+
+// Paper Fig. 14, with the following fixes (each is the obviously intended
+// reading; see DESIGN.md §6):
+//   * `member_list` is referenced but never defined — defined here as
+//     member+ (right-recursive, matching the DTD's (member+)).
+//   * `data` is generalized from the paper's single optional value to
+//     value* (value_list), matching the DTD's (value*).
+//   * DOUBLE's '.' is escaped (the paper text relies on Lex context).
+//   * BASE64 is a repetition ([+/A-Za-z0-9]+); the paper shows the class
+//     for a single character.
+constexpr char kXmlRpcGrammar[] = R"grm(
+STRING            [a-zA-Z0-9]+
+INT               [+-]?[0-9]+
+DOUBLE            [+-]?[0-9]+\.[0-9]+
+YEAR              [0-9][0-9][0-9][0-9]
+MONTH, DAY        [0-9][0-9]
+HOUR, MIN, SEC    [0-9][0-9]
+BASE64            [+/A-Za-z0-9]+
+%%
+methodCall: "<methodCall>" methodName params "</methodCall>";
+methodName: "<methodName>" STRING "</methodName>";
+params:     "<params>" param "</params>";
+param:      | "<param>" value "</param>" param;
+value:      i4 | int | string | dateTime | double
+            | base64 | struct | array;
+i4:         "<i4>" INT "</i4>";
+int:        "<int>" INT "</int>";
+string:     "<string>" STRING "</string>";
+dateTime:   "<dateTime.iso8601>" YEAR MONTH DAY
+            `T' HOUR `:' MIN `:' SEC "</dateTime.iso8601>";
+double:     "<double>" DOUBLE "</double>";
+base64:     "<base64>" BASE64 "</base64>";
+struct:     "<struct>" member_list "</struct>";
+member_list: member member_rest;
+member_rest: | member member_rest;
+member:     "<member>" name value "</member>";
+name:       "<name>" STRING "</name>";
+array:      "<array>" data "</array>";
+data:       "<data>" value_list "</data>";
+value_list: | value value_list;
+%%
+)grm";
+
+// Paper Fig. 13 verbatim (module name normalized: the figure's
+// dataTime/dateTime typo is resolved to dateTime.iso8601 throughout).
+constexpr char kXmlRpcDtd[] = R"dtd(
+<!ELEMENT methodCall       (methodName, params)>
+<!ELEMENT methodName       (#PCDATA)>
+<!ELEMENT params           (param*)>
+<!ELEMENT param            (value)>
+<!ELEMENT value            (i4|int|string|
+   dateTime.iso8601|double|base64|struct|array)>
+<!ELEMENT i4               (#PCDATA)>
+<!ELEMENT int              (#PCDATA)>
+<!ELEMENT string           (#PCDATA)>
+<!ELEMENT dateTime.iso8601 (#PCDATA)>
+<!ELEMENT double           (#PCDATA)>
+<!ELEMENT base64           (#PCDATA)>
+<!ELEMENT array            (data)>
+<!ELEMENT data             (value*)>
+<!ELEMENT struct           (member+)>
+<!ELEMENT member           (name, value)>
+<!ELEMENT name             (#PCDATA)>
+)dtd";
+
+}  // namespace
+
+const std::string& XmlRpcGrammarText() {
+  static const std::string* const kText = new std::string(kXmlRpcGrammar);
+  return *kText;
+}
+
+const std::string& XmlRpcDtdText() {
+  static const std::string* const kText = new std::string(kXmlRpcDtd);
+  return *kText;
+}
+
+StatusOr<grammar::Grammar> XmlRpcGrammar() {
+  return grammar::ParseGrammar(XmlRpcGrammarText());
+}
+
+StatusOr<XmlRpcTokens> FindXmlRpcTokens(const grammar::Grammar& g) {
+  XmlRpcTokens t;
+  t.string = g.FindToken("STRING");
+  t.open_method = g.FindToken("\"<methodName>\"");
+  t.close_method = g.FindToken("\"</methodName>\"");
+  if (t.string < 0 || t.open_method < 0 || t.close_method < 0) {
+    return NotFoundError("grammar lacks the XML-RPC methodName tokens");
+  }
+  return t;
+}
+
+StatusOr<grammar::Grammar> XmlRpcRouterGrammar(
+    const std::vector<std::string>& services) {
+  if (services.empty()) {
+    return InvalidArgumentError("router needs at least one service");
+  }
+  // Service keywords are declared in the definitions section *before*
+  // STRING so they get lower token ids: the reference lexer breaks
+  // longest-match ties toward the earliest token (flex semantics), and the
+  // back-end gets one dedicated match wire per service (Fig. 12).
+  std::string text;
+  for (size_t i = 0; i < services.size(); ++i) {
+    for (char c : services[i]) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) {
+        return InvalidArgumentError("service names must be alphanumeric: " +
+                                    services[i]);
+      }
+    }
+    text += "SVC_" + std::to_string(i) + " \"" + services[i] + "\"\n";
+  }
+  text += R"grm(
+STRING            [a-zA-Z0-9]+
+INT               [+-]?[0-9]+
+DOUBLE            [+-]?[0-9]+\.[0-9]+
+YEAR              [0-9][0-9][0-9][0-9]
+MONTH, DAY        [0-9][0-9]
+HOUR, MIN, SEC    [0-9][0-9]
+BASE64            [+/A-Za-z0-9]+
+%%
+methodCall: "<methodCall>" methodName params "</methodCall>";
+methodName: "<methodName>" service "</methodName>";
+service:    )grm";
+  for (size_t i = 0; i < services.size(); ++i) {
+    text += "SVC_" + std::to_string(i) + " | ";
+  }
+  text += R"grm(STRING;
+params:     "<params>" param "</params>";
+param:      | "<param>" value "</param>" param;
+value:      i4 | int | string | dateTime | double
+            | base64 | struct | array;
+i4:         "<i4>" INT "</i4>";
+int:        "<int>" INT "</int>";
+string:     "<string>" STRING "</string>";
+dateTime:   "<dateTime.iso8601>" YEAR MONTH DAY
+            `T' HOUR `:' MIN `:' SEC "</dateTime.iso8601>";
+double:     "<double>" DOUBLE "</double>";
+base64:     "<base64>" BASE64 "</base64>";
+struct:     "<struct>" member_list "</struct>";
+member_list: member member_rest;
+member_rest: | member member_rest;
+member:     "<member>" name value "</member>";
+name:       "<name>" STRING "</name>";
+array:      "<array>" data "</array>";
+data:       "<data>" value_list "</data>";
+value_list: | value value_list;
+%%
+)grm";
+  return grammar::ParseGrammar(text);
+}
+
+}  // namespace cfgtag::xmlrpc

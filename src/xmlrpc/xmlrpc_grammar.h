@@ -1,0 +1,42 @@
+#ifndef CFGTAG_XMLRPC_XMLRPC_GRAMMAR_H_
+#define CFGTAG_XMLRPC_XMLRPC_GRAMMAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::xmlrpc {
+
+// The Yacc-style XML-RPC grammar of paper Fig. 14, with the obviously
+// intended fixes documented in the .cc file (member_list defined, data
+// generalized to value*, escaped '.' in DOUBLE, repeated BASE64).
+const std::string& XmlRpcGrammarText();
+
+// The XML-RPC DTD of paper Fig. 13 (used to exercise the §4.1 DTD->BNF
+// path; the hand-written Fig. 14 grammar drives the main experiments).
+const std::string& XmlRpcDtdText();
+
+// Parses XmlRpcGrammarText().
+StatusOr<grammar::Grammar> XmlRpcGrammar();
+
+// Ids of the tokens a test or back-end usually cares about.
+struct XmlRpcTokens {
+  int32_t string = -1;       // STRING
+  int32_t open_method = -1;  // "<methodName>"
+  int32_t close_method = -1; // "</methodName>"
+};
+StatusOr<XmlRpcTokens> FindXmlRpcTokens(const grammar::Grammar& g);
+
+// The router grammar of Fig. 12: XML-RPC where <methodName> content is one
+// of the literal `services` (each its own token, so the hardware raises a
+// dedicated service wire) or a generic STRING fallback. Service literals
+// get lower token ids than STRING so longest-match ties resolve to the
+// service keyword (flex "earliest rule wins" behaviour).
+StatusOr<grammar::Grammar> XmlRpcRouterGrammar(
+    const std::vector<std::string>& services);
+
+}  // namespace cfgtag::xmlrpc
+
+#endif  // CFGTAG_XMLRPC_XMLRPC_GRAMMAR_H_

@@ -1,0 +1,202 @@
+// End-to-end tests: grammar text -> generated hardware -> tags, with the
+// three engines (functional model, cycle-accurate netlist, LL reference
+// parser) cross-checked on the paper's own examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/token_tagger.h"
+#include "grammar/grammar_parser.h"
+#include "tagger/ll_parser.h"
+#include "xmlrpc/message_gen.h"
+#include "xmlrpc/router.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag {
+namespace {
+
+using core::CompiledTagger;
+using grammar::ParseGrammar;
+using tagger::Tag;
+
+// Fig. 9: the if-then-else grammar.
+constexpr char kIfThenElse[] = R"(
+%%
+stmt: "if" cond "then" stmt "else" stmt | "go" | "stop";
+cond: "true" | "false";
+%%
+)";
+
+std::vector<std::pair<std::string, uint64_t>> Render(
+    const grammar::Grammar& g, const std::vector<Tag>& tags) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const Tag& t : tags) {
+    out.emplace_back(g.tokens()[t.token].name, t.end);
+  }
+  return out;
+}
+
+TEST(IfThenElseTest, FunctionalModelTagsInOrder) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  const std::string input = "if true then go else stop";
+  auto tags = compiled->Tag(input);
+  auto rendered = Render(compiled->grammar(), tags);
+
+  std::vector<std::pair<std::string, uint64_t>> expected = {
+      {"\"if\"", 1},   {"\"true\"", 6},  {"\"then\"", 11},
+      {"\"go\"", 14},  {"\"else\"", 19}, {"\"stop\"", 24},
+  };
+  EXPECT_EQ(rendered, expected);
+}
+
+TEST(IfThenElseTest, NestedStatement) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  const std::string input = "if false then if true then go else stop else go";
+  auto tags = compiled->Tag(input);
+  ASSERT_EQ(tags.size(), 11u);
+  // First and last tokens.
+  EXPECT_EQ(compiled->grammar().tokens()[tags.front().token].name, "\"if\"");
+  EXPECT_EQ(compiled->grammar().tokens()[tags.back().token].name, "\"go\"");
+}
+
+TEST(IfThenElseTest, CycleAccurateMatchesFunctionalModel) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  for (const std::string& input :
+       {std::string("if true then go else stop"), std::string("go"),
+        std::string("  stop  "),
+        std::string("if true then if false then go else stop else go")}) {
+    auto hw = compiled->TagCycleAccurate(input);
+    ASSERT_TRUE(hw.ok()) << hw.status();
+    EXPECT_EQ(compiled->Tag(input), hw.value()) << "input: " << input;
+  }
+}
+
+TEST(IfThenElseTest, IndexBusMatchesFunctionalModel) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  const std::string input = "if true then go else stop";
+  auto bus = compiled->TagViaIndexBus(input);
+  ASSERT_TRUE(bus.ok()) << bus.status();
+  EXPECT_EQ(compiled->Tag(input), bus.value());
+}
+
+TEST(IfThenElseTest, LlParserAgreesOnValidInput) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto parser = tagger::PredictiveParser::Create(&g.value(), {});
+  ASSERT_TRUE(parser.ok()) << parser.status();
+
+  auto parsed = parser->Parse("if true then go else stop");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 6u);
+
+  EXPECT_FALSE(parser->Accepts("if true go"));
+  EXPECT_FALSE(parser->Accepts("then"));
+  EXPECT_TRUE(parser->Accepts("  go  "));
+}
+
+TEST(XmlRpcTest, GeneratedMessagesParseAndTagConsistently) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto g2 = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g2.ok());
+  auto parser = tagger::PredictiveParser::Create(&g2.value(), {});
+  ASSERT_TRUE(parser.ok()) << parser.status();
+
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  xmlrpc::MessageGenerator gen({}, /*seed=*/42);
+  for (int i = 0; i < 20; ++i) {
+    const std::string msg = gen.Generate();
+    auto ll_tags = parser->Parse(msg);
+    ASSERT_TRUE(ll_tags.ok()) << ll_tags.status() << "\nmsg: " << msg;
+
+    // The hardware tags must be a superset of the true parser's tags
+    // (paper §3.1: the collapsed FSA accepts a superset).
+    auto hw_tags = compiled->Tag(msg);
+    for (const Tag& t : *ll_tags) {
+      EXPECT_TRUE(std::find(hw_tags.begin(), hw_tags.end(), t) !=
+                  hw_tags.end())
+          << "missing tag token=" << compiled->grammar().tokens()[t.token].name
+          << " end=" << t.end << "\nmsg: " << msg;
+    }
+  }
+}
+
+TEST(XmlRpcTest, CycleAccurateMatchesFunctionalModel) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  xmlrpc::MessageGenerator gen({}, /*seed=*/7);
+  for (int i = 0; i < 3; ++i) {
+    const std::string msg = gen.Generate();
+    auto hw = compiled->TagCycleAccurate(msg);
+    ASSERT_TRUE(hw.ok()) << hw.status();
+    EXPECT_EQ(compiled->Tag(msg), hw.value()) << "msg: " << msg;
+  }
+}
+
+TEST(XmlRpcTest, ImplementationReportIsPlausible) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto compiled = CompiledTagger::Compile(std::move(g).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  auto report = compiled->Implement(rtl::Virtex4LX200());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->area.luts, 100u);
+  EXPECT_GT(report->area.pattern_bytes, 200u);
+  EXPECT_GT(report->timing.fmax_mhz, 100.0);
+  EXPECT_GT(report->bandwidth_gbps, 0.8);
+}
+
+TEST(RouterTest, RoutesByMethodName) {
+  xmlrpc::RouterConfig config;
+  config.services = {{"deposit", 1}, {"withdraw", 1}, {"acctinfo", 1},
+                     {"buy", 2},     {"sell", 2},     {"price", 2}};
+  config.default_port = 0;
+  auto router = xmlrpc::XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  xmlrpc::MessageGenerator gen({}, /*seed=*/3);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("deposit")), 1);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("sell")), 2);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("somethingelse")), 0);
+}
+
+TEST(RouterTest, AdversarialPayloadDoesNotMisroute) {
+  xmlrpc::RouterConfig config;
+  config.services = {{"deposit", 1}, {"buy", 2}};
+  config.default_port = 0;
+  auto router = xmlrpc::XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  // "buy" hidden in a string value of a "deposit" call must not route to 2.
+  const std::string msg =
+      "<methodCall><methodName>deposit</methodName><params>"
+      "<param><string>please buy everything</string></param>"
+      "</params></methodCall>";
+  EXPECT_EQ(router->Route(msg), 1);
+}
+
+}  // namespace
+}  // namespace cfgtag

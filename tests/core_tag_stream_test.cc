@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "core/tag_stream.h"
+
+namespace cfgtag::core {
+namespace {
+
+tagger::Tag T(int32_t token, uint64_t end) {
+  tagger::Tag t;
+  t.token = token;
+  t.end = end;
+  return t;
+}
+
+TEST(TokenCounterTest, CountsPerToken) {
+  TokenCounter counter;
+  counter.Add(T(1, 0));
+  counter.Add(T(1, 5));
+  counter.Add(T(2, 9));
+  EXPECT_EQ(counter.Count(1), 2u);
+  EXPECT_EQ(counter.Count(2), 1u);
+  EXPECT_EQ(counter.Count(3), 0u);
+  EXPECT_EQ(counter.Total(), 3u);
+  EXPECT_EQ(counter.counts().size(), 2u);
+}
+
+TEST(TagRouterTest, FirstRoutingTokenWins) {
+  TagRouter router(/*default_port=*/0);
+  router.AddRoute(5, 1);
+  router.AddRoute(7, 2);
+  EXPECT_EQ(router.Route({T(3, 0), T(7, 4), T(5, 9)}), 2);
+  EXPECT_EQ(router.Route({T(5, 1)}), 1);
+}
+
+TEST(TagRouterTest, DefaultPortWhenNoRouteMatches) {
+  TagRouter router(9);
+  router.AddRoute(1, 3);
+  EXPECT_EQ(router.Route({}), 9);
+  EXPECT_EQ(router.Route({T(2, 0), T(4, 2)}), 9);
+  EXPECT_EQ(router.default_port(), 9);
+}
+
+TEST(TagRouterTest, RouteOverwrite) {
+  TagRouter router(0);
+  router.AddRoute(1, 3);
+  router.AddRoute(1, 4);  // later registration wins
+  EXPECT_EQ(router.Route({T(1, 0)}), 4);
+}
+
+}  // namespace
+}  // namespace cfgtag::core

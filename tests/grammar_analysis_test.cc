@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "grammar/analysis.h"
+#include "grammar/grammar_parser.h"
+
+namespace cfgtag::grammar {
+namespace {
+
+// The paper's running example (Fig. 9).
+constexpr char kIfThenElse[] = R"(
+%%
+stmt: "if" cond "then" stmt "else" stmt | "go" | "stop";
+cond: "true" | "false";
+%%
+)";
+
+std::set<std::string> FollowNames(const Grammar& g, const Analysis& a,
+                                  const std::string& token_name) {
+  const int32_t t = g.FindToken(token_name);
+  EXPECT_GE(t, 0) << token_name;
+  std::set<std::string> out;
+  for (int32_t f : a.follow_tok[t]) {
+    out.insert(f == Analysis::kEndMarker ? "eps" : g.tokens()[f].name);
+  }
+  return out;
+}
+
+// Fig. 10: the Follow set for each terminal token, reproduced exactly.
+TEST(AnalysisTest, Figure10FollowSets) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok()) << a.status();
+
+  using Set = std::set<std::string>;
+  EXPECT_EQ(FollowNames(*g, *a, "\"if\""), (Set{"\"true\"", "\"false\""}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"then\""),
+            (Set{"\"if\"", "\"go\"", "\"stop\""}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"else\""),
+            (Set{"\"if\"", "\"go\"", "\"stop\""}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"go\""), (Set{"\"else\"", "eps"}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"stop\""), (Set{"\"else\"", "eps"}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"true\""), (Set{"\"then\""}));
+  EXPECT_EQ(FollowNames(*g, *a, "\"false\""), (Set{"\"then\""}));
+}
+
+TEST(AnalysisTest, StartTokensAreFirstOfStart) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok());
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  std::set<std::string> names;
+  for (int32_t t : a->start_tokens) names.insert(g->tokens()[t].name);
+  EXPECT_EQ(names,
+            (std::set<std::string>{"\"if\"", "\"go\"", "\"stop\""}));
+  EXPECT_FALSE(a->start_nullable);
+}
+
+TEST(AnalysisTest, NullableComputation) {
+  auto g = ParseGrammar(R"(
+A x
+B y
+%%
+s: opt B;
+opt: | A;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->nullable[g->FindNonterminal("opt")]);
+  EXPECT_FALSE(a->nullable[g->FindNonterminal("s")]);
+  // First(s) sees through the nullable prefix.
+  std::set<int32_t> expected = {g->FindToken("A"), g->FindToken("B")};
+  EXPECT_EQ(a->first_nt[g->FindNonterminal("s")], expected);
+}
+
+TEST(AnalysisTest, NullableChainPropagates) {
+  auto g = ParseGrammar(R"(
+A x
+%%
+s: p q r;
+p: | A;
+q: | A;
+r: | A;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->nullable[g->FindNonterminal("s")]);
+  EXPECT_TRUE(a->start_nullable);
+  // Follow(A) includes everything A can be followed by across p/q/r plus
+  // end of input.
+  auto follow = a->follow_tok[g->FindToken("A")];
+  EXPECT_TRUE(follow.count(g->FindToken("A")) > 0);
+  EXPECT_TRUE(follow.count(Analysis::kEndMarker) > 0);
+}
+
+TEST(AnalysisTest, RecursiveProductionFollow) {
+  // param-style right recursion: Follow("x") must contain "x" (the next
+  // element) and the end marker.
+  auto g = ParseGrammar(R"(
+%%
+list: | "x" list;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  const int32_t x = g->FindToken("\"x\"");
+  EXPECT_TRUE(a->follow_tok[x].count(x) > 0);
+  EXPECT_TRUE(a->follow_tok[x].count(Analysis::kEndMarker) > 0);
+}
+
+TEST(AnalysisTest, FirstOfSequenceHandlesNullablePrefix) {
+  auto g = ParseGrammar(R"(
+A x
+B y
+%%
+s: opt B;
+opt: | A;
+%%
+)");
+  ASSERT_TRUE(g.ok());
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  const Production& p = g->productions()[0];  // s: opt B
+  auto [first, nullable] = a->FirstOfSequence(p.rhs, 0);
+  EXPECT_FALSE(nullable);
+  EXPECT_EQ(first.size(), 2u);
+  auto [first_tail, nullable_tail] = a->FirstOfSequence(p.rhs, 1);
+  EXPECT_FALSE(nullable_tail);
+  EXPECT_EQ(first_tail.size(), 1u);
+  auto [first_end, nullable_end] = a->FirstOfSequence(p.rhs, 2);
+  EXPECT_TRUE(nullable_end);
+  EXPECT_TRUE(first_end.empty());
+}
+
+TEST(AnalysisTest, ToStringMentionsAllTokens) {
+  auto g = ParseGrammar(kIfThenElse);
+  ASSERT_TRUE(g.ok());
+  auto a = Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  const std::string dump = a->ToString(*g);
+  EXPECT_NE(dump.find("Follow(\"if\")"), std::string::npos);
+  EXPECT_NE(dump.find("start tokens"), std::string::npos);
+  EXPECT_NE(dump.find("First(stmt)"), std::string::npos);
+}
+
+TEST(AnalysisTest, RejectsInvalidGrammar) {
+  Grammar g;
+  EXPECT_FALSE(Analyze(g).ok());
+}
+
+}  // namespace
+}  // namespace cfgtag::grammar

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "grammar/grammar_parser.h"
+#include "grammar/lint.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::grammar {
+namespace {
+
+grammar::Grammar MustParse(const std::string& text) {
+  auto g = grammar::ParseGrammar(text);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+int Count(const std::vector<LintFinding>& findings, LintFinding::Kind kind) {
+  int n = 0;
+  for (const auto& f : findings) n += f.kind == kind;
+  return n;
+}
+
+TEST(LintTest, CleanGrammarHasNoFindings) {
+  auto findings = Lint(MustParse(R"(
+%%
+stmt: "if" cond "then" stmt "else" stmt | "go" | "stop";
+cond: "true" | "false";
+%%
+)"));
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_TRUE(findings->empty());
+}
+
+TEST(LintTest, DetectsUnreachableNonterminal) {
+  auto findings = Lint(MustParse(R"(
+%%
+s: "a";
+island: "b";
+%%
+)"));
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kUnreachableNonterminal), 1);
+}
+
+TEST(LintTest, DetectsUnusedToken) {
+  auto findings = Lint(MustParse("GHOST [0-9]+\n%%\ns: \"a\";\n%%\n"));
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(Count(*findings, LintFinding::Kind::kUnusedToken), 1);
+}
+
+TEST(LintTest, DetectsNonproductiveNonterminal) {
+  // loop only derives itself: reachable but nonproductive.
+  auto findings = Lint(MustParse(R"(
+%%
+s: "a" loop;
+loop: "x" loop;
+%%
+)"));
+  ASSERT_TRUE(findings.ok());
+  // Both `loop` and `s` (which needs loop) can never finish deriving.
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kNonproductiveNonterminal), 2);
+}
+
+TEST(LintTest, DetectsIdenticalPatternArmConflict) {
+  // MIN and SEC both follow the shared ':' token — identical patterns
+  // armed together, the §3.2/§3.4 case.
+  auto findings = Lint(MustParse(R"(
+NUM1, NUM2 [0-9][0-9]
+%%
+t: NUM1 ":" NUM2 ":" NUM1;
+%%
+)"));
+  ASSERT_TRUE(findings.ok());
+  EXPECT_GE(Count(*findings, LintFinding::Kind::kArmConflict), 1);
+}
+
+TEST(LintTest, DetectsKeywordSubsumedByIdentifier) {
+  // "go" is fully matched by WORD and both are armed at start.
+  auto findings = Lint(MustParse(R"(
+WORD [a-z]+
+%%
+s: "go" | WORD;
+%%
+)"));
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(Count(*findings, LintFinding::Kind::kArmConflict), 1);
+}
+
+TEST(LintTest, DetectsLiteralPrefixShadow) {
+  auto findings = Lint(MustParse(R"(
+%%
+s: "ab" "x" | "abc" "y";
+%%
+)"));
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kPrefixShadow), 1);
+}
+
+TEST(LintTest, XmlRpcGrammarFindingsAreExpected) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto findings = Lint(*g);
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  // Known in the paper's grammar: MONTH/DAY and HOUR/MIN/SEC duplicates
+  // share arm contexts via the duplicated ':' literal.
+  EXPECT_GE(Count(*findings, LintFinding::Kind::kArmConflict), 1);
+  // No dead symbols.
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kUnreachableNonterminal), 0);
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kUnusedToken), 0);
+  EXPECT_EQ(Count(*findings, LintFinding::Kind::kNonproductiveNonterminal),
+            0);
+}
+
+TEST(LintTest, KindNamesAreStable) {
+  EXPECT_STREQ(LintKindName(LintFinding::Kind::kArmConflict),
+               "arm-conflict");
+  EXPECT_STREQ(LintKindName(LintFinding::Kind::kUnusedToken),
+               "unused-token");
+}
+
+}  // namespace
+}  // namespace cfgtag::grammar

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "grammar/grammar.h"
+#include "grammar/grammar_parser.h"
+
+namespace cfgtag::grammar {
+namespace {
+
+TEST(GrammarTest, AddTokenAndLookup) {
+  Grammar g;
+  auto id = g.AddToken("WORD", "[a-z]+");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(g.FindToken("WORD"), 0);
+  EXPECT_EQ(g.FindToken("MISSING"), -1);
+  EXPECT_FALSE(g.AddToken("WORD", "[0-9]").ok()) << "duplicate name";
+  EXPECT_FALSE(g.AddToken("BAD", "[z-a").ok()) << "bad pattern";
+}
+
+TEST(GrammarTest, LiteralTokensDeduplicate) {
+  Grammar g;
+  auto a = g.AddLiteralToken("<x>");
+  auto b = g.AddLiteralToken("<x>");
+  auto c = g.AddLiteralToken("<y>");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+  EXPECT_TRUE(g.tokens()[*a].is_literal);
+  EXPECT_EQ(g.tokens()[*a].literal_text, "<x>");
+  EXPECT_FALSE(g.AddLiteralToken("").ok());
+}
+
+TEST(GrammarTest, StartDefaultsToFirstProduction) {
+  Grammar g;
+  int32_t a = g.AddNonterminal("a");
+  int32_t b = g.AddNonterminal("b");
+  auto tok = g.AddLiteralToken("t");
+  ASSERT_TRUE(tok.ok());
+  g.AddProduction(b, {Symbol::Terminal(*tok)});
+  g.AddProduction(a, {Symbol::Terminal(*tok)});
+  EXPECT_EQ(g.start(), b);
+  g.SetStart(a);
+  EXPECT_EQ(g.start(), a);
+}
+
+TEST(GrammarTest, ValidateRejectsMissingProduction) {
+  Grammar g;
+  int32_t a = g.AddNonterminal("a");
+  int32_t b = g.AddNonterminal("orphan");
+  auto tok = g.AddLiteralToken("t");
+  ASSERT_TRUE(tok.ok());
+  g.AddProduction(a, {Symbol::Nonterminal(b)});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GrammarTest, ValidateRejectsNullableToken) {
+  Grammar g;
+  auto tok = g.AddToken("MAYBE", "a*");
+  ASSERT_TRUE(tok.ok());
+  int32_t a = g.AddNonterminal("a");
+  g.AddProduction(a, {Symbol::Terminal(*tok)});
+  auto status = g.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("empty string"), std::string::npos);
+}
+
+TEST(GrammarTest, ValidateRejectsNoStart) {
+  Grammar g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GrammarTest, PatternBytesSumsLiteralPositions) {
+  Grammar g;
+  ASSERT_TRUE(g.AddToken("A", "abc").ok());       // 3
+  ASSERT_TRUE(g.AddToken("B", "[0-9]+").ok());    // 1
+  ASSERT_TRUE(g.AddLiteralToken("<tag>").ok());   // 5
+  EXPECT_EQ(g.PatternBytes(), 9u);
+}
+
+TEST(GrammarTest, CloneIsIndependent) {
+  Grammar g;
+  ASSERT_TRUE(g.AddToken("A", "a").ok());
+  int32_t nt = g.AddNonterminal("s");
+  g.AddProduction(nt, {Symbol::Terminal(0)});
+  Grammar copy = g.Clone();
+  copy.AddNonterminal("extra");
+  EXPECT_EQ(g.NumNonterminals(), 1u);
+  EXPECT_EQ(copy.NumNonterminals(), 2u);
+}
+
+// -------------------------------------------------------- Grammar parser
+
+TEST(GrammarParserTest, ParsesDefinitionsAndRules) {
+  auto g = ParseGrammar(R"(
+WORD   [a-z]+
+NUM    [0-9]+
+%%
+s: WORD NUM | NUM;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumTokens(), 2u);
+  EXPECT_EQ(g->NumNonterminals(), 1u);
+  EXPECT_EQ(g->productions().size(), 2u);
+  EXPECT_EQ(g->start(), g->FindNonterminal("s"));
+}
+
+TEST(GrammarParserTest, CommaSeparatedTokenNames) {
+  auto g = ParseGrammar(R"(
+MONTH, DAY   [0-9][0-9]
+%%
+s: MONTH DAY;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumTokens(), 2u);
+  EXPECT_NE(g->FindToken("MONTH"), -1);
+  EXPECT_NE(g->FindToken("DAY"), -1);
+  // Same pattern, distinct tokens.
+  EXPECT_EQ(g->tokens()[0].pattern, g->tokens()[1].pattern);
+}
+
+TEST(GrammarParserTest, LiteralAndCharTokens) {
+  auto g = ParseGrammar(R"(
+%%
+s: "<a>" `:' 'x' "<a>";
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  // "<a>" deduplicates; `:' and 'x' are one-char literals.
+  EXPECT_EQ(g->NumTokens(), 3u);
+  ASSERT_EQ(g->productions().size(), 1u);
+  EXPECT_EQ(g->productions()[0].rhs.size(), 4u);
+  EXPECT_EQ(g->productions()[0].rhs[0], g->productions()[0].rhs[3]);
+}
+
+TEST(GrammarParserTest, EmptyAlternativeIsEpsilon) {
+  auto g = ParseGrammar(R"(
+%%
+s: | "x" s;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_EQ(g->productions().size(), 2u);
+  EXPECT_TRUE(g->productions()[0].rhs.empty());
+  EXPECT_EQ(g->productions()[1].rhs.size(), 2u);
+}
+
+TEST(GrammarParserTest, CommentsStripped) {
+  auto g = ParseGrammar(R"(
+WORD [a-z]+ // trailing comment
+/* block
+   comment */
+%%
+s: WORD; // another
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumTokens(), 1u);
+}
+
+TEST(GrammarParserTest, MultiLineRules) {
+  auto g = ParseGrammar(R"(
+A x
+B y
+%%
+s: A
+ | B
+ ;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->productions().size(), 2u);
+}
+
+TEST(GrammarParserTest, UndefinedSymbolRejected) {
+  auto g = ParseGrammar("%%\ns: missing;\n%%\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("missing"), std::string::npos);
+}
+
+TEST(GrammarParserTest, RuleTokenNameCollisionRejected) {
+  auto g = ParseGrammar("A x\n%%\nA: \"y\";\n%%\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GrammarParserTest, MissingSectionsRejected) {
+  EXPECT_FALSE(ParseGrammar("just some text").ok());
+  EXPECT_FALSE(ParseGrammar("%%\n%%\n").ok()) << "no rules";
+}
+
+TEST(GrammarParserTest, BadDefinitionLineRejected) {
+  EXPECT_FALSE(ParseGrammar("LONETOKEN\n%%\ns: \"x\";\n%%\n").ok());
+}
+
+TEST(GrammarParserTest, UnterminatedLiteralRejected) {
+  EXPECT_FALSE(ParseGrammar("%%\ns: \"unterminated;\n%%\n").ok());
+  EXPECT_FALSE(ParseGrammar("%%\ns: `x;\n%%\n").ok());
+}
+
+TEST(GrammarParserTest, ToStringReparses) {
+  auto g = ParseGrammar(R"(
+WORD [a-z]+
+%%
+s: WORD t | ;
+t: "<x>" s;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto again = ParseGrammar(g->ToString());
+  ASSERT_TRUE(again.ok()) << g->ToString() << "\n-> " << again.status();
+  EXPECT_EQ(again->NumTokens(), g->NumTokens());
+  EXPECT_EQ(again->productions().size(), g->productions().size());
+}
+
+}  // namespace
+}  // namespace cfgtag::grammar

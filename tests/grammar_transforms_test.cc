@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/token_tagger.h"
+#include "grammar/grammar_parser.h"
+#include "grammar/token_context.h"
+#include "grammar/transforms.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::grammar {
+namespace {
+
+constexpr char kTiny[] = R"(
+WORD [a-z]+
+%%
+s: "<" WORD ">";
+%%
+)";
+
+// ------------------------------------------------------ DuplicateGrammar
+
+TEST(DuplicateGrammarTest, ScalesCountsLinearly) {
+  auto base = ParseGrammar(kTiny);
+  ASSERT_TRUE(base.ok()) << base.status();
+  auto dup = DuplicateGrammar(*base, 3);
+  ASSERT_TRUE(dup.ok()) << dup.status();
+  EXPECT_EQ(dup->NumTokens(), 3 * base->NumTokens());
+  EXPECT_EQ(dup->PatternBytes(), 3 * base->PatternBytes());
+  // +1 nonterminal for the fresh start, +3 start alternatives.
+  EXPECT_EQ(dup->NumNonterminals(), 3 * base->NumNonterminals() + 1);
+  EXPECT_EQ(dup->productions().size(), 3 * base->productions().size() + 3);
+  EXPECT_TRUE(dup->Validate().ok());
+}
+
+TEST(DuplicateGrammarTest, OneCopyKeepsBehaviour) {
+  auto base = ParseGrammar(kTiny);
+  ASSERT_TRUE(base.ok());
+  auto dup = DuplicateGrammar(*base, 1);
+  ASSERT_TRUE(dup.ok()) << dup.status();
+
+  auto t_base = core::CompiledTagger::Compile(base->Clone());
+  auto t_dup = core::CompiledTagger::Compile(std::move(dup).value());
+  ASSERT_TRUE(t_base.ok());
+  ASSERT_TRUE(t_dup.ok());
+  const std::string input = "<hello>";
+  auto tags_base = t_base->Tag(input);
+  auto tags_dup = t_dup->Tag(input);
+  ASSERT_EQ(tags_base.size(), tags_dup.size());
+  for (size_t i = 0; i < tags_base.size(); ++i) {
+    EXPECT_EQ(tags_base[i].end, tags_dup[i].end);
+  }
+}
+
+TEST(DuplicateGrammarTest, EveryCopyTagsInParallel) {
+  auto base = ParseGrammar(kTiny);
+  ASSERT_TRUE(base.ok());
+  auto dup = DuplicateGrammar(*base, 4);
+  ASSERT_TRUE(dup.ok());
+  auto tagger = core::CompiledTagger::Compile(std::move(dup).value());
+  ASSERT_TRUE(tagger.ok()) << tagger.status();
+  // All four copies' start tokens are armed, so "<" is tagged 4x (one per
+  // copy) — the duplicated engines run in parallel, as in the paper's
+  // scaling experiment.
+  auto tags = tagger->Tag("<abc>");
+  int open_tags = 0;
+  for (const auto& t : tags) open_tags += (t.end == 0);
+  EXPECT_EQ(open_tags, 4);
+}
+
+TEST(DuplicateGrammarTest, RejectsBadArgs) {
+  auto base = ParseGrammar(kTiny);
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(DuplicateGrammar(*base, 0).ok());
+}
+
+// -------------------------------------------------------- ExpandContexts
+
+TEST(ExpandContextsTest, SingleSiteTokensUntouched) {
+  auto g = ParseGrammar(kTiny);
+  ASSERT_TRUE(g.ok());
+  auto exp = ExpandContexts(*g);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  // "<", WORD, ">" each occur at exactly one site: nothing is split.
+  EXPECT_EQ(exp->grammar.NumTokens(), g->NumTokens());
+  for (const TokenContext& ctx : exp->contexts) {
+    EXPECT_EQ(ctx.production, -1);
+  }
+}
+
+TEST(ExpandContextsTest, MultiSiteTokenSplitPerSite) {
+  auto g = ParseGrammar(R"(
+NUM [0-9][0-9]
+%%
+time: NUM ":" NUM ":" NUM;
+%%
+)");
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto exp = ExpandContexts(*g);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  // NUM (3 sites) and ":" (2 sites) both split: 5 tokens total.
+  EXPECT_EQ(exp->grammar.NumTokens(), 5u);
+  EXPECT_TRUE(exp->grammar.Validate().ok());
+
+  int split_num = 0;
+  for (const TokenContext& ctx : exp->contexts) {
+    if (ctx.production >= 0 &&
+        g->tokens()[ctx.base_token].name == "NUM") {
+      ++split_num;
+      EXPECT_EQ(ctx.production, 0);
+      EXPECT_TRUE(ctx.position == 0 || ctx.position == 2 ||
+                  ctx.position == 4);
+    }
+  }
+  EXPECT_EQ(split_num, 3);
+}
+
+// The paper's §3.2 motivation: the same pattern in different grammar
+// positions gets a distinct identity, so the tag stream reveals *which*
+// occurrence matched (hour vs minute vs second).
+TEST(ExpandContextsTest, ContextTagsDistinguishOccurrences) {
+  auto g = ParseGrammar(R"(
+NUM [0-9][0-9]
+%%
+time: NUM ":" NUM ":" NUM;
+%%
+)");
+  ASSERT_TRUE(g.ok());
+  auto exp = ExpandContexts(*g);
+  ASSERT_TRUE(exp.ok());
+  auto tagger = core::CompiledTagger::Compile(std::move(exp->grammar));
+  ASSERT_TRUE(tagger.ok()) << tagger.status();
+
+  auto tags = tagger->Tag("12:34:56");
+  ASSERT_EQ(tags.size(), 5u);
+  // The three NUM tags are three *different* token ids.
+  std::vector<int32_t> num_tokens;
+  for (const auto& t : tags) {
+    const std::string& name = tagger->grammar().tokens()[t.token].name;
+    if (name.find("NUM") != std::string::npos) num_tokens.push_back(t.token);
+  }
+  ASSERT_EQ(num_tokens.size(), 3u);
+  std::sort(num_tokens.begin(), num_tokens.end());
+  EXPECT_EQ(std::unique(num_tokens.begin(), num_tokens.end()),
+            num_tokens.end());
+}
+
+TEST(ExpandContextsTest, ContextsIndexedByTokenId) {
+  auto g = xmlrpc::XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto exp = ExpandContexts(*g);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  ASSERT_EQ(exp->contexts.size(), exp->grammar.NumTokens());
+  for (size_t i = 0; i < exp->contexts.size(); ++i) {
+    EXPECT_EQ(exp->contexts[i].token, static_cast<int32_t>(i));
+    EXPECT_GE(exp->contexts[i].base_token, 0);
+  }
+  EXPECT_TRUE(exp->grammar.Validate().ok());
+  EXPECT_GT(exp->grammar.NumTokens(), g->NumTokens());
+}
+
+}  // namespace
+}  // namespace cfgtag::grammar

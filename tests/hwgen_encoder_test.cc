@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "hwgen/encoder_gen.h"
+#include "rtl/netlist.h"
+#include "rtl/simulator.h"
+
+namespace cfgtag::hwgen {
+namespace {
+
+struct EncoderFixture {
+  rtl::Netlist nl;
+  std::vector<rtl::NodeId> inputs;
+  EncoderPorts ports;
+  std::unique_ptr<rtl::Simulator> sim;
+
+  void Build(size_t n, bool pipelined) {
+    for (size_t i = 0; i < n; ++i) {
+      inputs.push_back(nl.AddInput("in" + std::to_string(i)));
+    }
+    ports = pipelined ? EncoderGenerator::BuildPipelined(&nl, inputs, "enc")
+                      : EncoderGenerator::BuildNaive(&nl, inputs, "enc");
+    auto s = rtl::Simulator::Create(&nl);
+    ASSERT_TRUE(s.ok()) << s.status();
+    sim = std::make_unique<rtl::Simulator>(std::move(s).value());
+  }
+
+  // Drives a one-hot input, flushes the pipeline, returns (valid, index).
+  std::pair<bool, uint32_t> Encode(uint64_t mask) {
+    sim->Reset();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      sim->SetInput(inputs[i], (mask >> i) & 1);
+    }
+    sim->Step();
+    // Clear inputs and flush the remaining stages.
+    for (rtl::NodeId in : inputs) sim->SetInput(in, false);
+    for (int s = 1; s < std::max(ports.latency, 1); ++s) sim->Step();
+    uint32_t index = 0;
+    for (size_t k = 0; k < ports.index_bits.size(); ++k) {
+      if (sim->Get(ports.index_bits[k])) index |= 1u << k;
+    }
+    return {sim->Get(ports.valid), index};
+  }
+};
+
+class EncoderSizeTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+// Every one-hot input must encode to its own index — for the pipelined
+// OR-tree (eqs. 1-4) and the naive encoder alike, across sizes including
+// non-powers of two.
+TEST_P(EncoderSizeTest, OneHotEncodesIndex) {
+  const auto [n, pipelined] = GetParam();
+  EncoderFixture f;
+  f.Build(n, pipelined);
+  for (int i = 0; i < n; ++i) {
+    auto [valid, index] = f.Encode(1ULL << i);
+    EXPECT_TRUE(valid) << "input " << i;
+    EXPECT_EQ(index, static_cast<uint32_t>(i)) << "input " << i;
+  }
+  auto [valid, index] = f.Encode(0);
+  EXPECT_FALSE(valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EncoderSizeTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 15, 16, 42),
+                       ::testing::Bool()));
+
+TEST(EncoderTest, FifteenInputEncoderMatchesPaperEquations) {
+  // The paper's 15-input example (eqs. 1-4): 4 index bits.
+  EncoderFixture f;
+  f.Build(15, /*pipelined=*/true);
+  EXPECT_EQ(f.ports.index_bits.size(), 4u);
+  EXPECT_EQ(f.ports.latency, 4);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(f.Encode(1ULL << i).second, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(EncoderTest, SimultaneousInputsOrTheirIndices) {
+  // Without priorities, simultaneous assertions OR bitwise — the behaviour
+  // eq. 5 exploits.
+  EncoderFixture f;
+  f.Build(8, /*pipelined=*/true);
+  auto [valid, index] = f.Encode((1ULL << 3) | (1ULL << 5));
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(index, 3u | 5u);
+}
+
+TEST(EncoderTest, NaiveEncoderPrioritizesHighestIndex) {
+  // The CASE-chain encoder resolves simultaneous inputs by priority
+  // (later elsif wins) rather than OR-merging.
+  EncoderFixture f;
+  f.Build(8, /*pipelined=*/false);
+  auto [valid, index] = f.Encode((1ULL << 2) | (1ULL << 6));
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(index, 6u);
+}
+
+TEST(EncoderTest, NaiveEncoderHasLatencyOne) {
+  EncoderFixture f;
+  f.Build(42, /*pipelined=*/false);
+  EXPECT_EQ(f.ports.latency, 1);
+}
+
+TEST(EncoderTest, PipelinedLatencyIsLogDepth) {
+  EncoderFixture f;
+  f.Build(42, /*pipelined=*/true);
+  EXPECT_EQ(f.ports.latency, 6);  // ceil(log2(42))
+}
+
+TEST(EncoderTest, EmptyInputs) {
+  rtl::Netlist nl;
+  EncoderPorts p = EncoderGenerator::BuildPipelined(&nl, {}, "enc");
+  EXPECT_EQ(p.valid, nl.Const0());
+  EXPECT_TRUE(p.index_bits.empty());
+}
+
+// ------------------------------------------------- Priority assignment
+
+TEST(PriorityTest, SingleGroupNestedMasks) {
+  // Tokens 0..3, group with ascending priority {0,1,2,3}.
+  auto leaves = AssignPriorityIndices(4, {{0, 1, 2, 3}}, 4);
+  ASSERT_TRUE(leaves.ok()) << leaves.status();
+  // Find each token's index.
+  std::vector<uint32_t> index_of(4);
+  for (uint32_t i = 0; i < leaves->size(); ++i) {
+    if ((*leaves)[i] >= 0) index_of[(*leaves)[i]] = i;
+  }
+  // Eq. 5: OR of any subset equals the highest-priority member's index.
+  for (int hi = 0; hi < 4; ++hi) {
+    uint32_t acc = 0;
+    for (int lo = 0; lo <= hi; ++lo) acc |= index_of[lo];
+    EXPECT_EQ(acc, index_of[hi]) << "priority " << hi;
+  }
+}
+
+TEST(PriorityTest, GroupSizeLimitedByIndexBits) {
+  // A chain of 6 needs 5 dedicated bits (plus the zero mask): fails with 4.
+  EXPECT_FALSE(AssignPriorityIndices(6, {{0, 1, 2, 3, 4, 5}}, 4).ok());
+  EXPECT_TRUE(AssignPriorityIndices(6, {{0, 1, 2, 3, 4, 5}}, 5).ok());
+}
+
+TEST(PriorityTest, TwoGroupsUseDisjointBits) {
+  auto leaves = AssignPriorityIndices(6, {{0, 1, 2}, {3, 4, 5}}, 6);
+  ASSERT_TRUE(leaves.ok()) << leaves.status();
+  std::vector<uint32_t> index_of(6);
+  for (uint32_t i = 0; i < leaves->size(); ++i) {
+    if ((*leaves)[i] >= 0) index_of[(*leaves)[i]] = i;
+  }
+  EXPECT_EQ(index_of[0] | index_of[1] | index_of[2], index_of[2]);
+  EXPECT_EQ(index_of[3] | index_of[4] | index_of[5], index_of[5]);
+  // All indices unique.
+  std::set<uint32_t> s(index_of.begin(), index_of.end());
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(PriorityTest, UngroupedTokensFillRemainingLeaves) {
+  auto leaves = AssignPriorityIndices(5, {{1, 3}}, 3);
+  ASSERT_TRUE(leaves.ok()) << leaves.status();
+  std::set<int32_t> placed;
+  for (int32_t t : *leaves) {
+    if (t >= 0) {
+      EXPECT_TRUE(placed.insert(t).second);
+    }
+  }
+  EXPECT_EQ(placed.size(), 5u);
+}
+
+TEST(PriorityTest, Rejections) {
+  EXPECT_FALSE(AssignPriorityIndices(4, {{0, 1}, {1, 2}}, 4).ok())
+      << "token in two groups";
+  EXPECT_FALSE(AssignPriorityIndices(4, {{9}}, 4).ok()) << "bad token id";
+  EXPECT_FALSE(AssignPriorityIndices(100, {}, 3).ok()) << "too many tokens";
+  EXPECT_FALSE(AssignPriorityIndices(4, {}, 0).ok()) << "no bits";
+}
+
+}  // namespace
+}  // namespace cfgtag::hwgen

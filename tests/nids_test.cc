@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "grammar/grammar_parser.h"
+#include "nids/context_filter.h"
+
+namespace cfgtag::nids {
+namespace {
+
+// A miniature request protocol: REQ <path> HDR <value> END
+constexpr char kProtocol[] = R"grm(
+PATH [a-zA-Z0-9/._-]+
+WORD [a-zA-Z0-9/._-]+
+%%
+msg:  "REQ" path "HDR" hval "END";
+path: PATH;
+hval: WORD;
+%%
+)grm";
+
+grammar::Grammar Protocol() {
+  auto g = grammar::ParseGrammar(kProtocol);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+std::vector<Rule> WebRules() {
+  return {
+      {"TRAVERSAL", "../", "PATH", 3},
+      {"PASSWD", "/etc/passwd", "PATH", 3},
+      {"DROPPER", "cmd.exe", "PATH", 2},
+  };
+}
+
+TEST(ContextFilterTest, AlertsOnPatternInContext) {
+  auto filter = ContextFilter::Create(Protocol(), WebRules());
+  ASSERT_TRUE(filter.ok()) << filter.status();
+  auto alerts =
+      filter->Scan("REQ /a/../../etc/passwd HDR curl END");
+  // "../" twice + "/etc/passwd" once.
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_EQ(filter->rules()[alerts[0].rule_index].id, "TRAVERSAL");
+  EXPECT_EQ(filter->rules()[alerts[2].rule_index].id, "PASSWD");
+}
+
+TEST(ContextFilterTest, IgnoresPatternOutsideContext) {
+  auto filter = ContextFilter::Create(Protocol(), WebRules());
+  ASSERT_TRUE(filter.ok());
+  const std::string msg = "REQ /index.html HDR probe-/etc/passwd-x END";
+  EXPECT_TRUE(filter->Scan(msg).empty());
+  // The context-free baseline flags it.
+  EXPECT_EQ(filter->ScanContextFree(msg).size(), 1u);
+}
+
+TEST(ContextFilterTest, AlertOffsetsAreStreamAbsolute) {
+  auto filter = ContextFilter::Create(Protocol(), WebRules());
+  ASSERT_TRUE(filter.ok());
+  const std::string msg = "REQ /x/cmd.exe HDR agent END";
+  auto alerts = filter->Scan(msg);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].end, msg.find("cmd.exe") + 6);
+}
+
+TEST(ContextFilterTest, ContextFreeRulesMatchAnywhere) {
+  std::vector<Rule> rules = WebRules();
+  rules.push_back({"GLOBAL", "forbidden", "", 1});
+  auto filter = ContextFilter::Create(Protocol(), rules);
+  ASSERT_TRUE(filter.ok());
+  auto alerts = filter->Scan("REQ /ok HDR very-forbidden-agent END");
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(filter->rules()[alerts[0].rule_index].id, "GLOBAL");
+}
+
+TEST(ContextFilterTest, HeaderRulesSeparateFromPathRules) {
+  std::vector<Rule> rules = {
+      {"PATH-EVIL", "evil", "PATH", 2},
+      {"UA-BADBOT", "badbot", "WORD", 1},
+  };
+  auto filter = ContextFilter::Create(Protocol(), rules);
+  ASSERT_TRUE(filter.ok());
+
+  auto a1 = filter->Scan("REQ /evil HDR goodagent END");
+  ASSERT_EQ(a1.size(), 1u);
+  EXPECT_EQ(filter->rules()[a1[0].rule_index].id, "PATH-EVIL");
+
+  auto a2 = filter->Scan("REQ /fine HDR badbot END");
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_EQ(filter->rules()[a2[0].rule_index].id, "UA-BADBOT");
+
+  // Crossed contexts: no alerts.
+  EXPECT_TRUE(filter->Scan("REQ /badbot HDR evil END").empty());
+}
+
+TEST(ContextFilterTest, StatsAreFilled) {
+  auto filter = ContextFilter::Create(Protocol(), WebRules());
+  ASSERT_TRUE(filter.ok());
+  ScanStats stats;
+  const std::string msg = "REQ /a/../b HDR ua END";
+  auto alerts = filter->Scan(msg, &stats);
+  EXPECT_EQ(stats.bytes, msg.size());
+  EXPECT_GE(stats.tokens, 5u);
+  EXPECT_GE(stats.spans_scanned, 1u);
+  EXPECT_EQ(stats.alerts, alerts.size());
+}
+
+TEST(ContextFilterTest, CreateRejections) {
+  EXPECT_FALSE(ContextFilter::Create(Protocol(), {}).ok());
+  EXPECT_FALSE(
+      ContextFilter::Create(Protocol(), {{"X", "", "PATH", 1}}).ok());
+  EXPECT_FALSE(
+      ContextFilter::Create(Protocol(), {{"X", "p", "NOSUCH", 1}}).ok());
+}
+
+TEST(ContextFilterTest, MultipleMessagesWithResync) {
+  hwgen::HwOptions opt;
+  opt.tagger.arm_mode = tagger::ArmMode::kResync;
+  auto filter = ContextFilter::Create(Protocol(), WebRules(), opt);
+  ASSERT_TRUE(filter.ok());
+  const std::string stream =
+      "REQ /ok HDR ua END\n"
+      "REQ /x/../etc/passwd HDR ua END\n"
+      "REQ /fine HDR probe-cmd.exe END\n";
+  auto alerts = filter->Scan(stream);
+  // Second message: one traversal + one passwd; third: decoy suppressed.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(filter->rules()[alerts[0].rule_index].id, "TRAVERSAL");
+  EXPECT_EQ(filter->rules()[alerts[1].rule_index].id, "PASSWD");
+}
+
+}  // namespace
+}  // namespace cfgtag::nids

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "rtl/netlist.h"
+
+namespace cfgtag::rtl {
+namespace {
+
+TEST(NetlistTest, ConstantsPreallocated) {
+  Netlist nl;
+  EXPECT_EQ(nl.Const0(), 0u);
+  EXPECT_EQ(nl.Const1(), 1u);
+  EXPECT_EQ(nl.NumNodes(), 2u);
+}
+
+TEST(NetlistTest, AndFoldsConstants) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  EXPECT_EQ(nl.And({a, nl.Const0()}), nl.Const0());
+  EXPECT_EQ(nl.And({a, nl.Const1()}), a);  // neutral element removed
+  EXPECT_EQ(nl.And({}), nl.Const1());
+  EXPECT_EQ(nl.And({a}), a);
+}
+
+TEST(NetlistTest, OrFoldsConstants) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  EXPECT_EQ(nl.Or({a, nl.Const1()}), nl.Const1());
+  EXPECT_EQ(nl.Or({a, nl.Const0()}), a);
+  EXPECT_EQ(nl.Or({}), nl.Const0());
+}
+
+TEST(NetlistTest, NotFolds) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  EXPECT_EQ(nl.Not(nl.Const0()), nl.Const1());
+  EXPECT_EQ(nl.Not(nl.Const1()), nl.Const0());
+  NodeId na = nl.Not(a);
+  EXPECT_EQ(nl.Not(na), a);  // double negation
+}
+
+TEST(NetlistTest, XorFolds) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  EXPECT_EQ(nl.Xor(a, nl.Const0()), a);
+  EXPECT_EQ(nl.Xor(nl.Const0(), a), a);
+  // Xor with 1 becomes a NOT node.
+  NodeId x = nl.Xor(a, nl.Const1());
+  EXPECT_EQ(nl.node(x).kind, NodeKind::kNot);
+}
+
+TEST(NetlistTest, GateArityRecorded) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId b = nl.AddInput("b");
+  NodeId c = nl.AddInput("c");
+  NodeId g = nl.And({a, b, c});
+  EXPECT_EQ(nl.node(g).kind, NodeKind::kAnd);
+  EXPECT_EQ(nl.node(g).fanin.size(), 3u);
+}
+
+TEST(NetlistTest, DelayLineDepth) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId d = nl.DelayLine(a, 3);
+  int regs = 0;
+  NodeId cur = d;
+  while (nl.node(cur).kind == NodeKind::kReg) {
+    ++regs;
+    cur = nl.node(cur).fanin[0];
+  }
+  EXPECT_EQ(regs, 3);
+  EXPECT_EQ(cur, a);
+  EXPECT_EQ(nl.DelayLine(a, 0), a);
+}
+
+TEST(NetlistTest, RegPlaceholderPatching) {
+  Netlist nl;
+  NodeId r = nl.RegPlaceholder(kInvalidNode, true, "state");
+  NodeId d = nl.Or2(r, nl.AddInput("in"));
+  nl.SetRegD(r, d);
+  EXPECT_EQ(nl.node(r).fanin[0], d);
+  EXPECT_TRUE(nl.node(r).init);
+  EXPECT_TRUE(nl.Validate().ok());
+}
+
+TEST(NetlistTest, ValidateCatchesDuplicateOutputs) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  nl.MarkOutput(a, "out");
+  nl.MarkOutput(a, "out");
+  EXPECT_FALSE(nl.Validate().ok());
+}
+
+TEST(NetlistTest, ValidateCatchesDuplicateInputNames) {
+  Netlist nl;
+  nl.AddInput("a");
+  nl.AddInput("a");
+  EXPECT_FALSE(nl.Validate().ok());
+}
+
+TEST(NetlistTest, FindByName) {
+  Netlist nl;
+  NodeId a = nl.AddInput("alpha");
+  EXPECT_EQ(nl.FindByName("alpha"), a);
+  EXPECT_EQ(nl.FindByName("missing"), kInvalidNode);
+}
+
+TEST(NetlistTest, StatsCountKindsAndDepth) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId b = nl.AddInput("b");
+  NodeId g1 = nl.And2(a, b);
+  NodeId g2 = nl.Or2(g1, a);
+  NodeId g3 = nl.Not(g2);
+  nl.Reg(g3);
+  Netlist::Stats s = nl.ComputeStats();
+  EXPECT_EQ(s.num_inputs, 2u);
+  EXPECT_EQ(s.num_and, 1u);
+  EXPECT_EQ(s.num_or, 1u);
+  EXPECT_EQ(s.num_not, 1u);
+  EXPECT_EQ(s.num_regs, 1u);
+  EXPECT_EQ(s.comb_depth, 3u);
+}
+
+TEST(NetlistTest, PipelinedOrDepthAndFolding) {
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 62; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  auto [root, depth] = nl.PipelinedOr(ins, 4);
+  EXPECT_EQ(depth, 3);  // 62 -> 16 -> 4 -> 1
+  EXPECT_EQ(nl.node(root).kind, NodeKind::kReg);
+
+  auto [single, d1] = nl.PipelinedOr({ins[0]}, 4);
+  EXPECT_EQ(single, ins[0]);
+  EXPECT_EQ(d1, 0);
+
+  auto [none, d0] = nl.PipelinedOr({}, 4);
+  EXPECT_EQ(none, nl.Const0());
+  EXPECT_EQ(d0, 0);
+}
+
+}  // namespace
+}  // namespace cfgtag::rtl

@@ -1,0 +1,141 @@
+// Property tests for the technology mapper over random netlists:
+// structural invariants of the LUT cover must hold for any input design.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtl/netlist.h"
+#include "rtl/techmap.h"
+
+namespace cfgtag::rtl {
+namespace {
+
+// Builds a random synchronous netlist: layered random gates over inputs
+// and a pool of feedback registers.
+Netlist RandomNetlist(Rng& rng) {
+  Netlist nl;
+  std::vector<NodeId> pool;
+  const int num_inputs = 2 + static_cast<int>(rng.NextIndex(6));
+  for (int i = 0; i < num_inputs; ++i) {
+    pool.push_back(nl.AddInput("in" + std::to_string(i)));
+  }
+  // Feedback registers (patched at the end).
+  std::vector<NodeId> regs;
+  const int num_regs = static_cast<int>(rng.NextIndex(4));
+  for (int i = 0; i < num_regs; ++i) {
+    regs.push_back(nl.RegPlaceholder(kInvalidNode, rng.NextBool(),
+                                     "r" + std::to_string(i)));
+    pool.push_back(regs.back());
+  }
+  const int num_gates = 5 + static_cast<int>(rng.NextIndex(60));
+  for (int gate = 0; gate < num_gates; ++gate) {
+    const int kind = static_cast<int>(rng.NextIndex(4));
+    NodeId built = kInvalidNode;
+    auto pick = [&] { return pool[rng.NextIndex(pool.size())]; };
+    switch (kind) {
+      case 0:
+      case 1: {
+        std::vector<NodeId> ins;
+        const int arity = 2 + static_cast<int>(rng.NextIndex(7));
+        for (int a = 0; a < arity; ++a) ins.push_back(pick());
+        built = kind == 0 ? nl.And(ins) : nl.Or(ins);
+        break;
+      }
+      case 2:
+        built = nl.Not(pick());
+        break;
+      default:
+        built = nl.Xor(pick(), pick());
+        break;
+    }
+    pool.push_back(built);
+    if (rng.NextBool(0.2)) pool.push_back(nl.Reg(built));
+  }
+  for (size_t i = 0; i < regs.size(); ++i) {
+    nl.SetRegD(regs[i], pool[rng.NextIndex(pool.size())]);
+  }
+  const int num_outputs = 1 + static_cast<int>(rng.NextIndex(4));
+  for (int i = 0; i < num_outputs; ++i) {
+    nl.MarkOutput(pool[pool.size() - 1 - rng.NextIndex(pool.size() / 2 + 1)],
+                  "out" + std::to_string(i));
+  }
+  return nl;
+}
+
+class TechMapPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(TechMapPropertyTest, CoverInvariantsHold) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed * 2654435761ULL + 3);
+  Netlist nl = RandomNetlist(rng);
+  ASSERT_TRUE(nl.Validate().ok());
+
+  auto mapped_or = TechMapper(k).Map(nl);
+  ASSERT_TRUE(mapped_or.ok()) << mapped_or.status();
+  const MappedNetlist& m = *mapped_or;
+
+  // 1. Every LUT has between 1 and k inputs, all valid net ids.
+  for (const auto& net : m.nets) {
+    if (net.kind != MappedNetlist::NetKind::kLut) {
+      EXPECT_TRUE(net.inputs.empty());
+      continue;
+    }
+    EXPECT_GE(net.inputs.size(), 1u);
+    EXPECT_LE(net.inputs.size(), static_cast<size_t>(k));
+    for (auto in : net.inputs) ASSERT_LT(in, m.nets.size());
+  }
+
+  // 2. The cover is acyclic over LUT edges (DFS).
+  std::vector<int> state(m.nets.size(), 0);
+  std::function<bool(MappedNetlist::NetId)> acyclic =
+      [&](MappedNetlist::NetId id) {
+        if (state[id] == 1) return false;
+        if (state[id] == 2) return true;
+        state[id] = 1;
+        for (auto in : m.nets[id].inputs) {
+          if (!acyclic(in)) return false;
+        }
+        state[id] = 2;
+        return true;
+      };
+  for (MappedNetlist::NetId id = 0; id < m.nets.size(); ++id) {
+    EXPECT_TRUE(acyclic(id)) << "combinational loop through net " << id;
+  }
+
+  // 3. Every register pin and output references a valid net.
+  ASSERT_EQ(m.reg_nets.size(), m.reg_pins.size());
+  for (const auto& pins : m.reg_pins) {
+    ASSERT_LT(pins.d, m.nets.size());
+    if (pins.enable != MappedNetlist::kNoNet) {
+      ASSERT_LT(pins.enable, m.nets.size());
+    }
+  }
+  for (const auto& out : m.outputs) ASSERT_LT(out.net, m.nets.size());
+
+  // 4. Fan-out bookkeeping: each net's recorded fanout equals the number
+  // of sink pins referencing it.
+  std::vector<uint32_t> counted(m.nets.size(), 0);
+  for (const auto& net : m.nets) {
+    for (auto in : net.inputs) counted[in]++;
+  }
+  for (const auto& pins : m.reg_pins) {
+    counted[pins.d]++;
+    if (pins.enable != MappedNetlist::kNoNet) counted[pins.enable]++;
+  }
+  for (const auto& out : m.outputs) counted[out.net]++;
+  for (MappedNetlist::NetId id = 0; id < m.nets.size(); ++id) {
+    EXPECT_EQ(m.nets[id].fanout, counted[id]) << "net " << id;
+  }
+
+  // 5. Register count matches the source netlist's live registers at most.
+  EXPECT_LE(m.NumFfs(), nl.ComputeStats().num_regs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDesigns, TechMapPropertyTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 15),
+                       ::testing::Values(4, 6)));
+
+}  // namespace
+}  // namespace cfgtag::rtl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "rtl/device.h"
+#include "rtl/netlist.h"
+#include "rtl/techmap.h"
+
+namespace cfgtag::rtl {
+namespace {
+
+MappedNetlist MapOrDie(const Netlist& nl, int k = 4) {
+  auto mapped = TechMapper(k).Map(nl);
+  EXPECT_TRUE(mapped.ok()) << mapped.status();
+  return std::move(mapped).value();
+}
+
+TEST(TechMapTest, SingleGateIsOneLut) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId b = nl.AddInput("b");
+  nl.MarkOutput(nl.And2(a, b), "o");
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 1u);
+}
+
+TEST(TechMapTest, FourInputGateFitsOneLut) {
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  nl.MarkOutput(nl.And(ins), "o");
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 1u);
+}
+
+TEST(TechMapTest, EightInputGateNeedsThreeLuts) {
+  // 8-input AND = two 4-ANDs + a combiner when covered with 4-LUTs.
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  nl.MarkOutput(nl.And(ins), "o");
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 3u);
+}
+
+TEST(TechMapTest, NotChainAbsorbedIntoOneLut) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId x = nl.Not(nl.Or2(nl.Not(a), nl.AddInput("b")));
+  nl.MarkOutput(x, "o");
+  // NOT(OR(NOT a, b)) is a single 2-input function.
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 1u);
+}
+
+TEST(TechMapTest, SharedGateNotAbsorbedTwice) {
+  // g = a&b feeds two outputs: it must stay its own LUT (fanout 2), plus
+  // one LUT per consumer gate.
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId b = nl.AddInput("b");
+  NodeId c = nl.AddInput("c");
+  NodeId g = nl.And2(a, b);
+  nl.MarkOutput(nl.Or2(g, c), "o1");
+  nl.MarkOutput(nl.Xor(g, c), "o2");
+  MappedNetlist m = MapOrDie(nl);
+  EXPECT_EQ(m.NumLuts(), 3u);
+}
+
+TEST(TechMapTest, RegistersCounted) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId r1 = nl.Reg(a);
+  NodeId r2 = nl.Reg(r1);
+  nl.MarkOutput(r2, "o");
+  MappedNetlist m = MapOrDie(nl);
+  EXPECT_EQ(m.NumFfs(), 2u);
+  EXPECT_EQ(m.NumLuts(), 0u);  // pure wire datapath
+}
+
+TEST(TechMapTest, RegisterEnablePinCountsAsSink) {
+  Netlist nl;
+  NodeId d = nl.AddInput("d");
+  NodeId en = nl.AddInput("en");
+  nl.MarkOutput(nl.Reg(d, en), "o");
+  MappedNetlist m = MapOrDie(nl);
+  // Find the enable input net and check its fanout.
+  bool found = false;
+  for (const auto& net : m.nets) {
+    if (net.kind == MappedNetlist::NetKind::kInput && net.name == "en") {
+      EXPECT_EQ(net.fanout, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TechMapTest, FanoutCountsAllSinkPins) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  NodeId b = nl.AddInput("b");
+  // `a` feeds 3 gate pins and one output port = 4 sinks, but the three
+  // gates collapse into one LUT, so the mapped fanout is 2 (LUT + port).
+  NodeId g1 = nl.And2(a, b);
+  NodeId g2 = nl.Or2(g1, a);
+  NodeId g3 = nl.Xor(g2, a);
+  nl.MarkOutput(g3, "o");
+  nl.MarkOutput(a, "adir");
+  MappedNetlist m = MapOrDie(nl);
+  for (const auto& net : m.nets) {
+    if (net.kind == MappedNetlist::NetKind::kInput && net.name == "a") {
+      EXPECT_EQ(net.fanout, 2u);
+    }
+  }
+}
+
+TEST(TechMapTest, WideOrCoverScalesLinearly) {
+  // A 64-input OR needs ceil(63/3) = 21 4-LUTs in a tree cover.
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 64; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  nl.MarkOutput(nl.Or(ins), "o");
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 21u);
+}
+
+TEST(TechMapTest, SixInputLutsCoverMore) {
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  nl.MarkOutput(nl.And(ins), "o");
+  // ceil(7/5) = 2 6-LUTs.
+  EXPECT_EQ(MapOrDie(nl, 6).NumLuts(), 2u);
+}
+
+TEST(TechMapTest, UnusedLogicIsNotCovered) {
+  Netlist nl;
+  NodeId a = nl.AddInput("a");
+  nl.And2(a, nl.AddInput("b"));  // dangling gate, no output/reg consumes it
+  nl.MarkOutput(a, "o");
+  EXPECT_EQ(MapOrDie(nl).NumLuts(), 0u);
+}
+
+TEST(TechMapTest, MaxFanoutNetIdentified) {
+  Netlist nl;
+  NodeId hot = nl.AddInput("hot");
+  NodeId other = nl.AddInput("other");
+  for (int i = 0; i < 5; ++i) {
+    nl.MarkOutput(nl.Reg(nl.And2(hot, other), kInvalidNode, false,
+                         "r" + std::to_string(i)),
+                  "o" + std::to_string(i));
+  }
+  MappedNetlist m = MapOrDie(nl);
+  const MappedNetlist::NetId worst = m.MaxFanoutNet();
+  ASSERT_NE(worst, MappedNetlist::kNoNet);
+  EXPECT_EQ(m.nets[worst].fanout, 5u);
+}
+
+TEST(TechMapTest, RejectsTinyLutSize) {
+  Netlist nl;
+  nl.MarkOutput(nl.AddInput("a"), "o");
+  EXPECT_FALSE(TechMapper(1).Map(nl).ok());
+}
+
+}  // namespace
+}  // namespace cfgtag::rtl

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "rtl/device.h"
+#include "rtl/netlist.h"
+#include "rtl/techmap.h"
+#include "rtl/timing.h"
+
+namespace cfgtag::rtl {
+namespace {
+
+Device UnitDevice() {
+  Device d;
+  d.name = "unit";
+  d.lut_inputs = 4;
+  d.t_lut_ns = 1.0;
+  d.t_clk2q_ns = 0.5;
+  d.t_setup_ns = 0.5;
+  d.route_base_ns = 0.0;
+  d.route_fanout_ns = 0.0;
+  d.max_freq_mhz = 10000.0;
+  return d;
+}
+
+TimingReport AnalyzeOrDie(const Netlist& nl, const Device& d) {
+  auto mapped = TechMapper(d.lut_inputs).Map(nl);
+  EXPECT_TRUE(mapped.ok()) << mapped.status();
+  auto report = TimingAnalyzer::Analyze(*mapped, d);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return std::move(report).value();
+}
+
+TEST(TimingTest, RegToRegThroughOneLut) {
+  Netlist nl;
+  NodeId a = nl.Reg(nl.AddInput("a"));
+  NodeId b = nl.Reg(nl.AddInput("b"));
+  nl.MarkOutput(nl.Reg(nl.And2(a, b)), "o");
+  TimingReport r = AnalyzeOrDie(nl, UnitDevice());
+  // clk2q + lut + setup = 0.5 + 1 + 0.5.
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 2.0);
+  EXPECT_DOUBLE_EQ(r.fmax_mhz, 500.0);
+  EXPECT_DOUBLE_EQ(r.logic_ns, 1.0);
+  EXPECT_DOUBLE_EQ(r.sequencing_ns, 1.0);
+}
+
+TEST(TimingTest, DeeperConeCostsMoreLevels) {
+  Netlist nl;
+  std::vector<NodeId> regs;
+  for (int i = 0; i < 16; ++i) {
+    regs.push_back(nl.Reg(nl.AddInput("i" + std::to_string(i))));
+  }
+  // A 16-input AND over registers: 2 LUT levels after 4-LUT covering,
+  // but the root LUT is separate: 16 -> 4 -> 1 wait both levels count.
+  nl.MarkOutput(nl.Reg(nl.And(regs)), "o");
+  TimingReport r = AnalyzeOrDie(nl, UnitDevice());
+  EXPECT_DOUBLE_EQ(r.logic_ns, 2.0);  // two LUT levels
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 3.0);
+}
+
+TEST(TimingTest, FanoutRaisesRoutingDelay) {
+  Device d = UnitDevice();
+  d.route_base_ns = 0.1;
+  d.route_fanout_ns = 0.2;
+
+  // One register driving N LUT sinks: higher N -> slower clock.
+  auto build = [&](int sinks) {
+    Netlist nl;
+    NodeId hot = nl.Reg(nl.AddInput("a"), kInvalidNode, false, "hot");
+    for (int i = 0; i < sinks; ++i) {
+      NodeId other = nl.Reg(nl.AddInput("b" + std::to_string(i)));
+      nl.MarkOutput(nl.Reg(nl.And2(hot, other)), "o" + std::to_string(i));
+    }
+    return AnalyzeOrDie(nl, d);
+  };
+
+  TimingReport small = build(2);
+  TimingReport big = build(50);
+  EXPECT_LT(small.critical_path_ns, big.critical_path_ns);
+  EXPECT_GT(small.fmax_mhz, big.fmax_mhz);
+  EXPECT_EQ(big.worst_net_fanout, 50u);
+  EXPECT_EQ(big.worst_net_name, "hot");
+}
+
+TEST(TimingTest, OutputPortPathHasNoSetup) {
+  Netlist nl;
+  NodeId r = nl.Reg(nl.AddInput("a"));
+  nl.MarkOutput(r, "o");
+  TimingReport t = AnalyzeOrDie(nl, UnitDevice());
+  // clk2q only (routing zero in the unit device, no LUT, no setup).
+  EXPECT_DOUBLE_EQ(t.critical_path_ns, 0.5);
+}
+
+TEST(TimingTest, EmptyDesignRunsAtDeviceCeiling) {
+  Netlist nl;
+  nl.MarkOutput(nl.Const1(), "o");
+  TimingReport t = AnalyzeOrDie(nl, UnitDevice());
+  EXPECT_DOUBLE_EQ(t.fmax_mhz, 10000.0);
+}
+
+TEST(TimingTest, CeilingCapsFmax) {
+  Device d = UnitDevice();
+  d.max_freq_mhz = 100.0;
+  Netlist nl;
+  nl.MarkOutput(nl.Reg(nl.AddInput("a")), "o");
+  TimingReport t = AnalyzeOrDie(nl, d);
+  EXPECT_DOUBLE_EQ(t.fmax_mhz, 100.0);
+}
+
+TEST(TimingTest, CriticalPathTraceStartsAtSource) {
+  Netlist nl;
+  NodeId a = nl.Reg(nl.AddInput("a"), kInvalidNode, false, "srcreg");
+  NodeId g = nl.And2(a, nl.Reg(nl.AddInput("b")));
+  nl.MarkOutput(nl.Reg(nl.Or2(g, a)), "o");
+  TimingReport t = AnalyzeOrDie(nl, UnitDevice());
+  ASSERT_GE(t.path.size(), 2u);
+  // Path is source-first; the first hop is a register.
+  EXPECT_NE(t.path.front().description.find("REG"), std::string::npos);
+  EXPECT_NE(t.path.back().description.find("LUT"), std::string::npos);
+}
+
+TEST(TimingTest, ReportToStringMentionsWorstNet) {
+  Device d = UnitDevice();
+  d.route_fanout_ns = 0.3;
+  Netlist nl;
+  NodeId hot = nl.Reg(nl.AddInput("a"), kInvalidNode, false, "hotnet");
+  for (int i = 0; i < 9; ++i) {
+    nl.MarkOutput(nl.Reg(nl.And2(hot, nl.Const1())), "o" + std::to_string(i));
+  }
+  TimingReport t = AnalyzeOrDie(nl, d);
+  EXPECT_NE(t.ToString().find("hotnet"), std::string::npos);
+}
+
+TEST(DeviceTest, RouteDelayMonotoneInFanout) {
+  for (const Device& d : {VirtexE2000(), Virtex4LX200()}) {
+    double prev = -1.0;
+    for (uint32_t f : {1u, 2u, 8u, 64u, 512u}) {
+      const double cur = d.RouteDelayNs(f);
+      EXPECT_GT(cur, prev) << d.name;
+      prev = cur;
+    }
+    EXPECT_DOUBLE_EQ(d.RouteDelayNs(0), 0.0);
+  }
+}
+
+TEST(DeviceTest, VirtexEIsSlowerThanVirtex4) {
+  const Device ve = VirtexE2000();
+  const Device v4 = Virtex4LX200();
+  EXPECT_GT(ve.t_lut_ns, v4.t_lut_ns);
+  EXPECT_GT(ve.RouteDelayNs(100), v4.RouteDelayNs(100));
+  EXPECT_LT(ve.capacity_luts, v4.capacity_luts);
+}
+
+}  // namespace
+}  // namespace cfgtag::rtl

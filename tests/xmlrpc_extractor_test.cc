@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "xmlrpc/extractor.h"
+#include "xmlrpc/message_gen.h"
+
+namespace cfgtag::xmlrpc {
+namespace {
+
+TEST(CallExtractorTest, ExtractsMethodAndScalars) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok()) << ex.status();
+  auto call = ex->Extract(
+      "<methodCall><methodName>deposit</methodName><params>"
+      "<param><i4>+42</i4></param>"
+      "<param><string>savings</string></param>"
+      "<param><double>3.14</double></param>"
+      "</params></methodCall>");
+  ASSERT_TRUE(call.ok()) << call.status();
+  EXPECT_EQ(call->method, "deposit");
+  ASSERT_EQ(call->params.size(), 3u);
+  EXPECT_EQ(call->params[0].type, "i4");
+  EXPECT_EQ(call->params[0].text, "+42");
+  EXPECT_EQ(call->params[1].type, "string");
+  EXPECT_EQ(call->params[1].text, "savings");
+  EXPECT_EQ(call->params[2].type, "double");
+  EXPECT_EQ(call->params[2].text, "3.14");
+}
+
+TEST(CallExtractorTest, HandlesWhitespaceBetweenTokens) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  auto call = ex->Extract(
+      "<methodCall>\n  <methodName>buy</methodName>\n  <params>\n"
+      "    <param> <int>7</int> </param>\n  </params>\n</methodCall>");
+  ASSERT_TRUE(call.ok()) << call.status();
+  EXPECT_EQ(call->method, "buy");
+  ASSERT_EQ(call->params.size(), 1u);
+  EXPECT_EQ(call->params[0].text, "7");
+}
+
+TEST(CallExtractorTest, DateTimeSpansMultipleTokens) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  auto call = ex->Extract(
+      "<methodCall><methodName>when</methodName><params><param>"
+      "<dateTime.iso8601>19980717T14:08:55</dateTime.iso8601>"
+      "</param></params></methodCall>");
+  ASSERT_TRUE(call.ok()) << call.status();
+  ASSERT_EQ(call->params.size(), 1u);
+  EXPECT_EQ(call->params[0].type, "dateTime.iso8601");
+  EXPECT_EQ(call->params[0].text, "19980717T14:08:55");
+}
+
+TEST(CallExtractorTest, ContainersSummarizedAndNestedScalarsSkipped) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  auto call = ex->Extract(
+      "<methodCall><methodName>mix</methodName><params>"
+      "<param><struct><member><name>k</name><i4>1</i4></member>"
+      "</struct></param>"
+      "<param><array><data><int>2</int><int>3</int></data></array></param>"
+      "<param><int>9</int></param>"
+      "</params></methodCall>");
+  ASSERT_TRUE(call.ok()) << call.status();
+  ASSERT_EQ(call->params.size(), 3u);
+  EXPECT_EQ(call->params[0].type, "struct");
+  EXPECT_EQ(call->params[1].type, "array");
+  EXPECT_EQ(call->params[2].type, "int");
+  EXPECT_EQ(call->params[2].text, "9");
+}
+
+TEST(CallExtractorTest, NoParams) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  auto call = ex->Extract(
+      "<methodCall><methodName>ping</methodName>"
+      "<params></params></methodCall>");
+  ASSERT_TRUE(call.ok()) << call.status();
+  EXPECT_EQ(call->method, "ping");
+  EXPECT_TRUE(call->params.empty());
+}
+
+TEST(CallExtractorTest, RejectsUnframedInput) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  EXPECT_FALSE(ex->Extract("just some bytes").ok());
+  EXPECT_FALSE(ex->Extract("<params><param><i4>1</i4></param></params>")
+                   .ok());
+}
+
+class ExtractorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Generated messages: the extractor must recover the method name and the
+// right number of top-level parameters every time.
+TEST_P(ExtractorFuzzTest, RoundTripsGeneratedMessages) {
+  auto ex = CallExtractor::Create();
+  ASSERT_TRUE(ex.ok());
+  MessageGenerator gen({}, GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const std::string msg = gen.Generate();
+    auto call = ex->Extract(msg);
+    ASSERT_TRUE(call.ok()) << call.status() << "\n" << msg;
+    EXPECT_FALSE(call->method.empty());
+    // Top-level params == number of "<param>" occurrences.
+    size_t expected = 0, pos = 0;
+    while ((pos = msg.find("<param>", pos)) != std::string::npos) {
+      ++expected;
+      pos += 7;
+    }
+    EXPECT_EQ(call->params.size(), expected) << msg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractorFuzzTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace cfgtag::xmlrpc

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/token_tagger.h"
+#include "grammar/analysis.h"
+#include "tagger/ll_parser.h"
+#include "tagger/naive_matcher.h"
+#include "xmlrpc/message_gen.h"
+#include "xmlrpc/router.h"
+#include "xmlrpc/xmlrpc_grammar.h"
+
+namespace cfgtag::xmlrpc {
+namespace {
+
+TEST(XmlRpcGrammarTest, ParsesWithExpectedShape) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok()) << g.status();
+  // Fig. 14 defines 9 named tokens (STRING INT DOUBLE YEAR MONTH DAY HOUR
+  // MIN SEC BASE64 = 10) plus the tag literals.
+  EXPECT_GE(g->NumTokens(), 35u);
+  EXPECT_LE(g->NumTokens(), 50u);
+  // "approximately 300 bytes of pattern data" (§4.3).
+  EXPECT_GE(g->PatternBytes(), 250u);
+  EXPECT_LE(g->PatternBytes(), 330u);
+  EXPECT_EQ(g->start(), g->FindNonterminal("methodCall"));
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+TEST(XmlRpcGrammarTest, IsLl1) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto p = tagger::PredictiveParser::Create(&g.value(), {});
+  EXPECT_TRUE(p.ok()) << p.status();
+}
+
+TEST(XmlRpcGrammarTest, FindTokensLocatesMethodName) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto toks = FindXmlRpcTokens(*g);
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  EXPECT_TRUE(g->tokens()[toks->open_method].is_literal);
+  EXPECT_EQ(g->tokens()[toks->open_method].literal_text, "<methodName>");
+}
+
+TEST(XmlRpcGrammarTest, StartTokenIsMethodCall) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto a = grammar::Analyze(*g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->start_tokens.size(), 1u);
+  EXPECT_EQ(g->tokens()[*a->start_tokens.begin()].literal_text,
+            "<methodCall>");
+}
+
+class MessageGenTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MessageGenTest, GeneratedMessagesAreValid) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto p = tagger::PredictiveParser::Create(&g.value(), {});
+  ASSERT_TRUE(p.ok());
+
+  MessageGenOptions opt;
+  opt.max_depth = 3;
+  MessageGenerator gen(opt, GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const std::string msg = gen.Generate();
+    EXPECT_TRUE(p->Accepts(msg)) << msg;
+  }
+}
+
+TEST_P(MessageGenTest, AdversarialMessagesStillValid) {
+  auto g = XmlRpcGrammar();
+  ASSERT_TRUE(g.ok());
+  auto p = tagger::PredictiveParser::Create(&g.value(), {});
+  ASSERT_TRUE(p.ok());
+
+  MessageGenOptions opt;
+  opt.adversarial = true;
+  MessageGenerator gen(opt, GetParam());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(p->Accepts(gen.Generate()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageGenTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(MessageGenTest, DeterministicPerSeed) {
+  MessageGenerator a({}, 5);
+  MessageGenerator b({}, 5);
+  EXPECT_EQ(a.Generate(), b.Generate());
+  MessageGenerator c({}, 6);
+  EXPECT_NE(a.Generate(), c.Generate());
+}
+
+TEST(MessageGenTest, FixedMethodAppearsInMessage) {
+  MessageGenerator gen({}, 1);
+  const std::string msg = gen.GenerateWithMethod("myService");
+  EXPECT_NE(msg.find("<methodName>myService</methodName>"),
+            std::string::npos);
+}
+
+TEST(MessageGenTest, StreamHonoursBothBounds) {
+  MessageGenerator gen({}, 2);
+  const std::string s = gen.GenerateStream(3, 4096);
+  EXPECT_GE(s.size(), 4096u);
+  size_t count = 0, pos = 0;
+  while ((pos = s.find("<methodCall>", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_GE(count, 3u);
+}
+
+TEST(RouterTest, EveryServiceRoutesToItsPort) {
+  RouterConfig config;
+  config.services = {{"deposit", 1}, {"withdraw", 1}, {"acctinfo", 1},
+                     {"buy", 2},     {"sell", 2},     {"price", 2}};
+  config.default_port = 0;
+  auto router = XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  MessageGenerator gen({}, 11);
+  for (const auto& svc : config.services) {
+    EXPECT_EQ(router->Route(gen.GenerateWithMethod(svc.name)), svc.port)
+        << svc.name;
+  }
+}
+
+TEST(RouterTest, ServiceTokenLookup) {
+  RouterConfig config;
+  config.services = {{"deposit", 1}, {"buy", 2}};
+  config.default_port = 0;
+  auto router = XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok());
+  EXPECT_EQ(router->ServiceToken("deposit"), 0);
+  EXPECT_EQ(router->ServiceToken("buy"), 1);
+  EXPECT_EQ(router->ServiceToken("nope"), -1);
+}
+
+TEST(RouterTest, CycleAccurateAgreesWithFunctional) {
+  RouterConfig config;
+  config.services = {{"deposit", 1}, {"buy", 2}};
+  config.default_port = 0;
+  auto router = XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok());
+
+  MessageGenerator gen({}, 21);
+  for (const std::string method : {"deposit", "buy", "unknown"}) {
+    const std::string msg = gen.GenerateWithMethod(method);
+    auto hw = router->RouteCycleAccurate(msg);
+    ASSERT_TRUE(hw.ok()) << hw.status();
+    EXPECT_EQ(*hw, router->Route(msg)) << method;
+  }
+}
+
+TEST(RouterTest, PrefixServiceNamesDisambiguate) {
+  // "buy" vs "buyback": longest match must pick the right keyword, and a
+  // strictly longer non-service name must fall through to STRING.
+  RouterConfig config;
+  config.services = {{"buy", 1}, {"buyback", 2}};
+  config.default_port = 0;
+  auto router = XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok()) << router.status();
+  MessageGenerator gen({}, 31);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("buy")), 1);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("buyback")), 2);
+  EXPECT_EQ(router->Route(gen.GenerateWithMethod("buybacks")), 0);
+}
+
+TEST(RouterTest, RejectsBadConfig) {
+  RouterConfig empty;
+  EXPECT_FALSE(XmlRpcRouter::Create(empty).ok());
+  RouterConfig bad;
+  bad.services = {{"has space", 1}};
+  EXPECT_FALSE(XmlRpcRouter::Create(bad).ok());
+}
+
+// The false-positive experiment in miniature: a context-free matcher flags
+// service names hidden in payloads; the context-aware tagger does not.
+TEST(RouterTest, NaiveMatcherFalsePositivesContextTaggerClean) {
+  RouterConfig config;
+  config.services = {{"deposit", 1}, {"buy", 2}};
+  config.default_port = 0;
+  auto router = XmlRpcRouter::Create(config);
+  ASSERT_TRUE(router.ok());
+
+  tagger::NaiveMatcher naive({"deposit", "buy"});
+
+  MessageGenOptions opt;
+  opt.adversarial = true;
+  opt.method_names = {"deposit", "buy"};
+  MessageGenerator gen(opt, 77);
+
+  int naive_hits = 0;
+  int tagger_service_tags = 0;
+  int messages_with_payload_hit = 0;
+  for (int i = 0; i < 30; ++i) {
+    // A method name outside the service set, with adversarial payloads.
+    const std::string msg = gen.GenerateWithMethod("somethingneutral");
+    const size_t naive_count = naive.Matches(msg).size();
+    naive_hits += static_cast<int>(naive_count);
+    messages_with_payload_hit += naive_count > 0;
+    for (const auto& t : router->tagger().Tag(msg)) {
+      tagger_service_tags +=
+          t.token < static_cast<int32_t>(config.services.size());
+    }
+    EXPECT_EQ(router->Route(msg), 0);
+  }
+  EXPECT_GT(messages_with_payload_hit, 0) << "workload produced no decoys";
+  EXPECT_GT(naive_hits, 0);
+  EXPECT_EQ(tagger_service_tags, 0);
+}
+
+}  // namespace
+}  // namespace cfgtag::xmlrpc

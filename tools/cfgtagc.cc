@@ -1,0 +1,305 @@
+// cfgtagc — the paper's "automatic hardware generator" as a command-line
+// tool: a Yacc-style grammar file in, VHDL + implementation reports out,
+// with optional tagging of an input file for quick experiments.
+//
+//   cfgtagc GRAMMAR [options]
+//
+//   --vhdl FILE         write structural VHDL for the generated tagger
+//   --netlist FILE      write the gate-level netlist (cfgtag-netlist-v1)
+//   --entity NAME       VHDL entity name (default: tagger)
+//   --report            print LUT/FF/Fmax/bandwidth for both paper devices
+//   --analysis          print the First/Follow analysis (paper Fig. 10)
+//   --lint              print grammar diagnostics (arm conflicts etc.)
+//   --tag FILE          tag the contents of FILE and print the tag stream
+//   --cycle-accurate    tag via gate-level simulation instead of the model
+//   --vcd FILE          with --tag: dump a VCD waveform of the simulation
+//   --testbench FILE    with --tag: emit a self-checking VHDL testbench
+//                       that replays the tagged input and asserts the tags
+//   --mode MODE         anchored | scan | resync       (default anchored)
+//   --bytes-per-cycle N 1, 2 or 4                      (default 1)
+//   --replicate N       decoder replication threshold  (default off)
+//   --no-longest-match  disable the Fig. 7 look-ahead
+//   --no-encoder        omit the index encoder
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/token_tagger.h"
+#include "grammar/analysis.h"
+#include "grammar/grammar_parser.h"
+#include "grammar/lint.h"
+#include "rtl/device.h"
+#include "rtl/serialize.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s GRAMMAR [--vhdl FILE] [--entity NAME] [--report]\n"
+               "       [--analysis] [--tag FILE] [--cycle-accurate]\n"
+               "       [--mode anchored|scan|resync] [--bytes-per-cycle N]\n"
+               "       [--replicate N] [--no-longest-match] [--no-encoder]\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+
+  std::string grammar_path = argv[1];
+  std::string vhdl_path;
+  std::string netlist_path;
+  std::string entity = "tagger";
+  std::string tag_path;
+  std::string vcd_path;
+  std::string testbench_path;
+  bool report = false;
+  bool analysis = false;
+  bool lint = false;
+  bool cycle_accurate = false;
+  cfgtag::hwgen::HwOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--vhdl") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      vhdl_path = v;
+    } else if (arg == "--netlist") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      netlist_path = v;
+    } else if (arg == "--entity") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      entity = v;
+    } else if (arg == "--tag") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      tag_path = v;
+    } else if (arg == "--vcd") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      vcd_path = v;
+    } else if (arg == "--testbench") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      testbench_path = v;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--analysis") {
+      analysis = true;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--cycle-accurate") {
+      cycle_accurate = true;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (std::strcmp(v, "anchored") == 0) {
+        options.tagger.arm_mode = cfgtag::tagger::ArmMode::kAnchored;
+      } else if (std::strcmp(v, "scan") == 0) {
+        options.tagger.arm_mode = cfgtag::tagger::ArmMode::kScan;
+      } else if (std::strcmp(v, "resync") == 0) {
+        options.tagger.arm_mode = cfgtag::tagger::ArmMode::kResync;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--bytes-per-cycle") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.bytes_per_cycle = std::atoi(v);
+    } else if (arg == "--replicate") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      const int threshold = std::atoi(v);
+      if (threshold <= 0) {
+        std::fprintf(stderr, "--replicate needs a positive threshold\n");
+        return Usage(argv[0]);
+      }
+      options.decoder_replication = true;
+      options.replication_threshold = static_cast<uint32_t>(threshold);
+    } else if (arg == "--no-longest-match") {
+      options.tagger.longest_match = false;
+    } else if (arg == "--no-encoder") {
+      options.emit_index_encoder = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  std::string grammar_text;
+  if (!ReadFile(grammar_path, &grammar_text)) {
+    std::fprintf(stderr, "cannot read %s\n", grammar_path.c_str());
+    return 1;
+  }
+  auto grammar = cfgtag::grammar::ParseGrammar(grammar_text);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "grammar error: %s\n",
+                 grammar.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("grammar: %zu tokens, %zu nonterminals, %zu productions, "
+              "%zu pattern bytes\n",
+              grammar->NumTokens(), grammar->NumNonterminals(),
+              grammar->productions().size(), grammar->PatternBytes());
+
+  if (analysis) {
+    auto a = cfgtag::grammar::Analyze(*grammar);
+    if (!a.ok()) {
+      std::fprintf(stderr, "analysis error: %s\n",
+                   a.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%s", a->ToString(*grammar).c_str());
+  }
+
+  if (lint) {
+    auto findings = cfgtag::grammar::Lint(*grammar);
+    if (!findings.ok()) {
+      std::fprintf(stderr, "lint error: %s\n",
+                   findings.status().ToString().c_str());
+      return 1;
+    }
+    if (findings->empty()) {
+      std::printf("lint: no findings\n");
+    }
+    for (const auto& f : *findings) {
+      std::printf("lint [%s]: %s\n",
+                  cfgtag::grammar::LintKindName(f.kind), f.message.c_str());
+    }
+  }
+
+  auto tagger = cfgtag::core::CompiledTagger::Compile(
+      std::move(grammar).value(), options);
+  if (!tagger.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 tagger.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = tagger->hardware().netlist.ComputeStats();
+  std::printf("netlist: %zu gates, %zu registers, %d byte(s)/cycle, "
+              "match latency %d cycle(s)\n",
+              stats.num_gates, stats.num_regs, tagger->hardware().lanes,
+              tagger->hardware().match_latency);
+
+  if (report) {
+    for (const cfgtag::rtl::Device& device :
+         {cfgtag::rtl::VirtexE2000(), cfgtag::rtl::Virtex4LX200()}) {
+      auto r = tagger->Implement(device);
+      if (!r.ok()) {
+        std::fprintf(stderr, "implement error: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("\n%s: %zu LUTs (%.2f/byte), %zu FFs, %.0f MHz, "
+                  "%.2f Gbps\n",
+                  device.name.c_str(), r->area.luts, r->area.luts_per_byte,
+                  r->area.ffs, r->timing.fmax_mhz, r->bandwidth_gbps);
+      for (const auto& bucket : r->area.breakdown) {
+        std::printf("  %-10s %6zu LUTs %6zu FFs\n",
+                    bucket.scope.empty() ? "(misc)" : bucket.scope.c_str(),
+                    bucket.luts, bucket.ffs);
+      }
+      std::printf("  %s\n", r->timing.ToString().c_str());
+    }
+  }
+
+  if (!vhdl_path.empty()) {
+    auto vhdl = tagger->ExportVhdl(entity);
+    if (!vhdl.ok()) {
+      std::fprintf(stderr, "vhdl error: %s\n",
+                   vhdl.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(vhdl_path, std::ios::binary);
+    out << *vhdl;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", vhdl_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes of VHDL to %s (entity %s)\n", vhdl->size(),
+                vhdl_path.c_str(), entity.c_str());
+  }
+
+  if (!netlist_path.empty()) {
+    std::ofstream out(netlist_path, std::ios::binary);
+    const std::string text =
+        cfgtag::rtl::SerializeNetlist(tagger->hardware().netlist);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", netlist_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes of netlist to %s\n", text.size(),
+                netlist_path.c_str());
+  }
+
+  if (!tag_path.empty()) {
+    std::string input;
+    if (!ReadFile(tag_path, &input)) {
+      std::fprintf(stderr, "cannot read %s\n", tag_path.c_str());
+      return 1;
+    }
+    std::vector<cfgtag::tagger::Tag> tags;
+    if (cycle_accurate) {
+      auto hw = tagger->TagCycleAccurate(input);
+      if (!hw.ok()) {
+        std::fprintf(stderr, "simulation error: %s\n",
+                     hw.status().ToString().c_str());
+        return 1;
+      }
+      tags = std::move(hw).value();
+    } else {
+      tags = tagger->Tag(input);
+    }
+    if (!testbench_path.empty()) {
+      auto tb = tagger->ExportVhdlTestbench(entity, input);
+      if (!tb.ok()) {
+        std::fprintf(stderr, "testbench error: %s\n",
+                     tb.status().ToString().c_str());
+        return 1;
+      }
+      std::ofstream out(testbench_path, std::ios::binary);
+      out << *tb;
+      std::printf("wrote testbench to %s (run against the --vhdl output)\n",
+                  testbench_path.c_str());
+    }
+    if (!vcd_path.empty()) {
+      std::ofstream vcd(vcd_path, std::ios::binary);
+      auto status = tagger->DumpWaveform(input, vcd);
+      if (!status.ok()) {
+        std::fprintf(stderr, "vcd error: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote waveform to %s\n", vcd_path.c_str());
+    }
+    std::printf("%zu tags from %s (%s engine):\n", tags.size(),
+                tag_path.c_str(),
+                cycle_accurate ? "cycle-accurate" : "functional");
+    for (const auto& t : tags) {
+      std::printf("  byte %8llu  %s\n",
+                  static_cast<unsigned long long>(t.end),
+                  tagger->grammar().tokens()[t.token].name.c_str());
+    }
+  }
+  return 0;
+}
