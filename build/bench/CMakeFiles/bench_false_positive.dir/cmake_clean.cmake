@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_positive.dir/bench_false_positive.cc.o"
+  "CMakeFiles/bench_false_positive.dir/bench_false_positive.cc.o.d"
+  "bench_false_positive"
+  "bench_false_positive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_positive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

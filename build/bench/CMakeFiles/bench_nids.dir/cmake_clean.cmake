@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nids.dir/bench_nids.cc.o"
+  "CMakeFiles/bench_nids.dir/bench_nids.cc.o.d"
+  "bench_nids"
+  "bench_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

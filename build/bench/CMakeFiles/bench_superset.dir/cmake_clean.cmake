@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_superset.dir/bench_superset.cc.o"
+  "CMakeFiles/bench_superset.dir/bench_superset.cc.o.d"
+  "bench_superset"
+  "bench_superset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_superset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/english_tagger.dir/english_tagger.cpp.o"
+  "CMakeFiles/english_tagger.dir/english_tagger.cpp.o.d"
+  "english_tagger"
+  "english_tagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/english_tagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

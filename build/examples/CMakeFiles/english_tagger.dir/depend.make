@@ -1,0 +1,2 @@
+# Empty dependencies file for english_tagger.
+# This may be replaced when dependencies are built.

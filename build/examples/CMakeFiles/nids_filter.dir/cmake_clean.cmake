@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nids_filter.dir/nids_filter.cpp.o"
+  "CMakeFiles/nids_filter.dir/nids_filter.cpp.o.d"
+  "nids_filter"
+  "nids_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nids_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

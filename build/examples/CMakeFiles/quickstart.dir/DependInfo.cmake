@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cfgtag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlrpc/CMakeFiles/cfgtag_xmlrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/cfgtag_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tagger/CMakeFiles/cfgtag_tagger.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/cfgtag_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/cfgtag_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cfgtag_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cfgtag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nids/CMakeFiles/cfgtag_nids.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrpc_router.dir/xmlrpc_router.cpp.o"
+  "CMakeFiles/xmlrpc_router.dir/xmlrpc_router.cpp.o.d"
+  "xmlrpc_router"
+  "xmlrpc_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrpc_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_common.dir/rng.cc.o"
+  "CMakeFiles/cfgtag_common.dir/rng.cc.o.d"
+  "CMakeFiles/cfgtag_common.dir/status.cc.o"
+  "CMakeFiles/cfgtag_common.dir/status.cc.o.d"
+  "CMakeFiles/cfgtag_common.dir/strings.cc.o"
+  "CMakeFiles/cfgtag_common.dir/strings.cc.o.d"
+  "libcfgtag_common.a"
+  "libcfgtag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_core.dir/context_tagger.cc.o"
+  "CMakeFiles/cfgtag_core.dir/context_tagger.cc.o.d"
+  "CMakeFiles/cfgtag_core.dir/token_tagger.cc.o"
+  "CMakeFiles/cfgtag_core.dir/token_tagger.cc.o.d"
+  "libcfgtag_core.a"
+  "libcfgtag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/analysis.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/analysis.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/analysis.cc.o.d"
+  "/root/repo/src/grammar/dtd.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/dtd.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/dtd.cc.o.d"
+  "/root/repo/src/grammar/grammar.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/grammar.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/grammar.cc.o.d"
+  "/root/repo/src/grammar/grammar_parser.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/grammar_parser.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/grammar_parser.cc.o.d"
+  "/root/repo/src/grammar/lint.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/lint.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/lint.cc.o.d"
+  "/root/repo/src/grammar/token_context.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/token_context.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/token_context.cc.o.d"
+  "/root/repo/src/grammar/transforms.cc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/transforms.cc.o" "gcc" "src/grammar/CMakeFiles/cfgtag_grammar.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfgtag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/cfgtag_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_grammar.dir/analysis.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/analysis.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/dtd.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/dtd.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/grammar.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/grammar.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/grammar_parser.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/grammar_parser.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/lint.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/lint.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/token_context.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/token_context.cc.o.d"
+  "CMakeFiles/cfgtag_grammar.dir/transforms.cc.o"
+  "CMakeFiles/cfgtag_grammar.dir/transforms.cc.o.d"
+  "libcfgtag_grammar.a"
+  "libcfgtag_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

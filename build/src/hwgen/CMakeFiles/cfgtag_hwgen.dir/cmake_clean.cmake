@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_hwgen.dir/decoder_gen.cc.o"
+  "CMakeFiles/cfgtag_hwgen.dir/decoder_gen.cc.o.d"
+  "CMakeFiles/cfgtag_hwgen.dir/encoder_gen.cc.o"
+  "CMakeFiles/cfgtag_hwgen.dir/encoder_gen.cc.o.d"
+  "CMakeFiles/cfgtag_hwgen.dir/tagger_gen.cc.o"
+  "CMakeFiles/cfgtag_hwgen.dir/tagger_gen.cc.o.d"
+  "CMakeFiles/cfgtag_hwgen.dir/tokenizer_gen.cc.o"
+  "CMakeFiles/cfgtag_hwgen.dir/tokenizer_gen.cc.o.d"
+  "libcfgtag_hwgen.a"
+  "libcfgtag_hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

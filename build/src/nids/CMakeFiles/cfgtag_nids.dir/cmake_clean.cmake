@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_nids.dir/context_filter.cc.o"
+  "CMakeFiles/cfgtag_nids.dir/context_filter.cc.o.d"
+  "libcfgtag_nids.a"
+  "libcfgtag_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/char_class.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/char_class.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/char_class.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/dfa.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/dfa.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/nfa.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/nfa.cc.o.d"
+  "/root/repo/src/regex/position_automaton.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/position_automaton.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/position_automaton.cc.o.d"
+  "/root/repo/src/regex/regex_ast.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/regex_ast.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/regex_ast.cc.o.d"
+  "/root/repo/src/regex/regex_parser.cc" "src/regex/CMakeFiles/cfgtag_regex.dir/regex_parser.cc.o" "gcc" "src/regex/CMakeFiles/cfgtag_regex.dir/regex_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfgtag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_regex.dir/char_class.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/char_class.cc.o.d"
+  "CMakeFiles/cfgtag_regex.dir/dfa.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/dfa.cc.o.d"
+  "CMakeFiles/cfgtag_regex.dir/nfa.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/nfa.cc.o.d"
+  "CMakeFiles/cfgtag_regex.dir/position_automaton.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/position_automaton.cc.o.d"
+  "CMakeFiles/cfgtag_regex.dir/regex_ast.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/regex_ast.cc.o.d"
+  "CMakeFiles/cfgtag_regex.dir/regex_parser.cc.o"
+  "CMakeFiles/cfgtag_regex.dir/regex_parser.cc.o.d"
+  "libcfgtag_regex.a"
+  "libcfgtag_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

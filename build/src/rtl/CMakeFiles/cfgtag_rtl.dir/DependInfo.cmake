@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/device.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/device.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/device.cc.o.d"
+  "/root/repo/src/rtl/netlist.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/netlist.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/netlist.cc.o.d"
+  "/root/repo/src/rtl/optimize.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/optimize.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/optimize.cc.o.d"
+  "/root/repo/src/rtl/serialize.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/serialize.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/serialize.cc.o.d"
+  "/root/repo/src/rtl/simulator.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/simulator.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/simulator.cc.o.d"
+  "/root/repo/src/rtl/techmap.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/techmap.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/techmap.cc.o.d"
+  "/root/repo/src/rtl/timing.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/timing.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/timing.cc.o.d"
+  "/root/repo/src/rtl/vcd_writer.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vcd_writer.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vcd_writer.cc.o.d"
+  "/root/repo/src/rtl/vhdl_emitter.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vhdl_emitter.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vhdl_emitter.cc.o.d"
+  "/root/repo/src/rtl/vhdl_testbench.cc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vhdl_testbench.cc.o" "gcc" "src/rtl/CMakeFiles/cfgtag_rtl.dir/vhdl_testbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfgtag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

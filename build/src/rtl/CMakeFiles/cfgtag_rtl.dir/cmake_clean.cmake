@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_rtl.dir/device.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/device.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/netlist.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/netlist.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/optimize.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/optimize.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/serialize.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/serialize.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/simulator.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/simulator.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/techmap.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/techmap.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/timing.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/timing.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/vcd_writer.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/vcd_writer.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/vhdl_emitter.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/vhdl_emitter.cc.o.d"
+  "CMakeFiles/cfgtag_rtl.dir/vhdl_testbench.cc.o"
+  "CMakeFiles/cfgtag_rtl.dir/vhdl_testbench.cc.o.d"
+  "libcfgtag_rtl.a"
+  "libcfgtag_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tagger/functional_model.cc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/functional_model.cc.o" "gcc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/functional_model.cc.o.d"
+  "/root/repo/src/tagger/lexer.cc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/lexer.cc.o" "gcc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/lexer.cc.o.d"
+  "/root/repo/src/tagger/ll_parser.cc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/ll_parser.cc.o" "gcc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/ll_parser.cc.o.d"
+  "/root/repo/src/tagger/naive_matcher.cc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/naive_matcher.cc.o" "gcc" "src/tagger/CMakeFiles/cfgtag_tagger.dir/naive_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfgtag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/cfgtag_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/cfgtag_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

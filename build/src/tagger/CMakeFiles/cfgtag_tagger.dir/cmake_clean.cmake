@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_tagger.dir/functional_model.cc.o"
+  "CMakeFiles/cfgtag_tagger.dir/functional_model.cc.o.d"
+  "CMakeFiles/cfgtag_tagger.dir/lexer.cc.o"
+  "CMakeFiles/cfgtag_tagger.dir/lexer.cc.o.d"
+  "CMakeFiles/cfgtag_tagger.dir/ll_parser.cc.o"
+  "CMakeFiles/cfgtag_tagger.dir/ll_parser.cc.o.d"
+  "CMakeFiles/cfgtag_tagger.dir/naive_matcher.cc.o"
+  "CMakeFiles/cfgtag_tagger.dir/naive_matcher.cc.o.d"
+  "libcfgtag_tagger.a"
+  "libcfgtag_tagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_tagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

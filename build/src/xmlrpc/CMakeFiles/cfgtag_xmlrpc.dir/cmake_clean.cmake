@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtag_xmlrpc.dir/extractor.cc.o"
+  "CMakeFiles/cfgtag_xmlrpc.dir/extractor.cc.o.d"
+  "CMakeFiles/cfgtag_xmlrpc.dir/message_gen.cc.o"
+  "CMakeFiles/cfgtag_xmlrpc.dir/message_gen.cc.o.d"
+  "CMakeFiles/cfgtag_xmlrpc.dir/router.cc.o"
+  "CMakeFiles/cfgtag_xmlrpc.dir/router.cc.o.d"
+  "CMakeFiles/cfgtag_xmlrpc.dir/xmlrpc_grammar.cc.o"
+  "CMakeFiles/cfgtag_xmlrpc.dir/xmlrpc_grammar.cc.o.d"
+  "libcfgtag_xmlrpc.a"
+  "libcfgtag_xmlrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtag_xmlrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfgtag_xmlrpc.a"
+)

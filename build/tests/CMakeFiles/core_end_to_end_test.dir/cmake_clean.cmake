@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_end_to_end_test.dir/core_end_to_end_test.cc.o"
+  "CMakeFiles/core_end_to_end_test.dir/core_end_to_end_test.cc.o.d"
+  "core_end_to_end_test"
+  "core_end_to_end_test.pdb"
+  "core_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

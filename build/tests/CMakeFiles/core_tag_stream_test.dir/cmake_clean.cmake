@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tag_stream_test.dir/core_tag_stream_test.cc.o"
+  "CMakeFiles/core_tag_stream_test.dir/core_tag_stream_test.cc.o.d"
+  "core_tag_stream_test"
+  "core_tag_stream_test.pdb"
+  "core_tag_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tag_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_dtd_test.dir/grammar_dtd_test.cc.o"
+  "CMakeFiles/grammar_dtd_test.dir/grammar_dtd_test.cc.o.d"
+  "grammar_dtd_test"
+  "grammar_dtd_test.pdb"
+  "grammar_dtd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_dtd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

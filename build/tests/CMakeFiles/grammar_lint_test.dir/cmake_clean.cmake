@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_lint_test.dir/grammar_lint_test.cc.o"
+  "CMakeFiles/grammar_lint_test.dir/grammar_lint_test.cc.o.d"
+  "grammar_lint_test"
+  "grammar_lint_test.pdb"
+  "grammar_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_transforms_test.dir/grammar_transforms_test.cc.o"
+  "CMakeFiles/grammar_transforms_test.dir/grammar_transforms_test.cc.o.d"
+  "grammar_transforms_test"
+  "grammar_transforms_test.pdb"
+  "grammar_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen_encoder_test.dir/hwgen_encoder_test.cc.o"
+  "CMakeFiles/hwgen_encoder_test.dir/hwgen_encoder_test.cc.o.d"
+  "hwgen_encoder_test"
+  "hwgen_encoder_test.pdb"
+  "hwgen_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen_equivalence_test.dir/hwgen_equivalence_test.cc.o"
+  "CMakeFiles/hwgen_equivalence_test.dir/hwgen_equivalence_test.cc.o.d"
+  "hwgen_equivalence_test"
+  "hwgen_equivalence_test.pdb"
+  "hwgen_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen_multilane_test.dir/hwgen_multilane_test.cc.o"
+  "CMakeFiles/hwgen_multilane_test.dir/hwgen_multilane_test.cc.o.d"
+  "hwgen_multilane_test"
+  "hwgen_multilane_test.pdb"
+  "hwgen_multilane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen_multilane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen_tagger_test.dir/hwgen_tagger_test.cc.o"
+  "CMakeFiles/hwgen_tagger_test.dir/hwgen_tagger_test.cc.o.d"
+  "hwgen_tagger_test"
+  "hwgen_tagger_test.pdb"
+  "hwgen_tagger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen_tagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nids_test.dir/nids_test.cc.o"
+  "CMakeFiles/nids_test.dir/nids_test.cc.o.d"
+  "nids_test"
+  "nids_test.pdb"
+  "nids_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

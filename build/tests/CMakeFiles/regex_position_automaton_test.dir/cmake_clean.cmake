@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_position_automaton_test.dir/regex_position_automaton_test.cc.o"
+  "CMakeFiles/regex_position_automaton_test.dir/regex_position_automaton_test.cc.o.d"
+  "regex_position_automaton_test"
+  "regex_position_automaton_test.pdb"
+  "regex_position_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_position_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_optimize_test.dir/rtl_optimize_test.cc.o"
+  "CMakeFiles/rtl_optimize_test.dir/rtl_optimize_test.cc.o.d"
+  "rtl_optimize_test"
+  "rtl_optimize_test.pdb"
+  "rtl_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_serialize_test.dir/rtl_serialize_test.cc.o"
+  "CMakeFiles/rtl_serialize_test.dir/rtl_serialize_test.cc.o.d"
+  "rtl_serialize_test"
+  "rtl_serialize_test.pdb"
+  "rtl_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

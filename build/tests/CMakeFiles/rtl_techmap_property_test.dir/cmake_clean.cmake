@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_techmap_property_test.dir/rtl_techmap_property_test.cc.o"
+  "CMakeFiles/rtl_techmap_property_test.dir/rtl_techmap_property_test.cc.o.d"
+  "rtl_techmap_property_test"
+  "rtl_techmap_property_test.pdb"
+  "rtl_techmap_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_techmap_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

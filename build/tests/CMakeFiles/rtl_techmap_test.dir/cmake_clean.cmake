@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_techmap_test.dir/rtl_techmap_test.cc.o"
+  "CMakeFiles/rtl_techmap_test.dir/rtl_techmap_test.cc.o.d"
+  "rtl_techmap_test"
+  "rtl_techmap_test.pdb"
+  "rtl_techmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_techmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_timing_test.dir/rtl_timing_test.cc.o"
+  "CMakeFiles/rtl_timing_test.dir/rtl_timing_test.cc.o.d"
+  "rtl_timing_test"
+  "rtl_timing_test.pdb"
+  "rtl_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_vhdl_test.dir/rtl_vhdl_test.cc.o"
+  "CMakeFiles/rtl_vhdl_test.dir/rtl_vhdl_test.cc.o.d"
+  "rtl_vhdl_test"
+  "rtl_vhdl_test.pdb"
+  "rtl_vhdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_vhdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagger_resync_test.dir/tagger_resync_test.cc.o"
+  "CMakeFiles/tagger_resync_test.dir/tagger_resync_test.cc.o.d"
+  "tagger_resync_test"
+  "tagger_resync_test.pdb"
+  "tagger_resync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagger_resync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

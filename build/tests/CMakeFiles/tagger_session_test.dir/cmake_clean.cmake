@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagger_session_test.dir/tagger_session_test.cc.o"
+  "CMakeFiles/tagger_session_test.dir/tagger_session_test.cc.o.d"
+  "tagger_session_test"
+  "tagger_session_test.pdb"
+  "tagger_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagger_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrpc_extractor_test.dir/xmlrpc_extractor_test.cc.o"
+  "CMakeFiles/xmlrpc_extractor_test.dir/xmlrpc_extractor_test.cc.o.d"
+  "xmlrpc_extractor_test"
+  "xmlrpc_extractor_test.pdb"
+  "xmlrpc_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrpc_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgtagc.dir/cfgtagc.cc.o"
+  "CMakeFiles/cfgtagc.dir/cfgtagc.cc.o.d"
+  "cfgtagc"
+  "cfgtagc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgtagc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
