@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "tagger/lexer.h"
 #include "tagger/ll_parser.h"
 #include "tagger/naive_matcher.h"
@@ -142,4 +145,26 @@ BENCHMARK(BM_ImplementFlow)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace cfgtag::bench
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus a machine-readable trail: the default
+// metrics registry — populated by the instrumented Tag/Compile/Implement
+// paths the benchmarks exercised — is dumped to bench_metrics.json so
+// BENCH_*.json trajectories carry per-stage cost attribution.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cfgtag::obs::MetricsRegistry::Default()
+      .GetGauge("cfgtag_bench_workload_bytes",
+                "Bytes of the generated XML-RPC workload stream")
+      ->Set(static_cast<double>(cfgtag::bench::Workload().size()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out_path = "bench_metrics.json";
+  std::ofstream out(out_path, std::ios::binary);
+  out << cfgtag::obs::MetricsRegistry::Default().ToJson();
+  if (out) {
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+  }
+  return 0;
+}

@@ -2,24 +2,34 @@
 #define CFGTAG_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/status.h"
 #include "core/token_tagger.h"
 #include "grammar/transforms.h"
+#include "obs/trace.h"
 #include "xmlrpc/xmlrpc_grammar.h"
 
 namespace cfgtag::bench {
 
 // Dies loudly: benches regenerate paper tables, a failure means the build
-// is broken and the numbers would be meaningless.
+// is broken and the numbers would be meaningless. The abort message names
+// the pipeline stage that was running (the tracer's last span path), so a
+// techmap failure inside Compile is attributable without a debugger.
 inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {
-    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    const std::string span = obs::Tracer::Default().LastSpanPath();
+    std::fprintf(stderr, "FATAL %s (last stage: %s): %s\n", what,
+                 span.empty() ? "<none>" : span.c_str(),
+                 status.ToString().c_str());
     std::abort();
   }
 }
 
+// Takes the StatusOr by value (never by reference): callers hand over
+// ownership, and the value is moved out — uniform across lvalue/rvalue
+// call sites.
 template <typename T>
 T ValueOrDie(StatusOr<T> v, const char* what) {
   CheckOk(v.status(), what);

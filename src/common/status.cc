@@ -32,6 +32,16 @@ std::string Status::ToString() const {
   return out;
 }
 
+Status Status::WithContext(std::string_view context) const {
+  if (ok() || context.empty()) return *this;
+  std::string message(context);
+  if (!message_.empty()) {
+    message += ": ";
+    message += message_;
+  }
+  return Status(code_, std::move(message));
+}
+
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace cfgtag {
@@ -46,6 +47,12 @@ class Status {
 
   // "OK" or "INVALID_ARGUMENT: <message>".
   std::string ToString() const;
+
+  // Returns this status with `context` prefixed onto the message
+  // ("context: message"), preserving the code. Pipelines use it to name
+  // the failing stage — e.g. a techmap error surfacing from Compile reads
+  // "INTERNAL: techmap: ...". No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
 
  private:
   StatusCode code_;

@@ -1,15 +1,25 @@
 #include "core/context_tagger.h"
 
+#include "obs/trace.h"
+
 namespace cfgtag::core {
 
 StatusOr<ContextualTagger> ContextualTagger::Compile(
     const grammar::Grammar& grammar, const hwgen::HwOptions& options) {
+  obs::ScopedSpan span("core.ContextualCompile");
   auto original = std::make_unique<grammar::Grammar>(grammar.Clone());
-  CFGTAG_ASSIGN_OR_RETURN(auto expansion, grammar::ExpandContexts(grammar));
+  auto expansion = [&] {
+    obs::ScopedSpan stage("grammar.ExpandContexts");
+    return grammar::ExpandContexts(grammar);
+  }();
+  if (!expansion.ok()) {
+    return expansion.status().WithContext("context expansion");
+  }
   CFGTAG_ASSIGN_OR_RETURN(
       auto tagger,
-      CompiledTagger::Compile(std::move(expansion.grammar), options));
-  return ContextualTagger(std::move(original), std::move(expansion.contexts),
+      CompiledTagger::Compile(std::move(expansion->grammar), options));
+  return ContextualTagger(std::move(original),
+                          std::move(expansion->contexts),
                           std::move(tagger));
 }
 

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtl/optimize.h"
 #include "rtl/simulator.h"
 #include "rtl/vcd_writer.h"
@@ -20,25 +22,91 @@ std::string Padded(std::string_view input, size_t pad) {
   return s;
 }
 
+// Cached handles into the default registry — registry lookup locks, so
+// call sites on hot paths resolve each metric exactly once.
+obs::Histogram* StageHistogram(const char* stage) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  return reg.GetHistogram(
+      std::string("cfgtag_compile_stage_seconds{stage=\"") + stage + "\"}",
+      "Wall time of one compile-pipeline stage");
+}
+
 }  // namespace
 
 StatusOr<CompiledTagger> CompiledTagger::Compile(
     grammar::Grammar grammar, const hwgen::HwOptions& options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::ScopedSpan span("core.Compile");
+  obs::ScopedTimer timer(reg.GetHistogram(
+      "cfgtag_compile_seconds", "End-to-end grammar compile wall time"));
+
   CompiledTagger out;
   out.grammar_ =
       std::make_unique<grammar::Grammar>(std::move(grammar));
   out.options_ = options;
-  CFGTAG_ASSIGN_OR_RETURN(
-      out.hardware_,
-      hwgen::TaggerGenerator::Generate(*out.grammar_, options));
-  CFGTAG_ASSIGN_OR_RETURN(
-      auto model,
-      tagger::FunctionalTagger::Create(out.grammar_.get(), options.tagger));
-  out.model_ = std::make_unique<tagger::FunctionalTagger>(std::move(model));
+  {
+    obs::ScopedSpan stage("hwgen.Generate");
+    obs::ScopedTimer stage_timer(StageHistogram("hwgen"));
+    auto hardware = hwgen::TaggerGenerator::Generate(*out.grammar_, options);
+    if (!hardware.ok()) return hardware.status().WithContext("hwgen");
+    out.hardware_ = std::move(hardware).value();
+  }
+  {
+    obs::ScopedSpan stage("tagger.CreateModel");
+    obs::ScopedTimer stage_timer(StageHistogram("model"));
+    auto model =
+        tagger::FunctionalTagger::Create(out.grammar_.get(), options.tagger);
+    if (!model.ok()) return model.status().WithContext("functional model");
+    out.model_ =
+        std::make_unique<tagger::FunctionalTagger>(std::move(model).value());
+  }
+
+  const rtl::Netlist::Stats stats = out.hardware_.netlist.ComputeStats();
+  reg.GetCounter("cfgtag_compile_total", "Grammar compiles completed")
+      ->Increment();
+  reg.GetGauge("cfgtag_compile_gates", "Gates in the last compiled netlist")
+      ->Set(static_cast<double>(stats.num_gates));
+  reg.GetGauge("cfgtag_compile_regs",
+               "Registers in the last compiled netlist")
+      ->Set(static_cast<double>(stats.num_regs));
+  reg.GetGauge("cfgtag_compile_pattern_bytes",
+               "Pattern bytes (Glushkov positions) of the last compile")
+      ->Set(static_cast<double>(out.hardware_.pattern_bytes));
   return out;
 }
 
+namespace {
+
+// Run-path metric handles, resolved once per process.
+struct TagMetrics {
+  obs::Counter* calls;
+  obs::Counter* bytes;
+  obs::Counter* tags;
+  obs::Histogram* latency;
+
+  static const TagMetrics& Get() {
+    static const TagMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      auto* m = new TagMetrics;
+      m->calls = reg.GetCounter("cfgtag_tag_calls_total",
+                                "Tag() invocations (functional model)");
+      m->bytes = reg.GetCounter("cfgtag_tag_bytes_total",
+                                "Input bytes scanned by Tag()");
+      m->tags = reg.GetCounter("cfgtag_tag_tokens_total",
+                               "Tags emitted by Tag()");
+      m->latency = reg.GetHistogram("cfgtag_tag_seconds",
+                                    "Per-call Tag() wall time");
+      return m;
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
+
 std::vector<tagger::Tag> CompiledTagger::Tag(std::string_view input) const {
+  const TagMetrics& metrics = TagMetrics::Get();
+  obs::ScopedTimer timer(metrics.latency);
   // One extra pad byte beyond the scanned range keeps the Fig. 7 look-ahead
   // identical between the engines at the final scanned byte.
   const std::string padded = Padded(input, kFlushPadding + 1);
@@ -48,22 +116,35 @@ std::vector<tagger::Tag> CompiledTagger::Tag(std::string_view input) const {
     if (t.end < scan_end) tags.push_back(t);
     return true;
   });
+  metrics.calls->Increment();
+  metrics.bytes->Increment(input.size());
+  metrics.tags->Increment(tags.size());
   return tags;
 }
 
 void CompiledTagger::Tag(std::string_view input,
                          const tagger::TagSink& sink) const {
+  const TagMetrics& metrics = TagMetrics::Get();
+  obs::ScopedTimer timer(metrics.latency);
   const std::string padded = Padded(input, kFlushPadding + 1);
   const size_t scan_end = input.size() + kFlushPadding;
+  uint64_t emitted = 0;
   model_->Run(padded, [&](const tagger::Tag& t) {
-    return t.end >= scan_end || sink(t);
+    if (t.end >= scan_end) return true;
+    ++emitted;
+    return sink(t);
   });
+  metrics.calls->Increment();
+  metrics.bytes->Increment(input.size());
+  metrics.tags->Increment(emitted);
 }
 
 StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(
     std::string_view input) const {
+  obs::ScopedSpan span("core.TagCycleAccurate");
   CFGTAG_ASSIGN_OR_RETURN(auto sim,
                           rtl::Simulator::Create(&hardware_.netlist));
+  sim.EnableActivityStats(true);
   const std::string padded = Padded(input, kFlushPadding + 1);
   const size_t scan_end = input.size() + kFlushPadding;
   const size_t lanes = static_cast<size_t>(hardware_.lanes);
@@ -112,6 +193,19 @@ StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(
                    [](const tagger::Tag& a, const tagger::Tag& b) {
                      return a.end < b.end;
                    });
+  // Export the run's switching activity — the software analogue of an FPGA
+  // activity estimate, and the denominator for toggle-rate trends.
+  const rtl::ActivityStats& activity = sim.activity();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("cfgtag_sim_cycles_total",
+                 "Clock cycles simulated by TagCycleAccurate")
+      ->Increment(activity.cycles);
+  reg.GetCounter("cfgtag_sim_reg_toggles_total",
+                 "Register toggles observed by TagCycleAccurate")
+      ->Increment(activity.reg_toggles);
+  reg.GetCounter("cfgtag_sim_gated_samples_total",
+                 "Register-cycles held by a low clock-enable")
+      ->Increment(activity.gated_samples);
   return tags;
 }
 
@@ -159,17 +253,42 @@ StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagViaIndexBus(
 
 StatusOr<ImplementationReport> CompiledTagger::Implement(
     const rtl::Device& device, bool optimize) const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::ScopedSpan span("core.Implement");
+  obs::ScopedTimer timer(reg.GetHistogram(
+      "cfgtag_implement_seconds", "Techmap + timing flow wall time"));
+
   rtl::TechMapper mapper(device.lut_inputs);
   rtl::Netlist optimized;
   const rtl::Netlist* to_map = &hardware_.netlist;
   if (optimize) {
-    CFGTAG_ASSIGN_OR_RETURN(optimized,
-                            rtl::Optimize(hardware_.netlist, nullptr));
+    obs::ScopedSpan stage("rtl.Optimize");
+    obs::ScopedTimer stage_timer(StageHistogram("optimize"));
+    auto opt = rtl::Optimize(hardware_.netlist, nullptr);
+    if (!opt.ok()) return opt.status().WithContext("optimize");
+    optimized = std::move(opt).value();
     to_map = &optimized;
   }
-  CFGTAG_ASSIGN_OR_RETURN(auto mapped, mapper.Map(*to_map));
-  CFGTAG_ASSIGN_OR_RETURN(auto timing,
-                          rtl::TimingAnalyzer::Analyze(mapped, device));
+  rtl::MappedNetlist mapped;
+  {
+    obs::ScopedSpan stage("rtl.TechMap");
+    obs::ScopedTimer stage_timer(StageHistogram("techmap"));
+    auto m = mapper.Map(*to_map);
+    if (!m.ok()) return m.status().WithContext("techmap");
+    mapped = std::move(m).value();
+  }
+  rtl::TimingReport timing;
+  {
+    obs::ScopedSpan stage("rtl.Timing");
+    obs::ScopedTimer stage_timer(StageHistogram("timing"));
+    auto t = rtl::TimingAnalyzer::Analyze(mapped, device);
+    if (!t.ok()) return t.status().WithContext("timing");
+    timing = std::move(t).value();
+  }
+  reg.GetGauge("cfgtag_implement_luts", "LUTs of the last Implement() call")
+      ->Set(static_cast<double>(mapped.NumLuts()));
+  reg.GetGauge("cfgtag_implement_ffs", "FFs of the last Implement() call")
+      ->Set(static_cast<double>(mapped.NumFfs()));
   ImplementationReport report;
   report.device = device.name;
   report.area.luts = mapped.NumLuts();

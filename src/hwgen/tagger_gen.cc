@@ -5,6 +5,7 @@
 
 #include "hwgen/decoder_gen.h"
 #include "hwgen/tokenizer_gen.h"
+#include "obs/trace.h"
 #include "regex/position_automaton.h"
 
 namespace cfgtag::hwgen {
@@ -275,13 +276,18 @@ StatusOr<GeneratedTagger> GenerateLanes(const grammar::Grammar& g,
 
 StatusOr<GeneratedTagger> TaggerGenerator::Generate(
     const grammar::Grammar& grammar, const HwOptions& options) {
-  CFGTAG_RETURN_IF_ERROR(grammar.Validate());
-  CFGTAG_ASSIGN_OR_RETURN(auto analysis, grammar::Analyze(grammar));
+  CFGTAG_RETURN_IF_ERROR(grammar.Validate().WithContext("grammar validate"));
+  auto analysis = [&] {
+    obs::ScopedSpan span("grammar.Analyze");
+    return grammar::Analyze(grammar);
+  }();
+  if (!analysis.ok()) return analysis.status().WithContext("analysis");
   if (options.bytes_per_cycle != 1 && options.bytes_per_cycle != 2 &&
       options.bytes_per_cycle != 4) {
     return InvalidArgumentError("bytes_per_cycle must be 1, 2 or 4");
   }
-  return GenerateLanes(grammar, analysis, options);
+  obs::ScopedSpan span("hwgen.GenerateLanes");
+  return GenerateLanes(grammar, *analysis, options);
 }
 
 }  // namespace cfgtag::hwgen

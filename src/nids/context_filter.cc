@@ -2,7 +2,47 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cfgtag::nids {
+
+namespace {
+
+// The registry is the system of record for scan accounting; the ScanStats
+// out-parameter is a per-call delta of the same counters.
+struct ScanMetrics {
+  obs::Counter* scans;
+  obs::Counter* bytes;
+  obs::Counter* tokens;
+  obs::Counter* spans;
+  obs::Counter* alerts;
+  obs::Histogram* latency;
+
+  static const ScanMetrics& Get() {
+    static const ScanMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      auto* m = new ScanMetrics;
+      m->scans = reg.GetCounter("cfgtag_nids_scans_total",
+                                "ContextFilter::Scan invocations");
+      m->bytes = reg.GetCounter("cfgtag_nids_bytes_total",
+                                "Stream bytes scanned by ContextFilter");
+      m->tokens = reg.GetCounter("cfgtag_nids_tokens_total",
+                                 "Tags seen while scanning");
+      m->spans = reg.GetCounter(
+          "cfgtag_nids_spans_scanned_total",
+          "Context spans handed to the pattern matcher");
+      m->alerts = reg.GetCounter("cfgtag_nids_alerts_total",
+                                 "Alerts raised by ContextFilter");
+      m->latency = reg.GetHistogram("cfgtag_nids_scan_seconds",
+                                    "Per-message Scan() wall time");
+      return m;
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<ContextFilter> ContextFilter::Create(grammar::Grammar grammar,
                                               std::vector<Rule> rules,
@@ -45,6 +85,9 @@ StatusOr<ContextFilter> ContextFilter::Create(grammar::Grammar grammar,
 
 std::vector<Alert> ContextFilter::Scan(std::string_view stream,
                                        ScanStats* stats) const {
+  const ScanMetrics& metrics = ScanMetrics::Get();
+  obs::ScopedSpan span("nids.Scan");
+  obs::ScopedTimer timer(metrics.latency);
   ScanStats local;
   local.bytes = stream.size();
   std::vector<Alert> alerts;
@@ -91,6 +134,11 @@ std::vector<Alert> ContextFilter::Scan(std::string_view stream,
   std::stable_sort(alerts.begin(), alerts.end(),
                    [](const Alert& a, const Alert& b) { return a.end < b.end; });
   local.alerts = alerts.size();
+  metrics.scans->Increment();
+  metrics.bytes->Increment(local.bytes);
+  metrics.tokens->Increment(local.tokens);
+  metrics.spans->Increment(local.spans_scanned);
+  metrics.alerts->Increment(local.alerts);
   if (stats != nullptr) *stats = local;
   return alerts;
 }

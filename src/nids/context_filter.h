@@ -28,6 +28,10 @@ struct Alert {
   uint64_t end = 0;        // stream offset of the pattern's last byte
 };
 
+// Per-call snapshot of one Scan(). The cumulative system of record is the
+// default obs::MetricsRegistry (cfgtag_nids_* counters), which Scan()
+// advances by exactly these deltas — this struct exists for callers that
+// want the numbers for a single message without diffing the registry.
 struct ScanStats {
   uint64_t bytes = 0;
   uint64_t tokens = 0;        // tags seen

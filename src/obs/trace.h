@@ -1,0 +1,98 @@
+#ifndef CFGTAG_OBS_TRACE_H_
+#define CFGTAG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cfgtag::obs {
+
+// A completed span, as recorded by ScopedSpan. Timestamps are microseconds
+// since the tracer was constructed; `tid` is a small dense id assigned per
+// observed thread, matching what the Chrome trace export emits.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  int depth = 0;  // nesting depth at record time (0 = top-level)
+  uint32_t tid = 0;
+};
+
+// Collects spans and exports them as Chrome `trace_event` JSON — load the
+// file via chrome://tracing or https://ui.perfetto.dev. Span begin/end is
+// driven by ScopedSpan; spans nest per thread (a span opened while another
+// is live on the same thread becomes its child).
+//
+// The buffer is bounded: once `capacity` spans are stored, further spans
+// are counted in dropped_spans() but not retained, so leaving tracing on
+// in a long-lived service costs O(capacity) memory.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Slash-joined path of the most recently *entered* span on any thread,
+  // e.g. "core.Compile/hwgen.Generate" — still meaningful after the span
+  // ends. Benches use it to say where a fatal Status came from.
+  std::string LastSpanPath() const;
+
+  // Completed spans in completion order (a parent therefore follows its
+  // children).
+  std::vector<SpanRecord> Snapshot() const;
+
+  uint64_t dropped_spans() const;
+
+  // Writes the Chrome trace_event JSON ({"traceEvents": [...]}, "X" phase
+  // complete events).
+  void WriteChromeTrace(std::ostream& os) const;
+
+  // Forgets all recorded spans (open ScopedSpans still record on exit).
+  void Clear();
+
+  // The process-wide tracer all built-in instrumentation writes to.
+  static Tracer& Default();
+
+ private:
+  friend class ScopedSpan;
+
+  uint64_t NowUs() const;
+  void Record(SpanRecord record);
+  void SetLastPath(std::string path);
+  uint32_t ThreadId();
+
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  uint64_t dropped_ = 0;
+  std::string last_path_;
+  uint32_t next_tid_ = 0;
+};
+
+// RAII span: records [construction, destruction) into a tracer. Spans on
+// the same thread nest; the span path (for Tracer::LastSpanPath) is the
+// slash-joined names of the enclosing ScopedSpans plus this one.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, Tracer* tracer = &Tracer::Default());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  uint64_t start_us_;
+  int depth_;
+  ScopedSpan* parent_;  // enclosing span on this thread (any tracer)
+};
+
+}  // namespace cfgtag::obs
+
+#endif  // CFGTAG_OBS_TRACE_H_

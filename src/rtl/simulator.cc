@@ -1,5 +1,8 @@
 #include "rtl/simulator.h"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace cfgtag::rtl {
 
 StatusOr<Simulator> Simulator::Create(const Netlist* netlist) {
@@ -13,6 +16,7 @@ Simulator::Simulator(const Netlist* netlist)
     if (netlist_->node(i).kind == NodeKind::kReg) regs_.push_back(i);
   }
   next_reg_values_.resize(regs_.size(), 0);
+  reg_toggle_counts_.assign(regs_.size(), 0);
   Reset();
 }
 
@@ -70,11 +74,93 @@ void Simulator::Step() {
     const bool enabled = r.enable == kInvalidNode || values_[r.enable] != 0;
     next_reg_values_[k] = enabled ? values_[r.fanin[0]] : values_[regs_[k]];
   }
+  if (activity_enabled_) {
+    ++activity_.cycles;
+    for (size_t k = 0; k < regs_.size(); ++k) {
+      const Node& r = netlist_->node(regs_[k]);
+      if (r.enable != kInvalidNode) {
+        if (values_[r.enable] != 0) {
+          ++activity_.enabled_samples;
+        } else {
+          ++activity_.gated_samples;
+        }
+      }
+      if (next_reg_values_[k] != values_[regs_[k]]) {
+        ++activity_.reg_toggles;
+        ++reg_toggle_counts_[k];
+      }
+    }
+  }
   // Commit phase.
   for (size_t k = 0; k < regs_.size(); ++k) {
     values_[regs_[k]] = next_reg_values_[k];
   }
-  ++cycle_count_;
+  const uint64_t cycle = cycle_count_++;
+  for (const Probe& probe : probes_) {
+    probe.callback(cycle, values_[probe.node] != 0);
+  }
+}
+
+void Simulator::AddProbe(NodeId node, ProbeCallback callback) {
+  probes_.push_back(Probe{node, std::move(callback)});
+}
+
+void Simulator::EnableActivityStats(bool enabled) {
+  activity_enabled_ = enabled;
+  activity_ = ActivityStats();
+  reg_toggle_counts_.assign(regs_.size(), 0);
+}
+
+ToggleRateReport Simulator::BuildToggleReport(size_t top_n) const {
+  ToggleRateReport report;
+  report.cycles = activity_.cycles;
+  report.total_toggles = activity_.reg_toggles;
+  if (activity_.cycles > 0 && !regs_.empty()) {
+    report.avg_rate = static_cast<double>(activity_.reg_toggles) /
+                      (static_cast<double>(activity_.cycles) *
+                       static_cast<double>(regs_.size()));
+  }
+  std::vector<size_t> order(regs_.size());
+  for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return reg_toggle_counts_[a] > reg_toggle_counts_[b];
+  });
+  const size_t n = std::min(top_n, order.size());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t k = order[i];
+    if (reg_toggle_counts_[k] == 0) break;  // order is by count, descending
+    ToggleRateReport::Entry entry;
+    entry.node = regs_[k];
+    const Node& r = netlist_->node(regs_[k]);
+    entry.name = !r.name.empty()
+                     ? r.name
+                     : netlist_->NodeScope(regs_[k]) + ".reg" +
+                           std::to_string(regs_[k]);
+    entry.toggles = reg_toggle_counts_[k];
+    if (activity_.cycles > 0) {
+      entry.rate = static_cast<double>(reg_toggle_counts_[k]) /
+                   static_cast<double>(activity_.cycles);
+    }
+    report.hottest.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string ToggleRateReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "activity: %llu cycles, %llu register toggles, "
+                "avg toggle rate %.4f\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(total_toggles), avg_rate);
+  std::string out = buf;
+  for (const Entry& e : hottest) {
+    std::snprintf(buf, sizeof(buf), "  %-32s %10llu toggles  rate %.4f\n",
+                  e.name.c_str(),
+                  static_cast<unsigned long long>(e.toggles), e.rate);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace cfgtag::rtl

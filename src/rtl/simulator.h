@@ -2,12 +2,45 @@
 #define CFGTAG_RTL_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "rtl/netlist.h"
 
 namespace cfgtag::rtl {
+
+// Invoked once per Step() for a probed node, after the clock edge commits.
+// For register nodes the value is the post-edge value; for combinational
+// nodes it is the value that fed the edge (the pre-edge settle).
+using ProbeCallback = std::function<void(uint64_t cycle, bool value)>;
+
+// Aggregate switching activity over a simulation run — the software stand-in
+// for an FPGA vendor's power/activity estimate. Gathered only while
+// EnableActivityStats(true) is in force.
+struct ActivityStats {
+  uint64_t cycles = 0;          // Step() calls observed
+  uint64_t reg_toggles = 0;     // register bits that changed across an edge
+  uint64_t enabled_samples = 0; // reg-cycles whose clock-enable was high
+  uint64_t gated_samples = 0;   // reg-cycles held by a low clock-enable
+};
+
+// Per-register switching summary derived from ActivityStats.
+struct ToggleRateReport {
+  struct Entry {
+    NodeId node = kInvalidNode;
+    std::string name;   // register name, or scope-qualified placeholder
+    uint64_t toggles = 0;
+    double rate = 0.0;  // toggles / cycles
+  };
+  uint64_t cycles = 0;
+  uint64_t total_toggles = 0;
+  double avg_rate = 0.0;          // mean per-register toggle rate
+  std::vector<Entry> hottest;     // top-N registers by toggle count
+
+  std::string ToString() const;
+};
 
 // Cycle-accurate two-phase simulator for a Netlist.
 //
@@ -45,8 +78,30 @@ class Simulator {
 
   uint64_t cycle_count() const { return cycle_count_; }
 
+  // --- Probes & activity ---------------------------------------------------
+
+  // Watches `node`: `callback` fires exactly once per Step(), after the
+  // edge commits, with the cycle index (0-based) and the node's value.
+  // Probes persist across Reset().
+  void AddProbe(NodeId node, ProbeCallback callback);
+
+  // Turns per-cycle activity accounting on/off. Off by default — counting
+  // touches every register each Step(), so it costs a measurable fraction
+  // of simulation speed. Enabling resets the running stats.
+  void EnableActivityStats(bool enabled);
+  const ActivityStats& activity() const { return activity_; }
+
+  // Per-register toggle summary of the activity window; `top_n` bounds the
+  // `hottest` list. Meaningful only after running with activity enabled.
+  ToggleRateReport BuildToggleReport(size_t top_n = 10) const;
+
  private:
   explicit Simulator(const Netlist* netlist);
+
+  struct Probe {
+    NodeId node;
+    ProbeCallback callback;
+  };
 
   const Netlist* netlist_;
   // Current value of every node (combinational view).
@@ -55,6 +110,10 @@ class Simulator {
   std::vector<NodeId> regs_;
   std::vector<uint8_t> next_reg_values_;
   uint64_t cycle_count_ = 0;
+  std::vector<Probe> probes_;
+  bool activity_enabled_ = false;
+  ActivityStats activity_;
+  std::vector<uint64_t> reg_toggle_counts_;  // parallel to regs_
 };
 
 }  // namespace cfgtag::rtl

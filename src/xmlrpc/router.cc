@@ -1,8 +1,36 @@
 #include "xmlrpc/router.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xmlrpc/xmlrpc_grammar.h"
 
 namespace cfgtag::xmlrpc {
+
+namespace {
+
+struct RouteMetrics {
+  obs::Counter* messages;
+  obs::Counter* defaulted;
+  obs::Histogram* latency;
+
+  static const RouteMetrics& Get() {
+    static const RouteMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      auto* m = new RouteMetrics;
+      m->messages = reg.GetCounter("cfgtag_xmlrpc_messages_total",
+                                   "Messages routed by XmlRpcRouter");
+      m->defaulted = reg.GetCounter(
+          "cfgtag_xmlrpc_routed_default_total",
+          "Messages that fell through to the default port");
+      m->latency = reg.GetHistogram("cfgtag_xmlrpc_route_seconds",
+                                    "Per-message Route() wall time");
+      return m;
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<XmlRpcRouter> XmlRpcRouter::Create(const RouterConfig& config) {
   std::vector<std::string> names;
@@ -61,7 +89,12 @@ int XmlRpcRouter::RouteTags(const std::vector<tagger::Tag>& tags) const {
 }
 
 int XmlRpcRouter::Route(std::string_view message) const {
-  return RouteTags(tagger_.Tag(message));
+  const RouteMetrics& metrics = RouteMetrics::Get();
+  obs::ScopedTimer timer(metrics.latency);
+  const int port = RouteTags(tagger_.Tag(message));
+  metrics.messages->Increment();
+  if (port == switch_.default_port()) metrics.defaulted->Increment();
+  return port;
 }
 
 StatusOr<int> XmlRpcRouter::RouteCycleAccurate(

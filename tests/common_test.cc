@@ -194,5 +194,29 @@ TEST(StringsTest, CEscape) {
   EXPECT_EQ(CEscape(std::string("\x01", 1)), "\\x01");
 }
 
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status s = InternalError("wide gate");
+  const Status ctx = s.WithContext("techmap");
+  EXPECT_EQ(ctx.code(), StatusCode::kInternal);
+  EXPECT_EQ(ctx.message(), "techmap: wide gate");
+  EXPECT_EQ(ctx.ToString(), "INTERNAL: techmap: wide gate");
+}
+
+TEST(StatusTest, WithContextChains) {
+  const Status s = InvalidArgumentError("bad bound")
+                       .WithContext("regex")
+                       .WithContext("hwgen");
+  EXPECT_EQ(s.message(), "hwgen: regex: bad bound");
+}
+
+TEST(StatusTest, WithContextOnOkAndEmpty) {
+  EXPECT_TRUE(Status::Ok().WithContext("stage").ok());
+  EXPECT_EQ(Status::Ok().WithContext("stage").message(), "");
+  // Empty context is a no-op, and a message-less error keeps none.
+  const Status bare(StatusCode::kNotFound, "");
+  EXPECT_EQ(bare.WithContext("").message(), "");
+  EXPECT_EQ(bare.WithContext("lookup").message(), "lookup");
+}
+
 }  // namespace
 }  // namespace cfgtag

@@ -47,5 +47,38 @@ TEST(TagRouterTest, RouteOverwrite) {
   EXPECT_EQ(router.Route({T(1, 0)}), 4);
 }
 
+TEST(TokenCounterTest, EmptyTagStream) {
+  TokenCounter counter;
+  EXPECT_EQ(counter.Total(), 0u);
+  EXPECT_EQ(counter.Count(0), 0u);
+  EXPECT_TRUE(counter.counts().empty());
+}
+
+TEST(TokenCounterTest, UnknownAndNegativeTokenIds) {
+  TokenCounter counter;
+  counter.Add(T(-1, 0));  // an unresolved tag still counts under its id
+  counter.Add(T(1000000, 3));
+  EXPECT_EQ(counter.Count(-1), 1u);
+  EXPECT_EQ(counter.Count(1000000), 1u);
+  EXPECT_EQ(counter.Count(0), 0u);
+  EXPECT_EQ(counter.Total(), 2u);
+}
+
+TEST(TagRouterTest, FirstRouteWinsWithinSameEndOffset) {
+  // Two routing tokens on the same cycle (same end): stream order decides.
+  TagRouter router(0);
+  router.AddRoute(5, 1);
+  router.AddRoute(7, 2);
+  EXPECT_EQ(router.Route({T(5, 4), T(7, 4)}), 1);
+  EXPECT_EQ(router.Route({T(7, 4), T(5, 4)}), 2);
+}
+
+TEST(TagRouterTest, UnknownTokensNeverRoute) {
+  TagRouter router(-1);
+  router.AddRoute(1, 8);
+  EXPECT_EQ(router.Route({T(-1, 0), T(99, 1)}), -1);
+  EXPECT_EQ(router.Route({T(-1, 0), T(1, 1)}), 8);
+}
+
 }  // namespace
 }  // namespace cfgtag::core

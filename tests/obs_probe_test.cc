@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtl/netlist.h"
+#include "rtl/simulator.h"
+
+namespace cfgtag::rtl {
+namespace {
+
+// A one-bit counter (register fed by its own inverse): toggles every cycle.
+Netlist TogglerNetlist() {
+  Netlist nl;
+  const NodeId reg = nl.RegPlaceholder(kInvalidNode, /*init=*/false, "tog");
+  nl.SetRegD(reg, nl.Not(reg));
+  nl.MarkOutput(reg, "q");
+  return nl;
+}
+
+TEST(SimulatorProbeTest, CallbackFiresOncePerCycle) {
+  const Netlist nl = TogglerNetlist();
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+
+  const NodeId reg = nl.FindByName("tog");
+  ASSERT_NE(reg, kInvalidNode);
+  std::vector<std::pair<uint64_t, bool>> seen;
+  sim->AddProbe(reg, [&seen](uint64_t cycle, bool value) {
+    seen.emplace_back(cycle, value);
+  });
+
+  constexpr int kCycles = 6;
+  for (int i = 0; i < kCycles; ++i) sim->Step();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kCycles));
+  for (int i = 0; i < kCycles; ++i) {
+    EXPECT_EQ(seen[i].first, static_cast<uint64_t>(i));
+    // Post-edge value: 1 after the first edge, alternating thereafter.
+    EXPECT_EQ(seen[i].second, i % 2 == 0);
+  }
+}
+
+TEST(SimulatorProbeTest, ProbesPersistAcrossReset) {
+  const Netlist nl = TogglerNetlist();
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  int fires = 0;
+  sim->AddProbe(nl.FindByName("tog"), [&fires](uint64_t, bool) { ++fires; });
+  sim->Step();
+  sim->Reset();
+  sim->Step();
+  sim->Step();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulatorActivityTest, CountsCyclesAndToggles) {
+  const Netlist nl = TogglerNetlist();
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  sim->EnableActivityStats(true);
+  for (int i = 0; i < 10; ++i) sim->Step();
+
+  const ActivityStats& stats = sim->activity();
+  EXPECT_EQ(stats.cycles, 10u);
+  EXPECT_EQ(stats.reg_toggles, 10u);  // the toggler flips every cycle
+  // The toggler has no clock-enable, so no enable accounting applies.
+  EXPECT_EQ(stats.enabled_samples, 0u);
+  EXPECT_EQ(stats.gated_samples, 0u);
+}
+
+TEST(SimulatorActivityTest, EnableGatedSamplesAreAttributed) {
+  Netlist nl;
+  const NodeId en = nl.AddInput("en");
+  const NodeId reg = nl.RegPlaceholder(en, /*init=*/false, "gated");
+  nl.SetRegD(reg, nl.Const1());
+  nl.MarkOutput(reg, "q");
+
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  sim->EnableActivityStats(true);
+
+  sim->SetInput(en, false);
+  sim->Step();
+  sim->Step();
+  EXPECT_EQ(sim->activity().gated_samples, 2u);
+  EXPECT_EQ(sim->activity().enabled_samples, 0u);
+  EXPECT_EQ(sim->activity().reg_toggles, 0u);
+  EXPECT_FALSE(sim->Get(reg));
+
+  sim->SetInput(en, true);
+  sim->Step();  // loads 1: one toggle
+  sim->Step();  // stays 1: no toggle
+  EXPECT_EQ(sim->activity().enabled_samples, 2u);
+  EXPECT_EQ(sim->activity().reg_toggles, 1u);
+  EXPECT_TRUE(sim->Get(reg));
+}
+
+TEST(SimulatorActivityTest, ToggleReportRanksHottestRegisters) {
+  Netlist nl;
+  // "hot" toggles every cycle; "cold" never changes.
+  const NodeId hot = nl.RegPlaceholder(kInvalidNode, false, "hot");
+  nl.SetRegD(hot, nl.Not(hot));
+  const NodeId cold = nl.Reg(nl.Const0(), kInvalidNode, false, "cold");
+  nl.MarkOutput(hot, "h");
+  nl.MarkOutput(cold, "c");
+
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  sim->EnableActivityStats(true);
+  for (int i = 0; i < 8; ++i) sim->Step();
+
+  const ToggleRateReport report = sim->BuildToggleReport(/*top_n=*/5);
+  EXPECT_EQ(report.cycles, 8u);
+  EXPECT_EQ(report.total_toggles, 8u);
+  // Only registers that actually toggled are listed.
+  ASSERT_EQ(report.hottest.size(), 1u);
+  EXPECT_EQ(report.hottest[0].name, "hot");
+  EXPECT_EQ(report.hottest[0].toggles, 8u);
+  EXPECT_DOUBLE_EQ(report.hottest[0].rate, 1.0);
+  // Two registers, one at rate 1.0 and one at 0.0.
+  EXPECT_DOUBLE_EQ(report.avg_rate, 0.5);
+  EXPECT_NE(report.ToString().find("hot"), std::string::npos);
+}
+
+TEST(SimulatorActivityTest, DisabledByDefaultAndResetsOnEnable) {
+  const Netlist nl = TogglerNetlist();
+  auto sim = Simulator::Create(&nl);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  sim->Step();
+  EXPECT_EQ(sim->activity().cycles, 0u);  // accounting was off
+  sim->EnableActivityStats(true);
+  sim->Step();
+  EXPECT_EQ(sim->activity().cycles, 1u);
+  sim->EnableActivityStats(true);  // re-enable clears the window
+  EXPECT_EQ(sim->activity().cycles, 0u);
+  EXPECT_TRUE(sim->BuildToggleReport().hottest.empty());
+}
+
+}  // namespace
+}  // namespace cfgtag::rtl

@@ -20,10 +20,16 @@
 //   --replicate N       decoder replication threshold  (default off)
 //   --no-longest-match  disable the Fig. 7 look-ahead
 //   --no-encoder        omit the index encoder
+//   --metrics-out FILE  write Prometheus-style metrics ("-" = stdout)
+//   --trace-out FILE    write a Chrome trace_event JSON of the run
+//
+// A second positional argument is shorthand for --tag:
+//   cfgtagc GRAMMAR INPUT == cfgtagc GRAMMAR --tag INPUT
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -31,6 +37,8 @@
 #include "grammar/analysis.h"
 #include "grammar/grammar_parser.h"
 #include "grammar/lint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtl/device.h"
 #include "rtl/serialize.h"
 
@@ -38,12 +46,47 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s GRAMMAR [--vhdl FILE] [--entity NAME] [--report]\n"
-               "       [--analysis] [--tag FILE] [--cycle-accurate]\n"
-               "       [--mode anchored|scan|resync] [--bytes-per-cycle N]\n"
-               "       [--replicate N] [--no-longest-match] [--no-encoder]\n",
+               "usage: %s GRAMMAR [INPUT] [--vhdl FILE] [--entity NAME]\n"
+               "       [--report] [--analysis] [--tag FILE]\n"
+               "       [--cycle-accurate] [--mode anchored|scan|resync]\n"
+               "       [--bytes-per-cycle N] [--replicate N]\n"
+               "       [--no-longest-match] [--no-encoder]\n"
+               "       [--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   return 2;
+}
+
+// Observability sinks, written on every exit path (a failed run's partial
+// metrics and trace are exactly what one wants when debugging it).
+std::string g_metrics_out;
+std::string g_trace_out;
+
+void WriteObservability() {
+  if (!g_metrics_out.empty()) {
+    const std::string text =
+        cfgtag::obs::MetricsRegistry::Default().ExpositionText();
+    if (g_metrics_out == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::ofstream out(g_metrics_out, std::ios::binary);
+      out << text;
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", g_metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "wrote metrics to %s\n", g_metrics_out.c_str());
+      }
+    }
+  }
+  if (!g_trace_out.empty()) {
+    std::ofstream out(g_trace_out, std::ios::binary);
+    cfgtag::obs::Tracer::Default().WriteChromeTrace(out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", g_trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "wrote trace to %s (open in chrome://tracing)\n",
+                   g_trace_out.c_str());
+    }
+  }
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -55,12 +98,10 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunTool(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
 
-  std::string grammar_path = argv[1];
+  std::string grammar_path;
   std::string vhdl_path;
   std::string netlist_path;
   std::string entity = "tagger";
@@ -73,9 +114,32 @@ int main(int argc, char** argv) {
   bool cycle_accurate = false;
   cfgtag::hwgen::HwOptions options;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // --flag=VALUE and --flag VALUE are both accepted; flags and
+    // positionals mix in any order.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    } else {
+      // Positionals: first the grammar, then optionally an input to tag.
+      if (grammar_path.empty()) {
+        grammar_path = arg;
+      } else if (tag_path.empty()) {
+        tag_path = arg;
+      } else {
+        return Usage(argv[0]);
+      }
+      continue;
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--vhdl") {
@@ -140,18 +204,31 @@ int main(int argc, char** argv) {
       options.tagger.longest_match = false;
     } else if (arg == "--no-encoder") {
       options.emit_index_encoder = false;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      g_metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      g_trace_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
     }
   }
 
+  if (grammar_path.empty()) return Usage(argv[0]);
+
   std::string grammar_text;
   if (!ReadFile(grammar_path, &grammar_text)) {
     std::fprintf(stderr, "cannot read %s\n", grammar_path.c_str());
     return 1;
   }
-  auto grammar = cfgtag::grammar::ParseGrammar(grammar_text);
+  auto grammar = [&] {
+    cfgtag::obs::ScopedSpan span("grammar.Parse");
+    return cfgtag::grammar::ParseGrammar(grammar_text);
+  }();
   if (!grammar.ok()) {
     std::fprintf(stderr, "grammar error: %s\n",
                  grammar.status().ToString().c_str());
@@ -259,6 +336,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read %s\n", tag_path.c_str());
       return 1;
     }
+    cfgtag::obs::ScopedSpan tag_span("cfgtagc.Tag");
     std::vector<cfgtag::tagger::Tag> tags;
     if (cycle_accurate) {
       auto hw = tagger->TagCycleAccurate(input);
@@ -302,4 +380,12 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int code = RunTool(argc, argv);
+  if (code != 2) WriteObservability();  // usage errors have nothing to report
+  return code;
 }
