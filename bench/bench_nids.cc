@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "grammar/grammar_parser.h"
 #include "nids/context_filter.h"
+#include "nids/scan_engine.h"
 
 namespace cfgtag::bench {
 namespace {
@@ -67,8 +68,8 @@ void Run() {
   std::printf(
       "Context-gated NIDS vs context-free signatures\n"
       "(decoy traffic: every signature hit is a false positive)\n\n");
-  std::printf("%8s | %12s %12s | %14s\n", "rules", "naive FPs",
-              "context FPs", "scan MB/s");
+  std::printf("%8s | %12s %12s | %14s %14s\n", "rules", "naive FPs",
+              "context FPs", "scan MB/s", "engine4 MB/s");
 
   for (int nrules : {4, 16, 64}) {
     auto rules = MakeRules(nrules);
@@ -78,16 +79,32 @@ void Run() {
         nids::ContextFilter::Create(g->Clone(), rules, opt), "filter");
     const std::string traffic = MakeDecoyTraffic(rules, 400, 7);
 
-    const auto naive = filter.ScanContextFree(traffic);
+    const auto naive = filter.ScanUngated(traffic);
     nids::ScanStats stats;
     const auto t0 = std::chrono::steady_clock::now();
     const auto context = filter.Scan(traffic, &stats);
     const auto t1 = std::chrono::steady_clock::now();
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
-    std::printf("%8d | %12zu %12zu | %14.1f\n", nrules, naive.size(),
+
+    // The same scan through the parallel engine, sharded across 4
+    // workers — the before/after of the batch-scan change.
+    nids::ScanEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.min_shard_bytes = 1 << 10;
+    nids::ScanEngine engine(&filter, eopt);
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto parallel = engine.ScanStream(traffic);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double esecs = std::chrono::duration<double>(t3 - t2).count();
+    if (parallel.alerts != context) {
+      std::fprintf(stderr, "FATAL engine/sequential alert mismatch\n");
+      std::abort();
+    }
+    std::printf("%8d | %12zu %12zu | %14.1f %14.1f\n", nrules, naive.size(),
                 context.size(),
-                traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9));
+                traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9),
+                traffic.size() / 1e6 / (esecs > 0 ? esecs : 1e-9));
   }
 
   std::printf(

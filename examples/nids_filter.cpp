@@ -50,7 +50,7 @@ hval: WORD;
     return static_cast<int>(filter->Scan(request).size());
   };
   auto naive_alerts = [&](const std::string& request) {
-    return static_cast<int>(filter->ScanContextFree(request).size());
+    return static_cast<int>(filter->ScanUngated(request).size());
   };
 
   const std::vector<std::pair<const char*, const char*>> traffic = {

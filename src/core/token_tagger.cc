@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "rtl/optimize.h"
 #include "rtl/simulator.h"
+#include "tagger/session_pool.h"
 #include "rtl/vcd_writer.h"
 #include "rtl/vhdl_emitter.h"
 #include "rtl/vhdl_testbench.h"
@@ -105,20 +106,11 @@ struct TagMetrics {
 }  // namespace
 
 std::vector<tagger::Tag> CompiledTagger::Tag(std::string_view input) const {
-  const TagMetrics& metrics = TagMetrics::Get();
-  obs::ScopedTimer timer(metrics.latency);
-  // One extra pad byte beyond the scanned range keeps the Fig. 7 look-ahead
-  // identical between the engines at the final scanned byte.
-  const std::string padded = Padded(input, kFlushPadding + 1);
   std::vector<tagger::Tag> tags;
-  const size_t scan_end = input.size() + kFlushPadding;
-  model_->Run(padded, [&](const tagger::Tag& t) {
-    if (t.end < scan_end) tags.push_back(t);
+  Tag(input, [&tags](const tagger::Tag& t) {
+    tags.push_back(t);
     return true;
   });
-  metrics.calls->Increment();
-  metrics.bytes->Increment(input.size());
-  metrics.tags->Increment(tags.size());
   return tags;
 }
 
@@ -126,14 +118,25 @@ void CompiledTagger::Tag(std::string_view input,
                          const tagger::TagSink& sink) const {
   const TagMetrics& metrics = TagMetrics::Get();
   obs::ScopedTimer timer(metrics.latency);
-  const std::string padded = Padded(input, kFlushPadding + 1);
+  // Stream the input and then the flush padding through a pooled session:
+  // the same bytes the old Padded() copy produced, minus the per-call
+  // input copy and session construction. One extra pad byte beyond the
+  // scanned range keeps the Fig. 7 look-ahead identical between the
+  // engines at the final scanned byte.
+  static const std::string& kPadding =
+      *new std::string(kFlushPadding + 1, kFlushByte);
   const size_t scan_end = input.size() + kFlushPadding;
   uint64_t emitted = 0;
-  model_->Run(padded, [&](const tagger::Tag& t) {
+  const tagger::TagSink gated = [&](const tagger::Tag& t) {
     if (t.end >= scan_end) return true;
     ++emitted;
     return sink(t);
-  });
+  };
+  tagger::SessionPool::Handle session =
+      model_->session_pool().Acquire(model_.get());
+  session->Feed(input, gated);
+  session->Feed(kPadding, gated);
+  session->Finish(gated);
   metrics.calls->Increment();
   metrics.bytes->Increment(input.size());
   metrics.tags->Increment(emitted);

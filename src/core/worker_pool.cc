@@ -1,0 +1,145 @@
+#include "core/worker_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace cfgtag::core {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge* threads;
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks;
+  obs::Histogram* task_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      auto* m = new PoolMetrics;
+      m->threads = reg.GetGauge("cfgtag_engine_threads",
+                                "Worker threads in the last-built pool");
+      m->queue_depth =
+          reg.GetGauge("cfgtag_engine_queue_depth",
+                       "Tasks waiting in the worker pool queue");
+      m->tasks = reg.GetCounter("cfgtag_engine_tasks_total",
+                                "Tasks executed by pool workers");
+      m->task_seconds = reg.GetHistogram(
+          "cfgtag_engine_task_seconds",
+          "Per-task wall time on a pool worker (busy time)");
+      return m;
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
+
+WorkerPool::WorkerPool(int num_threads) {
+  int n = num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  PoolMetrics::Get().threads->Set(static_cast<double>(n));
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+}
+
+size_t WorkerPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void WorkerPool::RunIndexed(size_t count,
+                            const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = count;
+  for (size_t i = 0; i < count; ++i) {
+    // Capturing fn by reference is safe: this call blocks until every
+    // task has run.
+    Submit([&fn, i, join] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(join->mu);
+      if (--join->remaining == 0) join->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&] { return join->remaining == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    metrics.tasks->Increment();
+    obs::ScopedTimer timer(metrics.task_seconds);
+    task();
+  }
+}
+
+std::vector<size_t> ShardSplitPoints(std::string_view stream,
+                                     const regex::CharClass& record_delimiters,
+                                     size_t max_shards,
+                                     size_t min_shard_bytes) {
+  std::vector<size_t> starts{0};
+  const size_t min_bytes = std::max<size_t>(min_shard_bytes, 1);
+  if (max_shards <= 1 || stream.size() < 2 * min_bytes) return starts;
+  const size_t target = std::max(min_bytes, stream.size() / max_shards);
+  while (starts.size() < max_shards) {
+    size_t probe = starts.back() + target;
+    if (probe >= stream.size()) break;
+    while (probe < stream.size() &&
+           !record_delimiters.Test(
+               static_cast<unsigned char>(stream[probe]))) {
+      ++probe;
+    }
+    // The shard begins on the byte after the separator; a boundary at the
+    // very end would create an empty shard, so stop instead.
+    if (probe + 1 >= stream.size()) break;
+    starts.push_back(probe + 1);
+  }
+  return starts;
+}
+
+}  // namespace cfgtag::core

@@ -1,0 +1,76 @@
+#ifndef CFGTAG_CORE_WORKER_POOL_H_
+#define CFGTAG_CORE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "regex/char_class.h"
+
+namespace cfgtag::core {
+
+// Fixed-size worker pool behind the parallel scan paths (nids::ScanEngine,
+// cfgtagc --threads). Workers are spawned once and live for the pool's
+// lifetime; work arrives through an internal queue whose depth and task
+// wall times are exported as cfgtag_engine_* metrics, so saturation and
+// worker utilization are visible in the same registry as the scan
+// counters.
+class WorkerPool {
+ public:
+  // num_threads <= 0 picks one worker per hardware thread.
+  explicit WorkerPool(int num_threads = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues one task for any worker.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(0), ..., fn(count-1) across the pool and returns once every
+  // call has completed. Callers key results by index, so the output is
+  // deterministic regardless of which worker ran which index. Not
+  // reentrant: must not be called from inside a pool task.
+  void RunIndexed(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+// Plans a record-aligned sharding of `stream` for parallel scanning:
+// returns shard start offsets, first always 0, at most `max_shards` of
+// them, each shard at least roughly `min_shard_bytes` long. Every shard
+// after the first starts on the byte following a `record_delimiters` byte.
+//
+// `record_delimiters` must be the stream's RECORD separator (the byte
+// class that appears only between complete messages, e.g. '\n' for
+// line-framed protocols) — NOT the tagger's full token-delimiter set. A
+// resync-mode tagger started fresh after a record separator sees exactly
+// the state a streaming tagger would carry there (start tokens armed, no
+// pending follow-set arms). At an arbitrary token delimiter that is not
+// true: the streaming tagger still holds the follow-set arms of the
+// message in flight, so a fresh tagger would drop every remaining token
+// of that message. Returns {0} (no split) when the stream is too small or
+// no separator is found.
+std::vector<size_t> ShardSplitPoints(std::string_view stream,
+                                     const regex::CharClass& record_delimiters,
+                                     size_t max_shards,
+                                     size_t min_shard_bytes);
+
+}  // namespace cfgtag::core
+
+#endif  // CFGTAG_CORE_WORKER_POOL_H_

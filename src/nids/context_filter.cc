@@ -59,11 +59,14 @@ StatusOr<ContextFilter> ContextFilter::Create(grammar::Grammar grammar,
     patterns.push_back(r.pattern);
   }
 
-  std::vector<std::vector<size_t>> by_token(grammar.NumTokens());
-  bool any_context_free = false;
+  const size_t num_tokens = grammar.NumTokens();
+  std::vector<std::vector<size_t>> by_token(num_tokens);
+  std::vector<uint8_t> is_global(rules.size(), 0);
+  std::vector<size_t> global_rules;
   for (size_t i = 0; i < rules.size(); ++i) {
     if (rules[i].context_token.empty()) {
-      any_context_free = true;
+      is_global[i] = 1;
+      global_rules.push_back(i);
       continue;
     }
     const int32_t t = grammar.FindToken(rules[i].context_token);
@@ -74,13 +77,25 @@ StatusOr<ContextFilter> ContextFilter::Create(grammar::Grammar grammar,
     }
     by_token[t].push_back(i);
   }
-  (void)any_context_free;  // context-free rules are matched globally below
+  // Flatten the binding into the forms Scan() reads per tag: a gate byte
+  // per token and a (token, rule) bitmap, so the hot loop does no
+  // std::find over rule index vectors.
+  std::vector<uint8_t> token_has_rules(num_tokens, 0);
+  std::vector<uint8_t> bound_bitmap(num_tokens * rules.size(), 0);
+  for (size_t t = 0; t < num_tokens; ++t) {
+    token_has_rules[t] = by_token[t].empty() ? 0 : 1;
+    for (size_t rule : by_token[t]) {
+      bound_bitmap[t * rules.size() + rule] = 1;
+    }
+  }
 
   CFGTAG_ASSIGN_OR_RETURN(
       auto tagger, core::CompiledTagger::Compile(std::move(grammar), options));
   return ContextFilter(std::move(rules), std::move(tagger),
                        tagger::NaiveMatcher(std::move(patterns)),
-                       std::move(by_token));
+                       std::move(by_token), std::move(bound_bitmap),
+                       std::move(token_has_rules), std::move(is_global),
+                       std::move(global_rules));
 }
 
 std::vector<Alert> ContextFilter::Scan(std::string_view stream,
@@ -92,39 +107,47 @@ std::vector<Alert> ContextFilter::Scan(std::string_view stream,
   local.bytes = stream.size();
   std::vector<Alert> alerts;
 
-  // Context spans from the tag stream: a target token's span is
-  // (previous tag end, its own tag end].
+  // Context spans from the tag stream, matched as the tags arrive: a
+  // target token's span is (previous tag end, its own tag end]. When
+  // consecutive tags share an end offset (two tokens detected at the same
+  // byte), they share the same span — advancing past the shared offset
+  // would silently drop the later tags' spans.
+  const size_t num_rules = rules_.size();
   uint64_t prev_end = 0;
+  uint64_t prev_begin = 0;
   bool any_tag = false;
-  for (const tagger::Tag& tag : tagger_.Tag(stream)) {
+  tagger_.Tag(stream, [&](const tagger::Tag& tag) {
     local.tokens++;
-    const uint64_t begin = any_tag ? prev_end + 1 : 0;
+    const uint64_t begin = !any_tag              ? 0
+                           : tag.end == prev_end ? prev_begin
+                                                 : prev_end + 1;
+    // Tags arrive with nondecreasing ends, so begin <= tag.end always
+    // holds; a trailing open-class token can report an end inside the
+    // flush padding, which substr's count clamp absorbs.
     if (tag.token >= 0 &&
-        static_cast<size_t>(tag.token) < rules_by_token_.size() &&
-        !rules_by_token_[tag.token].empty() && tag.end < stream.size() &&
-        begin <= tag.end) {
+        static_cast<size_t>(tag.token) < token_has_rules_.size() &&
+        token_has_rules_[tag.token] && begin < stream.size()) {
       local.spans_scanned++;
-      const std::string_view span =
-          stream.substr(begin, tag.end - begin + 1);
-      matcher_.Scan(span, [&](int32_t pattern, uint64_t end) {
-        const auto& bound = rules_by_token_[tag.token];
-        if (std::find(bound.begin(), bound.end(),
-                      static_cast<size_t>(pattern)) != bound.end()) {
+      const std::string_view ctx = stream.substr(begin, tag.end - begin + 1);
+      const uint8_t* bound =
+          bound_bitmap_.data() + static_cast<size_t>(tag.token) * num_rules;
+      matcher_.ScanWith(ctx, [&](int32_t pattern, uint64_t end) {
+        if (bound[pattern]) {
           alerts.push_back(Alert{static_cast<size_t>(pattern), begin + end});
         }
         return true;
       });
     }
+    prev_begin = begin;
     prev_end = tag.end;
     any_tag = true;
-  }
+    return true;
+  });
 
   // Context-free rules run over the whole stream.
-  bool has_global = false;
-  for (const Rule& r : rules_) has_global |= r.context_token.empty();
-  if (has_global) {
-    matcher_.Scan(stream, [&](int32_t pattern, uint64_t end) {
-      if (rules_[pattern].context_token.empty()) {
+  if (!global_rules_.empty()) {
+    matcher_.ScanWith(stream, [&](int32_t pattern, uint64_t end) {
+      if (is_global_[pattern]) {
         alerts.push_back(Alert{static_cast<size_t>(pattern), end});
       }
       return true;
@@ -146,7 +169,19 @@ std::vector<Alert> ContextFilter::Scan(std::string_view stream,
 std::vector<Alert> ContextFilter::ScanContextFree(
     std::string_view stream) const {
   std::vector<Alert> alerts;
-  matcher_.Scan(stream, [&](int32_t pattern, uint64_t end) {
+  if (global_rules_.empty()) return alerts;
+  matcher_.ScanWith(stream, [&](int32_t pattern, uint64_t end) {
+    if (is_global_[pattern]) {
+      alerts.push_back(Alert{static_cast<size_t>(pattern), end});
+    }
+    return true;
+  });
+  return alerts;
+}
+
+std::vector<Alert> ContextFilter::ScanUngated(std::string_view stream) const {
+  std::vector<Alert> alerts;
+  matcher_.ScanWith(stream, [&](int32_t pattern, uint64_t end) {
     alerts.push_back(Alert{static_cast<size_t>(pattern), end});
     return true;
   });

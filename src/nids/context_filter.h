@@ -26,6 +26,10 @@ struct Rule {
 struct Alert {
   size_t rule_index = 0;   // into rules()
   uint64_t end = 0;        // stream offset of the pattern's last byte
+
+  friend bool operator==(const Alert& a, const Alert& b) {
+    return a.rule_index == b.rule_index && a.end == b.end;
+  }
 };
 
 // Per-call snapshot of one Scan(). The cumulative system of record is the
@@ -43,7 +47,15 @@ struct ScanStats {
 // inside the byte spans of its context token. Span recovery uses the tag
 // stream: a context token's span ends at its tag offset and starts right
 // after the previous tag in stream order (leading delimiter bytes are part
-// of the span but cannot match, since patterns contain none).
+// of the span but cannot match, since patterns contain none). Tags that
+// share an end offset — two tokens detected at the same byte — share the
+// same span.
+//
+// The pattern matcher is an Aho–Corasick automaton compiled once at
+// Create() time; Scan() streams tags out of a pooled TaggerSession and
+// matches each span as its tag arrives, so no tag vector is materialized.
+// Scan() is const and thread-safe: the scan engine calls it concurrently
+// from many workers against one filter.
 class ContextFilter {
  public:
   static StatusOr<ContextFilter> Create(grammar::Grammar grammar,
@@ -54,10 +66,15 @@ class ContextFilter {
   std::vector<Alert> Scan(std::string_view stream,
                           ScanStats* stats = nullptr) const;
 
-  // The same rules applied context-free over the whole stream (the naive
-  // baseline of the paper's introduction) — for measuring what the
-  // context gating suppresses.
+  // Only the context-free rules (empty context_token), applied over the
+  // whole stream — the same set Scan()'s global pass raises, without the
+  // tagger running.
   std::vector<Alert> ScanContextFree(std::string_view stream) const;
+
+  // Every rule applied context-free over the whole stream, bound ones
+  // included (the naive baseline of the paper's introduction) — for
+  // measuring what the context gating suppresses.
+  std::vector<Alert> ScanUngated(std::string_view stream) const;
 
   const std::vector<Rule>& rules() const { return rules_; }
   const core::CompiledTagger& tagger() const { return tagger_; }
@@ -65,18 +82,34 @@ class ContextFilter {
  private:
   ContextFilter(std::vector<Rule> rules, core::CompiledTagger tagger,
                 tagger::NaiveMatcher matcher,
-                std::vector<std::vector<size_t>> rules_by_token)
+                std::vector<std::vector<size_t>> rules_by_token,
+                std::vector<uint8_t> bound_bitmap,
+                std::vector<uint8_t> token_has_rules,
+                std::vector<uint8_t> is_global,
+                std::vector<size_t> global_rules)
       : rules_(std::move(rules)),
         tagger_(std::move(tagger)),
         matcher_(std::move(matcher)),
-        rules_by_token_(std::move(rules_by_token)) {}
+        rules_by_token_(std::move(rules_by_token)),
+        bound_bitmap_(std::move(bound_bitmap)),
+        token_has_rules_(std::move(token_has_rules)),
+        is_global_(std::move(is_global)),
+        global_rules_(std::move(global_rules)) {}
 
   std::vector<Rule> rules_;
   core::CompiledTagger tagger_;
-  // One pattern per rule, in rule order.
+  // One pattern per rule, in rule order (Aho–Corasick, built at Create).
   tagger::NaiveMatcher matcher_;
   // rules_by_token_[token_id] = indices of rules bound to that token.
   std::vector<std::vector<size_t>> rules_by_token_;
+  // Everything below is precomputed at Create() so Scan() does no rule
+  // table walking: bound_bitmap_[token * rules_.size() + rule] = 1 iff
+  // `rule` is bound to `token`; token_has_rules_[token] gates the span
+  // scan; is_global_/global_rules_ are the context-free rule set.
+  std::vector<uint8_t> bound_bitmap_;
+  std::vector<uint8_t> token_has_rules_;
+  std::vector<uint8_t> is_global_;
+  std::vector<size_t> global_rules_;
 };
 
 }  // namespace cfgtag::nids

@@ -1,0 +1,129 @@
+#include "nids/scan_engine.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tagger/tag.h"
+
+namespace cfgtag::nids {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter* batches;
+  obs::Counter* streams;
+  obs::Counter* sharded_scans;
+  obs::Counter* shards;
+  obs::Counter* bytes;
+  obs::Histogram* batch_streams;
+  obs::Histogram* batch_seconds;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      auto* m = new EngineMetrics;
+      m->batches = reg.GetCounter("cfgtag_engine_batches_total",
+                                  "ScanEngine::ScanBatch invocations");
+      m->streams = reg.GetCounter("cfgtag_engine_streams_total",
+                                  "Streams scanned through the engine");
+      m->sharded_scans =
+          reg.GetCounter("cfgtag_engine_sharded_scans_total",
+                         "ScanEngine::ScanStream invocations");
+      m->shards = reg.GetCounter("cfgtag_engine_shards_total",
+                                 "Shards cut by ScanStream");
+      m->bytes = reg.GetCounter("cfgtag_engine_bytes_total",
+                                "Bytes scanned through the engine");
+      m->batch_streams = reg.GetHistogram(
+          "cfgtag_engine_batch_streams", "Streams per ScanBatch call",
+          obs::DefaultCountBuckets());
+      m->batch_seconds = reg.GetHistogram(
+          "cfgtag_engine_batch_seconds",
+          "Wall time of one ScanBatch/ScanStream call");
+      return m;
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
+
+ScanEngine::ScanEngine(const ContextFilter* filter,
+                       const ScanEngineOptions& options)
+    : filter_(filter), options_(options), pool_(options.num_threads) {}
+
+std::vector<StreamResult> ScanEngine::ScanBatch(
+    const std::vector<std::string_view>& streams) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  obs::ScopedSpan span("nids.ScanBatch");
+  obs::ScopedTimer timer(metrics.batch_seconds);
+  std::vector<StreamResult> results(streams.size());
+  pool_.RunIndexed(streams.size(), [&](size_t i) {
+    results[i].alerts = filter_->Scan(streams[i], &results[i].stats);
+  });
+  uint64_t bytes = 0;
+  for (const StreamResult& r : results) bytes += r.stats.bytes;
+  metrics.batches->Increment();
+  metrics.streams->Increment(streams.size());
+  metrics.bytes->Increment(bytes);
+  metrics.batch_streams->Observe(static_cast<double>(streams.size()));
+  return results;
+}
+
+StreamResult ScanEngine::ScanStream(std::string_view stream) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  obs::ScopedSpan span("nids.ScanStream");
+  obs::ScopedTimer timer(metrics.batch_seconds);
+  metrics.sharded_scans->Increment();
+  metrics.bytes->Increment(stream.size());
+
+  const tagger::TaggerOptions& topt = filter_->tagger().options().tagger;
+  std::vector<size_t> starts{0};
+  // Shard only when a cut is provably invisible: resync arm mode, at a
+  // record separator that the tagger also treats as a delimiter (a record
+  // byte that could be token content would make the cut itself lossy).
+  if (topt.EffectiveArmMode() == tagger::ArmMode::kResync &&
+      !options_.record_delimiters.Empty() &&
+      options_.record_delimiters.Minus(topt.delimiters).Empty()) {
+    const size_t max_shards =
+        options_.max_shards != 0
+            ? options_.max_shards
+            : 2 * static_cast<size_t>(pool_.num_threads());
+    starts = core::ShardSplitPoints(stream, options_.record_delimiters,
+                                    max_shards, options_.min_shard_bytes);
+  }
+  metrics.shards->Increment(starts.size());
+  if (starts.size() == 1) {
+    StreamResult result;
+    result.alerts = filter_->Scan(stream, &result.stats);
+    return result;
+  }
+
+  std::vector<StreamResult> shard(starts.size());
+  pool_.RunIndexed(starts.size(), [&](size_t i) {
+    const size_t begin = starts[i];
+    const size_t end = i + 1 < starts.size() ? starts[i + 1] : stream.size();
+    shard[i].alerts =
+        filter_->Scan(stream.substr(begin, end - begin), &shard[i].stats);
+    for (Alert& a : shard[i].alerts) a.end += begin;
+  });
+
+  // Shards cover disjoint increasing ranges and each shard's alerts are
+  // already in stream order, so concatenation in shard order is the
+  // sequential alert order.
+  StreamResult merged;
+  size_t total_alerts = 0;
+  for (const StreamResult& s : shard) total_alerts += s.alerts.size();
+  merged.alerts.reserve(total_alerts);
+  for (StreamResult& s : shard) {
+    merged.alerts.insert(merged.alerts.end(), s.alerts.begin(),
+                         s.alerts.end());
+    merged.stats.bytes += s.stats.bytes;
+    merged.stats.tokens += s.stats.tokens;
+    merged.stats.spans_scanned += s.stats.spans_scanned;
+    merged.stats.alerts += s.stats.alerts;
+  }
+  return merged;
+}
+
+}  // namespace cfgtag::nids

@@ -1,0 +1,82 @@
+#ifndef CFGTAG_NIDS_SCAN_ENGINE_H_
+#define CFGTAG_NIDS_SCAN_ENGINE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "nids/context_filter.h"
+
+namespace cfgtag::nids {
+
+struct ScanEngineOptions {
+  // Worker threads in the engine's pool; <= 0 picks one per hardware
+  // thread.
+  int num_threads = 0;
+  // ScanStream() will not cut shards smaller than this — below it the
+  // per-shard session/merge overhead outweighs the parallelism.
+  size_t min_shard_bytes = 1 << 16;
+  // Upper bound on shards per ScanStream() call; 0 = 2x the worker count
+  // (some slack over the thread count smooths out uneven shard costs).
+  size_t max_shards = 0;
+  // The stream's RECORD separator: the byte class that appears only
+  // between complete, independent messages. ScanStream() cuts shards only
+  // after one of these bytes. This must not be confused with the tagger's
+  // token-delimiter set: at a mid-message token delimiter the streaming
+  // tagger still carries the follow-set arms of the message in flight, so
+  // cutting there would drop the rest of that message's tags. Every
+  // record byte must also be a tagger delimiter; otherwise ScanStream()
+  // refuses to shard and falls back to one sequential Scan().
+  regex::CharClass record_delimiters = regex::CharClass::Of('\n');
+};
+
+// One stream's scan outcome: its alerts (stream-order, offsets absolute
+// within that stream) and its ScanStats delta.
+struct StreamResult {
+  std::vector<Alert> alerts;
+  ScanStats stats;
+};
+
+// Parallel batch-scan engine over one ContextFilter: a fixed worker pool
+// (core::WorkerPool) fans independent streams — or delimiter-aligned
+// shards of one large stream — out to workers, each of which runs the
+// filter's streaming Scan() with a pooled TaggerSession, and the results
+// are merged back in deterministic stream order. Alerts are byte-identical
+// to the sequential path: ScanBatch() by construction (results are keyed
+// by stream index), ScanStream() because shards are cut only at resync
+// record boundaries, where a fresh tagger state is exactly the streaming
+// state.
+//
+// The filter must outlive the engine. All methods are thread-safe with
+// respect to the filter (Scan() is const), but the engine itself expects
+// one caller at a time per method invocation's result vectors.
+class ScanEngine {
+ public:
+  explicit ScanEngine(const ContextFilter* filter,
+                      const ScanEngineOptions& options = {});
+
+  // Scans a batch of independent streams; result i belongs to stream i.
+  std::vector<StreamResult> ScanBatch(
+      const std::vector<std::string_view>& streams) const;
+
+  // Scans one large stream, sharding it at record boundaries (see
+  // ScanEngineOptions::record_delimiters) when the filter's tagger runs
+  // in resync arm mode — the mode in which a fresh tagger after a record
+  // separator equals the streaming tagger. Non-resync filters, streams
+  // too small to cut, and record separators that are not tagger
+  // delimiters all fall back to one sequential Scan().
+  StreamResult ScanStream(std::string_view stream) const;
+
+  int num_threads() const { return pool_.num_threads(); }
+  const ContextFilter& filter() const { return *filter_; }
+
+ private:
+  const ContextFilter* filter_;
+  ScanEngineOptions options_;
+  mutable core::WorkerPool pool_;
+};
+
+}  // namespace cfgtag::nids
+
+#endif  // CFGTAG_NIDS_SCAN_ENGINE_H_

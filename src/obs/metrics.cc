@@ -94,6 +94,12 @@ const std::vector<double>& DefaultSizeBuckets() {
   return *kBuckets;
 }
 
+const std::vector<double>& DefaultCountBuckets() {
+  static const std::vector<double>* const kBuckets = new std::vector<double>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+  return *kBuckets;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);

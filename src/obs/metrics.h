@@ -89,6 +89,10 @@ const std::vector<double>& DefaultLatencyBuckets();
 // Default buckets for byte/size distributions: 64 B .. 16 MiB.
 const std::vector<double>& DefaultSizeBuckets();
 
+// Default buckets for small-count distributions (batch sizes, shard
+// counts, queue depths): 1 .. 4096, power-of-two stepped.
+const std::vector<double>& DefaultCountBuckets();
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

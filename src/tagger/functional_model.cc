@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tagger/session_pool.h"
+
 namespace cfgtag::tagger {
 
 FunctionalTagger::FunctionalTagger(const grammar::Grammar* grammar,
@@ -35,6 +37,7 @@ StatusOr<FunctionalTagger> FunctionalTagger::Create(
     t.word_offset_[tok + 1] = t.word_offset_[tok] +
                               t.automata_[tok].NumWords();
   }
+  t.session_pool_ = std::make_shared<SessionPool>();
   return t;
 }
 
@@ -45,9 +48,9 @@ size_t FunctionalTagger::TotalPositions() const {
 }
 
 void FunctionalTagger::Run(std::string_view input, const TagSink& sink) const {
-  TaggerSession session(this);
-  session.Feed(input, sink);
-  session.Finish(sink);
+  SessionPool::Handle session = session_pool_->Acquire(this);
+  session->Feed(input, sink);
+  session->Finish(sink);
 }
 
 std::vector<Tag> FunctionalTagger::TagAll(std::string_view input) const {
@@ -62,19 +65,26 @@ std::vector<Tag> FunctionalTagger::TagAll(std::string_view input) const {
 // ----------------------------------------------------------- TaggerSession
 
 TaggerSession::TaggerSession(const FunctionalTagger* tagger)
-    : tagger_(tagger) {
-  const size_t total_words = tagger_->word_offset_.back();
-  state_.assign(total_words, 0);
-  size_t max_words = 1;
-  for (const auto& pa : tagger_->automata_) {
-    max_words = std::max(max_words, pa.NumWords());
+    : tagger_(nullptr) {
+  Rebind(tagger);
+}
+
+void TaggerSession::Rebind(const FunctionalTagger* tagger) {
+  if (tagger != tagger_) {
+    tagger_ = tagger;
+    const size_t total_words = tagger_->word_offset_.back();
+    state_.assign(total_words, 0);
+    size_t max_words = 1;
+    for (const auto& pa : tagger_->automata_) {
+      max_words = std::max(max_words, pa.NumWords());
+    }
+    scratch_.assign(max_words, 0);
+    const size_t num_tokens = tagger_->automata_.size();
+    armed_.assign(num_tokens, 0);
+    new_arms_.assign(num_tokens, 0);
+    is_live_.assign(num_tokens, 0);
+    is_candidate_.assign(num_tokens, 0);
   }
-  scratch_.assign(max_words, 0);
-  const size_t num_tokens = tagger_->automata_.size();
-  armed_.assign(num_tokens, 0);
-  new_arms_.assign(num_tokens, 0);
-  is_live_.assign(num_tokens, 0);
-  is_candidate_.assign(num_tokens, 0);
   Reset();
 }
 

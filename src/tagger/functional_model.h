@@ -1,6 +1,7 @@
 #ifndef CFGTAG_TAGGER_FUNCTIONAL_MODEL_H_
 #define CFGTAG_TAGGER_FUNCTIONAL_MODEL_H_
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +14,7 @@
 namespace cfgtag::tagger {
 
 class FunctionalTagger;
+class SessionPool;
 
 // Incremental tagging over a byte stream delivered in chunks (e.g. network
 // packets). Holds the machine state between Feed() calls; offsets in
@@ -36,8 +38,17 @@ class TaggerSession {
   // Returns to the stream-start state.
   void Reset();
 
+  // Re-targets the session at `tagger` and resets it. When the new tagger
+  // has the same buffer shape as the old one (always the case for a moved
+  // FunctionalTagger — the SessionPool's rebind-after-move path), no
+  // allocation happens; otherwise the buffers are resized.
+  void Rebind(const FunctionalTagger* tagger);
+
   // Bytes fully processed so far (excludes the lagging byte).
   uint64_t bytes_consumed() const { return pos_; }
+
+  // The tagger this session currently feeds.
+  const FunctionalTagger* tagger() const { return tagger_; }
 
  private:
   void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
@@ -91,6 +102,12 @@ class FunctionalTagger {
   // Streaming interface: feed the input in arbitrary chunks.
   TaggerSession NewSession() const { return TaggerSession(this); }
 
+  // The shared scratch pool behind Run(): callers that tag many messages
+  // (or do so from several threads) check sessions out of it instead of
+  // paying the eight-vector TaggerSession construction per call —
+  // `session_pool().Acquire(&tagger)` returns an RAII handle. Thread-safe.
+  SessionPool& session_pool() const { return *session_pool_; }
+
   const grammar::Grammar& grammar() const { return *grammar_; }
   const grammar::Analysis& analysis() const { return analysis_; }
   const TaggerOptions& options() const { return options_; }
@@ -113,6 +130,9 @@ class FunctionalTagger {
   std::vector<uint8_t> is_start_;  // indexed by token id
   // word_offset_[t] = first word of token t's state bitmap; back() = total.
   std::vector<size_t> word_offset_;
+  // Shared (internally synchronized) so copies of the tagger stay cheap
+  // and copyable; sessions rebind to whichever tagger acquires them.
+  std::shared_ptr<SessionPool> session_pool_;
 };
 
 }  // namespace cfgtag::tagger

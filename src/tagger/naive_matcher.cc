@@ -53,13 +53,7 @@ NaiveMatcher::NaiveMatcher(std::vector<std::string> patterns)
 void NaiveMatcher::Scan(
     std::string_view input,
     const std::function<bool(int32_t, uint64_t)>& cb) const {
-  int32_t state = 0;
-  for (size_t i = 0; i < input.size(); ++i) {
-    state = nodes_[state].next[static_cast<unsigned char>(input[i])];
-    for (int32_t p : nodes_[state].output) {
-      if (!cb(p, i)) return;
-    }
-  }
+  ScanWith(input, cb);
 }
 
 std::vector<Tag> NaiveMatcher::Matches(std::string_view input) const {

@@ -24,6 +24,20 @@ class NaiveMatcher {
   void Scan(std::string_view input,
             const std::function<bool(int32_t, uint64_t)>& cb) const;
 
+  // Same contract with a statically-dispatched callback — the form hot
+  // loops use (one automaton step per byte, no std::function call per
+  // match). Scan() above is this with a std::function callback.
+  template <typename Callback>
+  void ScanWith(std::string_view input, Callback&& cb) const {
+    int32_t state = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      state = nodes_[state].next[static_cast<unsigned char>(input[i])];
+      for (int32_t p : nodes_[state].output) {
+        if (!cb(p, static_cast<uint64_t>(i))) return;
+      }
+    }
+  }
+
   // Convenience: all matches as tags (token = pattern index).
   std::vector<Tag> Matches(std::string_view input) const;
 

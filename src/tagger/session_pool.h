@@ -1,0 +1,118 @@
+#ifndef CFGTAG_TAGGER_SESSION_POOL_H_
+#define CFGTAG_TAGGER_SESSION_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tagger/functional_model.h"
+
+namespace cfgtag::tagger {
+
+// Thread-safe pool of reusable TaggerSession scratch state. A session owns
+// eight vectors sized to the tagger's token count; allocating them per
+// scan dominates the cost of tagging short messages, so the hot paths
+// (FunctionalTagger::Run, core::CompiledTagger::Tag, the nids scan engine
+// workers) check sessions out of a pool instead. Checked-in sessions keep
+// their buffers; Acquire() rebinds and resets them, so a returned session
+// carries no state into its next use — early-stopped and half-fed sessions
+// are safe to return as-is.
+class SessionPool {
+ public:
+  // RAII checkout: returns the session to the pool on destruction.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(SessionPool* pool, std::unique_ptr<TaggerSession> session)
+        : pool_(pool), session_(std::move(session)) {}
+    ~Handle() { Release(); }
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), session_(std::move(other.session_)) {
+      other.pool_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        session_ = std::move(other.session_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    TaggerSession* operator->() const { return session_.get(); }
+    TaggerSession& operator*() const { return *session_; }
+    TaggerSession* get() const { return session_.get(); }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && session_ != nullptr) {
+        pool_->Return(std::move(session_));
+      }
+      pool_ = nullptr;
+      session_.reset();
+    }
+
+    SessionPool* pool_ = nullptr;
+    std::unique_ptr<TaggerSession> session_;
+  };
+
+  SessionPool() = default;
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  // Checks out a session bound to `tagger`, reset to stream start. Reuses
+  // an idle session when one exists (rebinding it if it was built for a
+  // since-moved tagger — buffer shapes are preserved across moves, so the
+  // rebind is allocation-free); otherwise constructs a fresh one.
+  Handle Acquire(const FunctionalTagger* tagger) {
+    std::unique_ptr<TaggerSession> session;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        session = std::move(idle_.back());
+        idle_.pop_back();
+      }
+    }
+    if (session == nullptr) {
+      created_.fetch_add(1, std::memory_order_relaxed);
+      session = std::make_unique<TaggerSession>(tagger);
+    } else {
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      session->Rebind(tagger);
+    }
+    return Handle(this, std::move(session));
+  }
+
+  size_t IdleCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+  uint64_t sessions_created() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+  uint64_t sessions_reused() const {
+    return reused_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Handle;
+
+  void Return(std::unique_ptr<TaggerSession> session) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(session));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TaggerSession>> idle_;
+  std::atomic<uint64_t> created_{0};
+  std::atomic<uint64_t> reused_{0};
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_SESSION_POOL_H_

@@ -1,0 +1,87 @@
+// WorkerPool: every index runs exactly once regardless of pool size; and
+// ShardSplitPoints: shard starts are delimiter-aligned, bounded, and
+// degrade to {0} when the stream cannot be split.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "regex/char_class.h"
+
+namespace cfgtag::core {
+namespace {
+
+TEST(WorkerPoolTest, RunIndexedCoversEveryIndexOnce) {
+  for (int threads : {1, 4}) {
+    WorkerPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr size_t kCount = 257;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.RunIndexed(kCount, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, RunIndexedZeroAndOne) {
+  WorkerPool pool(2);
+  pool.RunIndexed(0, [](size_t) { FAIL() << "no index to run"; });
+  int runs = 0;
+  pool.RunIndexed(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(WorkerPoolTest, SubmitExecutes) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  // RunIndexed's barrier also drains previously submitted work before
+  // returning only if the same workers pick it up — so poll instead.
+  while (ran.load() < 16) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ShardSplitPointsTest, StartsAreDelimiterAligned) {
+  std::string stream;
+  for (int i = 0; i < 200; ++i) {
+    stream += "line-" + std::to_string(i) + "-payload\n";
+  }
+  const auto starts =
+      ShardSplitPoints(stream, regex::CharClass::Of('\n'), 4, 64);
+  ASSERT_FALSE(starts.empty());
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_LE(starts.size(), 4u);
+  EXPECT_GT(starts.size(), 1u) << "stream is large enough to split";
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GT(starts[i], starts[i - 1]);
+    EXPECT_LT(starts[i], stream.size());
+    EXPECT_EQ(stream[starts[i] - 1], '\n')
+        << "shard must begin on the byte after a delimiter";
+    EXPECT_GE(starts[i] - starts[i - 1], 64u) << "min_shard_bytes";
+  }
+}
+
+TEST(ShardSplitPointsTest, SmallOrDelimiterFreeStreamsDoNotSplit) {
+  const regex::CharClass nl = regex::CharClass::Of('\n');
+  EXPECT_EQ(ShardSplitPoints("tiny\nstream\n", nl, 8, 1024),
+            std::vector<size_t>{0});
+  const std::string no_delims(8192, 'x');
+  EXPECT_EQ(ShardSplitPoints(no_delims, nl, 8, 1024),
+            std::vector<size_t>{0});
+  EXPECT_EQ(ShardSplitPoints("", nl, 8, 1), std::vector<size_t>{0});
+}
+
+}  // namespace
+}  // namespace cfgtag::core

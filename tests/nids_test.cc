@@ -47,8 +47,68 @@ TEST(ContextFilterTest, IgnoresPatternOutsideContext) {
   ASSERT_TRUE(filter.ok());
   const std::string msg = "REQ /index.html HDR probe-/etc/passwd-x END";
   EXPECT_TRUE(filter->Scan(msg).empty());
-  // The context-free baseline flags it.
-  EXPECT_EQ(filter->ScanContextFree(msg).size(), 1u);
+  // The ungated baseline flags it.
+  EXPECT_EQ(filter->ScanUngated(msg).size(), 1u);
+}
+
+TEST(ContextFilterTest, ScanContextFreeOmitsBoundRules) {
+  // ScanContextFree is Scan()'s global pass alone: rules bound to a
+  // context token must not fire from it, even when their pattern appears
+  // in the stream. (ScanUngated is the anything-goes baseline.)
+  std::vector<Rule> rules = WebRules();
+  rules.push_back({"GLOBAL", "forbidden", "", 1});
+  auto filter = ContextFilter::Create(Protocol(), rules);
+  ASSERT_TRUE(filter.ok());
+  const std::string msg =
+      "REQ /a/../forbidden HDR decoy-/etc/passwd END";
+  const auto free = filter->ScanContextFree(msg);
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(filter->rules()[free[0].rule_index].id, "GLOBAL");
+  // ... while the ungated baseline fires on everything.
+  EXPECT_GE(filter->ScanUngated(msg).size(), 3u);
+  // And Scan() agrees with ScanContextFree on the global rule.
+  bool scan_has_global = false;
+  for (const Alert& a : filter->Scan(msg)) {
+    if (filter->rules()[a.rule_index].id == "GLOBAL") scan_has_global = true;
+  }
+  EXPECT_TRUE(scan_has_global);
+}
+
+TEST(ContextFilterTest, SharedEndOffsetSpansAreBothScanned) {
+  // Two token classes whose lexemes overlap: "123" is simultaneously a
+  // NUM and a HEX, so both tags land on the same end offset. The span
+  // computation must hand that span to BOTH tokens' rules — the old code
+  // computed begin = prev_end + 1 for the second tag, failed the
+  // begin <= end guard, and silently dropped its span.
+  constexpr char kGrammar[] = R"grm(
+NUM [0-9]+
+HEX [0-9a-f]+
+%%
+msg: "GO" v "END";
+v: NUM;
+v: HEX;
+%%
+)grm";
+  auto g = grammar::ParseGrammar(kGrammar);
+  ASSERT_TRUE(g.ok()) << g.status();
+  std::vector<Rule> rules = {
+      {"NUM-123", "123", "NUM", 1},
+      {"HEX-123", "123", "HEX", 1},
+  };
+  auto filter = ContextFilter::Create(std::move(g).value(), rules);
+  ASSERT_TRUE(filter.ok()) << filter.status();
+  const std::string msg = "GO 123 END";
+  const auto alerts = filter->Scan(msg);
+  ASSERT_EQ(alerts.size(), 2u) << "both co-located tags must be scanned";
+  EXPECT_EQ(alerts[0].end, 5u);
+  EXPECT_EQ(alerts[1].end, 5u);
+  bool saw_num = false, saw_hex = false;
+  for (const Alert& a : alerts) {
+    saw_num |= filter->rules()[a.rule_index].id == "NUM-123";
+    saw_hex |= filter->rules()[a.rule_index].id == "HEX-123";
+  }
+  EXPECT_TRUE(saw_num);
+  EXPECT_TRUE(saw_hex);
 }
 
 TEST(ContextFilterTest, AlertOffsetsAreStreamAbsolute) {

@@ -1,0 +1,115 @@
+// SessionPool: Run() must reuse pooled scratch state across calls and
+// across threads, survive FunctionalTagger moves (the rebind path), and
+// hand back clean sessions after early-stopped scans.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "grammar/grammar_parser.h"
+#include "tagger/functional_model.h"
+#include "tagger/session_pool.h"
+
+namespace cfgtag::tagger {
+namespace {
+
+grammar::Grammar MustParse(const std::string& text) {
+  auto g = grammar::ParseGrammar(text);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(SessionPoolTest, RunReusesOnePooledSession) {
+  grammar::Grammar g = MustParse("NUM [0-9]+\n%%\ns: \"<n>\" NUM \"</n>\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  const auto first = t->TagAll("<n>123</n>");
+  const auto second = t->TagAll("<n>123</n>");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(t->session_pool().sessions_created(), 1u);
+  EXPECT_GE(t->session_pool().sessions_reused(), 1u);
+  EXPECT_EQ(t->session_pool().IdleCount(), 1u);
+}
+
+TEST(SessionPoolTest, AcquireTracksCheckouts) {
+  grammar::Grammar g = MustParse("%%\ns: \"ab\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+  {
+    SessionPool::Handle a = pool.Acquire(&*t);
+    SessionPool::Handle b = pool.Acquire(&*t);
+    EXPECT_EQ(pool.IdleCount(), 0u);
+    EXPECT_EQ(pool.sessions_created(), 2u);
+    // Handles are movable; the moved-from handle returns nothing.
+    SessionPool::Handle c = std::move(a);
+    EXPECT_NE(c.get(), nullptr);
+  }
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  pool.Acquire(&*t);  // temporary: checked right back in
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.sessions_created(), 2u);
+}
+
+TEST(SessionPoolTest, SurvivesTaggerMove) {
+  // CompiledTagger::Compile moves the FunctionalTagger after Create(), so
+  // pooled sessions built before the move hold a stale tagger pointer;
+  // Acquire() must rebind them to the new address.
+  grammar::Grammar g = MustParse("NUM [0-9]+\n%%\ns: NUM \"x\";\n%%\n");
+  auto created = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(created.ok());
+  const auto before = created->TagAll("123x");
+  ASSERT_FALSE(before.empty());
+  ASSERT_EQ(created->session_pool().sessions_created(), 1u);
+
+  FunctionalTagger moved = std::move(created).value();
+  const auto after = moved.TagAll("123x");
+  EXPECT_EQ(before, after);
+  // Same pool, same session — rebound, not reallocated.
+  EXPECT_EQ(moved.session_pool().sessions_created(), 1u);
+  EXPECT_GE(moved.session_pool().sessions_reused(), 1u);
+}
+
+TEST(SessionPoolTest, EarlyStoppedSessionIsCleanOnReuse) {
+  grammar::Grammar g = MustParse("%%\ns: \"a\" \"b\" \"c\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  int seen = 0;
+  t->Run("a b c", [&seen](const Tag&) { return ++seen < 2; });
+  EXPECT_EQ(seen, 2);
+  // The half-consumed session went back to the pool; the next Run must
+  // start from scratch and see all three tokens.
+  EXPECT_EQ(t->TagAll("a b c").size(), 3u);
+  EXPECT_EQ(t->session_pool().sessions_created(), 1u);
+}
+
+TEST(SessionPoolTest, ConcurrentRunsShareThePool) {
+  grammar::Grammar g = MustParse("NUM [0-9]+\n%%\ns: \"<n>\" NUM \"</n>\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  const std::string input = "<n>4711</n>";
+  const auto expected = t->TagAll(input);
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 50;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        if (t->TagAll(input) != expected) ++mismatches[w];
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(mismatches[w], 0);
+  const SessionPool& pool = t->session_pool();
+  // At most one session per concurrently-running thread was ever built.
+  EXPECT_LE(pool.sessions_created(), static_cast<uint64_t>(kThreads) + 1);
+  EXPECT_EQ(pool.sessions_created() + pool.sessions_reused(),
+            static_cast<uint64_t>(kThreads) * kRunsPerThread + 1);
+}
+
+}  // namespace
+}  // namespace cfgtag::tagger

@@ -108,6 +108,53 @@ TEST(TaggerSessionTest, ResetStartsOver) {
   EXPECT_EQ(tags[1].end, 1u);  // offsets restart after Reset
 }
 
+TEST(TaggerSessionTest, TagEndingOnChunkFinalByteWaitsOneByte) {
+  // A tag whose last byte is the final byte of a Feed() chunk cannot be
+  // emitted inside that Feed(): the longest-match decision needs the next
+  // byte (the one-byte lag of the Fig. 7 look-ahead). It must arrive at
+  // the start of the next chunk, not be dropped and not wait for Finish.
+  grammar::Grammar g = MustParse("NUM [0-9]+\n%%\ns: NUM \"x\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  TaggerSession session = t->NewSession();
+  std::vector<Tag> tags;
+  const TagSink sink = [&tags](const Tag& tag) {
+    tags.push_back(tag);
+    return true;
+  };
+  session.Feed("12", sink);
+  EXPECT_TRUE(tags.empty()) << "decision lags one byte";
+  session.Feed("x", sink);  // non-digit settles NUM without Finish
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].end, 1u);
+  session.Finish(sink);
+  EXPECT_EQ(tags.size(), 2u) << "then the literal \"x\" tag";
+}
+
+TEST(TaggerSessionTest, EarlyStopMidChunkThenResetAndReuse) {
+  grammar::Grammar g = MustParse("%%\ns: \"a\" \"b\" \"c\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  TaggerSession session = t->NewSession();
+  int seen = 0;
+  const TagSink stopper = [&seen](const Tag&) { return ++seen < 1; };
+  session.Feed("a b c", stopper);
+  EXPECT_EQ(seen, 1) << "halted mid-chunk after the first tag";
+
+  // The same session object, Reset() and re-fed, must behave like new.
+  session.Reset();
+  EXPECT_EQ(session.bytes_consumed(), 0u);
+  std::vector<Tag> tags;
+  const TagSink sink = [&tags](const Tag& tag) {
+    tags.push_back(tag);
+    return true;
+  };
+  session.Feed("a b c", sink);
+  session.Finish(sink);
+  EXPECT_EQ(tags, t->TagAll("a b c"));
+  EXPECT_EQ(tags.size(), 3u);
+}
+
 TEST(TaggerSessionTest, EarlyStopHalts) {
   grammar::Grammar g = MustParse("%%\ns: \"a\" \"b\" \"c\";\n%%\n");
   auto t = FunctionalTagger::Create(&g, {});

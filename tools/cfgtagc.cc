@@ -16,6 +16,10 @@
 //   --testbench FILE    with --tag: emit a self-checking VHDL testbench
 //                       that replays the tagged input and asserts the tags
 //   --mode MODE         anchored | scan | resync       (default anchored)
+//   --threads N         with --tag: shard the input at newline record
+//                       boundaries and tag shards in parallel (needs
+//                       --mode resync and newline-framed records;
+//                       default 1)
 //   --bytes-per-cycle N 1, 2 or 4                      (default 1)
 //   --replicate N       decoder replication threshold  (default off)
 //   --no-longest-match  disable the Fig. 7 look-ahead
@@ -34,6 +38,7 @@
 #include <string>
 
 #include "core/token_tagger.h"
+#include "core/worker_pool.h"
 #include "grammar/analysis.h"
 #include "grammar/grammar_parser.h"
 #include "grammar/lint.h"
@@ -49,7 +54,7 @@ int Usage(const char* argv0) {
                "usage: %s GRAMMAR [INPUT] [--vhdl FILE] [--entity NAME]\n"
                "       [--report] [--analysis] [--tag FILE]\n"
                "       [--cycle-accurate] [--mode anchored|scan|resync]\n"
-               "       [--bytes-per-cycle N] [--replicate N]\n"
+               "       [--threads N] [--bytes-per-cycle N] [--replicate N]\n"
                "       [--no-longest-match] [--no-encoder]\n"
                "       [--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
@@ -112,6 +117,7 @@ int RunTool(int argc, char** argv) {
   bool analysis = false;
   bool lint = false;
   bool cycle_accurate = false;
+  int threads = 1;
   cfgtag::hwgen::HwOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -184,6 +190,14 @@ int RunTool(int argc, char** argv) {
       } else if (std::strcmp(v, "resync") == 0) {
         options.tagger.arm_mode = cfgtag::tagger::ArmMode::kResync;
       } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      threads = std::atoi(v);
+      if (threads <= 0) {
+        std::fprintf(stderr, "--threads needs a positive count\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--bytes-per-cycle") {
@@ -339,6 +353,11 @@ int RunTool(int argc, char** argv) {
     cfgtag::obs::ScopedSpan tag_span("cfgtagc.Tag");
     std::vector<cfgtag::tagger::Tag> tags;
     if (cycle_accurate) {
+      if (threads > 1) {
+        std::fprintf(stderr,
+                     "--threads is ignored with --cycle-accurate "
+                     "(the simulator is single-stream)\n");
+      }
       auto hw = tagger->TagCycleAccurate(input);
       if (!hw.ok()) {
         std::fprintf(stderr, "simulation error: %s\n",
@@ -346,6 +365,46 @@ int RunTool(int argc, char** argv) {
         return 1;
       }
       tags = std::move(hw).value();
+    } else if (threads > 1) {
+      // Shard the input at newline record boundaries and tag shards in
+      // parallel. Only resync mode makes a fresh tagger at a record
+      // boundary equivalent to one that streamed through it — and only at
+      // a RECORD boundary: a mid-message token delimiter still carries
+      // follow-set arms a fresh tagger would not have.
+      const cfgtag::regex::CharClass record =
+          cfgtag::regex::CharClass::Of('\n');
+      if (options.tagger.EffectiveArmMode() !=
+          cfgtag::tagger::ArmMode::kResync) {
+        std::fprintf(stderr,
+                     "--threads needs --mode resync; tagging with one "
+                     "thread instead\n");
+        tags = tagger->Tag(input);
+      } else if (!record.Minus(options.tagger.delimiters).Empty()) {
+        std::fprintf(stderr,
+                     "--threads needs newline to be a tagger delimiter; "
+                     "tagging with one thread instead\n");
+        tags = tagger->Tag(input);
+      } else {
+        cfgtag::core::WorkerPool pool(threads);
+        const std::vector<size_t> starts = cfgtag::core::ShardSplitPoints(
+            input, record,
+            /*max_shards=*/2 * static_cast<size_t>(threads),
+            /*min_shard_bytes=*/4096);
+        std::vector<std::vector<cfgtag::tagger::Tag>> shard(starts.size());
+        pool.RunIndexed(starts.size(), [&](size_t i) {
+          const size_t begin = starts[i];
+          const size_t end =
+              i + 1 < starts.size() ? starts[i + 1] : input.size();
+          shard[i] =
+              tagger->Tag(std::string_view(input).substr(begin, end - begin));
+          for (cfgtag::tagger::Tag& t : shard[i]) t.end += begin;
+        });
+        for (std::vector<cfgtag::tagger::Tag>& s : shard) {
+          tags.insert(tags.end(), s.begin(), s.end());
+        }
+        std::printf("tagged with %d thread(s) across %zu shard(s)\n",
+                    pool.num_threads(), starts.size());
+      }
     } else {
       tags = tagger->Tag(input);
     }
