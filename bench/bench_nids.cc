@@ -5,12 +5,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "grammar/grammar_parser.h"
 #include "nids/context_filter.h"
 #include "nids/scan_engine.h"
+#include "obs/metrics.h"
 
 namespace cfgtag::bench {
 namespace {
@@ -61,23 +64,29 @@ std::string MakeDecoyTraffic(const std::vector<nids::Rule>& rules,
   return out;
 }
 
-void Run() {
+void Run(bool smoke) {
   auto g = grammar::ParseGrammar(kProtocol);
   CheckOk(g.status(), "protocol grammar");
+  const int messages = smoke ? 60 : 400;
 
   std::printf(
       "Context-gated NIDS vs context-free signatures\n"
       "(decoy traffic: every signature hit is a false positive)\n\n");
-  std::printf("%8s | %12s %12s | %14s %14s\n", "rules", "naive FPs",
-              "context FPs", "scan MB/s", "engine4 MB/s");
+  std::printf("%8s | %12s %12s | %14s %14s %14s\n", "rules", "naive FPs",
+              "context FPs", "scan MB/s", "fused MB/s", "engine4 MB/s");
 
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   for (int nrules : {4, 16, 64}) {
     auto rules = MakeRules(nrules);
     hwgen::HwOptions opt;
     opt.tagger.arm_mode = tagger::ArmMode::kResync;
     auto filter = ValueOrDie(
         nids::ContextFilter::Create(g->Clone(), rules, opt), "filter");
-    const std::string traffic = MakeDecoyTraffic(rules, 400, 7);
+    // The same filter with the fused tagging backend behind Scan().
+    opt.tagger.backend = tagger::TaggerBackend::kFused;
+    auto fused_filter = ValueOrDie(
+        nids::ContextFilter::Create(g->Clone(), rules, opt), "fused filter");
+    const std::string traffic = MakeDecoyTraffic(rules, messages, 7);
 
     const auto naive = filter.ScanUngated(traffic);
     nids::ScanStats stats;
@@ -86,6 +95,16 @@ void Run() {
     const auto t1 = std::chrono::steady_clock::now();
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
+
+    // Fused backend: identical alerts required before timing counts.
+    const auto t4 = std::chrono::steady_clock::now();
+    const auto fused_alerts = fused_filter.Scan(traffic);
+    const auto t5 = std::chrono::steady_clock::now();
+    const double fsecs = std::chrono::duration<double>(t5 - t4).count();
+    if (fused_alerts != context) {
+      std::fprintf(stderr, "FATAL fused/functional alert mismatch\n");
+      std::abort();
+    }
 
     // The same scan through the parallel engine, sharded across 4
     // workers — the before/after of the batch-scan change.
@@ -101,22 +120,47 @@ void Run() {
       std::fprintf(stderr, "FATAL engine/sequential alert mismatch\n");
       std::abort();
     }
-    std::printf("%8d | %12zu %12zu | %14.1f %14.1f\n", nrules, naive.size(),
-                context.size(),
-                traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9),
+    const double scan_mbps = traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9);
+    const double fused_mbps =
+        traffic.size() / 1e6 / (fsecs > 0 ? fsecs : 1e-9);
+    std::printf("%8d | %12zu %12zu | %14.1f %14.1f %14.1f\n", nrules,
+                naive.size(), context.size(), scan_mbps, fused_mbps,
                 traffic.size() / 1e6 / (esecs > 0 ? esecs : 1e-9));
+    const std::string rules_label = "rules=\"" + std::to_string(nrules) +
+                                    "\"";
+    reg.GetGauge("cfgtag_bench_nids_mbps{backend=\"functional\"," +
+                     rules_label + "}",
+                 "ContextFilter::Scan MB/s by tagging backend")
+        ->Set(scan_mbps);
+    reg.GetGauge(
+           "cfgtag_bench_nids_mbps{backend=\"fused\"," + rules_label + "}",
+           "ContextFilter::Scan MB/s by tagging backend")
+        ->Set(fused_mbps);
   }
 
   std::printf(
       "\nExpected shape: the context-free scanner alerts on every decoy;\n"
       "the context filter scans only PATH spans and stays silent. Attack\n"
       "traffic (signatures in the path) alerts in both (see nids_test).\n");
+
+  const char* out_path = "bench_metrics.json";
+  std::ofstream out(out_path, std::ios::binary);
+  out << reg.ToJson();
+  if (out) {
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+  }
 }
 
 }  // namespace
 }  // namespace cfgtag::bench
 
-int main() {
-  cfgtag::bench::Run();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  cfgtag::bench::Run(smoke);
   return 0;
 }

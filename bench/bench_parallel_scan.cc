@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <thread>
@@ -80,22 +81,28 @@ double Time(const std::function<void()>& fn, int iters) {
   return std::chrono::duration<double>(t1 - t0).count() / iters;
 }
 
-void Run() {
+void Run(bool smoke) {
   auto g = grammar::ParseGrammar(kProtocol);
   CheckOk(g.status(), "protocol grammar");
   hwgen::HwOptions opt;
   opt.tagger.arm_mode = tagger::ArmMode::kResync;
   auto filter = ValueOrDie(
+      nids::ContextFilter::Create(g->Clone(), MakeRules(), opt), "filter");
+  // The same rules and grammar behind the fused tagging backend.
+  opt.tagger.backend = tagger::TaggerBackend::kFused;
+  auto fused_filter = ValueOrDie(
       nids::ContextFilter::Create(std::move(g).value(), MakeRules(), opt),
-      "filter");
+      "fused filter");
 
-  // Batch workload: 64 independent streams of ~600 messages each.
+  // Batch workload: independent streams of a few hundred messages each.
+  const int num_streams = smoke ? 8 : 64;
+  const int msgs_per_stream = smoke ? 100 : 600;
   std::vector<std::string> stream_storage;
   std::vector<std::string_view> streams;
   size_t batch_bytes = 0;
-  for (int i = 0; i < 64; ++i) {
-    stream_storage.push_back(
-        MakeTraffic(filter.rules(), 600, 1000 + static_cast<uint64_t>(i)));
+  for (int i = 0; i < num_streams; ++i) {
+    stream_storage.push_back(MakeTraffic(filter.rules(), msgs_per_stream,
+                                         1000 + static_cast<uint64_t>(i)));
     batch_bytes += stream_storage.back().size();
   }
   for (const std::string& s : stream_storage) streams.push_back(s);
@@ -104,9 +111,14 @@ void Run() {
   std::vector<std::vector<nids::Alert>> reference(streams.size());
   for (size_t i = 0; i < streams.size(); ++i) {
     reference[i] = filter.Scan(streams[i]);
+    if (fused_filter.Scan(streams[i]) != reference[i]) {
+      std::fprintf(stderr, "FATAL fused backend mismatch on stream %zu\n",
+                   i);
+      std::abort();
+    }
   }
 
-  constexpr int kIters = 5;
+  const int kIters = smoke ? 1 : 5;
   const double seq_secs = Time(
       [&] {
         for (const std::string_view s : streams) {
@@ -127,9 +139,29 @@ void Run() {
       "(speedup is bounded by hardware threads; on a 1-core host the\n"
       " expected result is ~1.00x, i.e. no engine overhead)\n\n",
       streams.size(), batch_bytes / 1e6, cores);
+  // Sequential fused backend over the same batch: the single-thread
+  // speedup lever, orthogonal to the engine's multi-thread one.
+  const double fused_seq_secs = Time(
+      [&] {
+        for (const std::string_view s : streams) {
+          auto alerts = fused_filter.Scan(s);
+          if (alerts.empty() && !s.empty()) std::abort();
+        }
+      },
+      kIters);
+  reg.GetGauge("cfgtag_bench_scan_backend_mbps{backend=\"functional\"}",
+               "Sequential batch scan MB/s by tagging backend")
+      ->Set(batch_bytes / 1e6 / seq_secs);
+  reg.GetGauge("cfgtag_bench_scan_backend_mbps{backend=\"fused\"}",
+               "Sequential batch scan MB/s by tagging backend")
+      ->Set(batch_bytes / 1e6 / fused_seq_secs);
+
   std::printf("%10s | %12s | %10s\n", "threads", "MB/s", "speedup");
   std::printf("%10s | %12.1f | %10s\n", "seq",
               batch_bytes / 1e6 / seq_secs, "1.00x");
+  std::printf("%10s | %12.1f | %9.2fx\n", "seq-fused",
+              batch_bytes / 1e6 / fused_seq_secs,
+              seq_secs / fused_seq_secs);
   for (int threads : {1, 2, 4, 8}) {
     nids::ScanEngineOptions eopt;
     eopt.num_threads = threads;
@@ -153,8 +185,8 @@ void Run() {
         ->Set(speedup);
   }
 
-  // Sharded single-stream workload: one ~4 MB stream.
-  const std::string big = MakeTraffic(filter.rules(), 100000, 9);
+  // Sharded single-stream workload: one ~4 MB stream (smoke: ~200 KB).
+  const std::string big = MakeTraffic(filter.rules(), smoke ? 5000 : 100000, 9);
   const auto big_reference = filter.Scan(big);
   const double big_seq_secs =
       Time([&] { auto r = filter.Scan(big); }, kIters);
@@ -199,7 +231,11 @@ void Run() {
 }  // namespace
 }  // namespace cfgtag::bench
 
-int main() {
-  cfgtag::bench::Run();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  cfgtag::bench::Run(smoke);
   return 0;
 }

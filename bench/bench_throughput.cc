@@ -7,10 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <fstream>
 
 #include "bench/bench_util.h"
 #include "obs/metrics.h"
+#include "tagger/functional_model.h"
+#include "tagger/fused_model.h"
 #include "tagger/lexer.h"
 #include "tagger/ll_parser.h"
 #include "tagger/naive_matcher.h"
@@ -57,6 +61,29 @@ void BM_FunctionalModel(benchmark::State& state) {
       static_cast<double>(tagger.hardware().pattern_bytes);
 }
 BENCHMARK(BM_FunctionalModel)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_FusedModel(benchmark::State& state) {
+  // Same machine, fused backend: one word-aligned global state bitmap
+  // stepped with byte-class-compressed masks.
+  const int copies = static_cast<int>(state.range(0));
+  hwgen::HwOptions opt;
+  opt.tagger.backend = tagger::TaggerBackend::kFused;
+  core::CompiledTagger tagger = CompileXmlRpc(copies, opt);
+  const std::string& input = Workload();
+  size_t tags = 0;
+  for (auto _ : state) {
+    tagger.Tag(input, [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    });
+  }
+  benchmark::DoNotOptimize(tags);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.counters["byte_classes"] =
+      static_cast<double>(tagger.fused_model()->NumByteClasses());
+}
+BENCHMARK(BM_FusedModel)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_LlParser(benchmark::State& state) {
   auto g = xmlrpc::XmlRpcGrammar();
@@ -142,6 +169,97 @@ void BM_ImplementFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_ImplementFlow)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 
+// Head-to-head backend comparison on the sustained (resync) workload —
+// both software engines tag the same byte stream end to end, equivalence-
+// checked first, and the resulting MB/s land in bench_metrics.json as
+// cfgtag_bench_backend_mbps{backend=...,copies=...} gauges plus a
+// cfgtag_bench_backend_speedup{copies=...} ratio. Resync mode keeps every
+// message live (anchored mode goes dead after the first message, which
+// the fused idle fast path would skip outright and the comparison would
+// measure nothing).
+void RecordBackendComparison(bool smoke) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::string& full = Workload();
+  const std::string_view input =
+      smoke ? std::string_view(full).substr(0, 128 << 10)
+            : std::string_view(full);
+  const int iters = smoke ? 1 : 3;
+
+  std::printf("\nBackend comparison (%zu KB, resync mode, %d iteration%s)\n",
+              input.size() >> 10, iters, iters == 1 ? "" : "s");
+  std::printf("%8s | %14s %14s | %8s\n", "copies", "functional MB/s",
+              "fused MB/s", "speedup");
+
+  auto time_engine = [&](const auto& engine) {
+    size_t tags = 0;
+    const tagger::TagSink sink = [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) engine.Run(input, sink);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count() / iters;
+    return input.size() / 1e6 / (secs > 0 ? secs : 1e-9);
+  };
+
+  for (int copies : {1, 4, 10}) {
+    const grammar::Grammar g = DuplicatedXmlRpc(copies);
+    tagger::TaggerOptions topt;
+    topt.arm_mode = tagger::ArmMode::kResync;
+    auto functional =
+        ValueOrDie(tagger::FunctionalTagger::Create(&g, topt), "functional");
+    auto fused = ValueOrDie(tagger::FusedTagger::Create(&g, topt), "fused");
+    // Tag-for-tag equivalence before timing anything.
+    const auto want = functional.TagAll(input);
+    const auto got = fused.TagAll(input);
+    if (want != got) {
+      std::fprintf(stderr, "FATAL fused/functional tag mismatch (x%d)\n",
+                   copies);
+      std::abort();
+    }
+    const double functional_mbps = time_engine(functional);
+    const double fused_mbps = time_engine(fused);
+    const double speedup = fused_mbps / functional_mbps;
+    std::printf("%8d | %14.1f %14.1f | %7.2fx\n", copies, functional_mbps,
+                fused_mbps, speedup);
+    const std::string copies_label = "copies=\"" + std::to_string(copies) +
+                                     "\"";
+    reg.GetGauge("cfgtag_bench_backend_mbps{backend=\"functional\"," +
+                     copies_label + "}",
+                 "Sustained tagging MB/s of the software backend")
+        ->Set(functional_mbps);
+    reg.GetGauge(
+           "cfgtag_bench_backend_mbps{backend=\"fused\"," + copies_label +
+               "}",
+           "Sustained tagging MB/s of the software backend")
+        ->Set(fused_mbps);
+    reg.GetGauge("cfgtag_bench_backend_speedup{" + copies_label + "}",
+                 "Fused over functional throughput ratio")
+        ->Set(speedup);
+  }
+
+  // Context-free lexer baseline on the same bytes (copies don't apply: the
+  // combined DFA is one machine either way).
+  auto g = xmlrpc::XmlRpcGrammar();
+  CheckOk(g.status(), "grammar");
+  auto lexer = ValueOrDie(tagger::Lexer::Create(&g.value()), "lexer");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto tags = lexer.Lex(input);
+    benchmark::DoNotOptimize(tags);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count() / iters;
+  const double lexer_mbps = input.size() / 1e6 / (secs > 0 ? secs : 1e-9);
+  std::printf("%8s | %14.1f (context-free DFA baseline)\n", "lexer",
+              lexer_mbps);
+  reg.GetGauge("cfgtag_bench_backend_mbps{backend=\"lexer\"}",
+               "Context-free combined-DFA lexer MB/s baseline")
+      ->Set(lexer_mbps);
+}
+
 }  // namespace
 }  // namespace cfgtag::bench
 
@@ -150,6 +268,19 @@ BENCHMARK(BM_ImplementFlow)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 // paths the benchmarks exercised — is dumped to bench_metrics.json so
 // BENCH_*.json trajectories carry per-stage cost attribution.
 int main(int argc, char** argv) {
+  // --smoke (ours, stripped before google-benchmark sees the args) shrinks
+  // the backend comparison to a CI-sized workload; pair it with a
+  // --benchmark_filter to keep the google-benchmark section short too.
+  bool smoke = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   cfgtag::obs::MetricsRegistry::Default()
@@ -158,6 +289,7 @@ int main(int argc, char** argv) {
       ->Set(static_cast<double>(cfgtag::bench::Workload().size()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  cfgtag::bench::RecordBackendComparison(smoke);
   const char* out_path = "bench_metrics.json";
   std::ofstream out(out_path, std::ios::binary);
   out << cfgtag::obs::MetricsRegistry::Default().ToJson();

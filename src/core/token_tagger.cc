@@ -61,6 +61,18 @@ StatusOr<CompiledTagger> CompiledTagger::Compile(
     out.model_ =
         std::make_unique<tagger::FunctionalTagger>(std::move(model).value());
   }
+  if (options.tagger.backend == tagger::TaggerBackend::kFused) {
+    obs::ScopedSpan stage("tagger.CreateFusedModel");
+    obs::ScopedTimer stage_timer(StageHistogram("fused"));
+    auto fused =
+        tagger::FusedTagger::Create(out.grammar_.get(), options.tagger);
+    if (!fused.ok()) return fused.status().WithContext("fused model");
+    out.fused_ =
+        std::make_unique<tagger::FusedTagger>(std::move(fused).value());
+    reg.GetGauge("cfgtag_compile_byte_classes",
+                 "Byte classes of the last fused-backend compile")
+        ->Set(static_cast<double>(out.fused_->NumByteClasses()));
+  }
 
   const rtl::Netlist::Stats stats = out.hardware_.netlist.ComputeStats();
   reg.GetCounter("cfgtag_compile_total", "Grammar compiles completed")
@@ -78,25 +90,51 @@ StatusOr<CompiledTagger> CompiledTagger::Compile(
 
 namespace {
 
-// Run-path metric handles, resolved once per process.
+// Run-path metric handles, resolved once per process. The aggregate
+// cfgtag_tag_* metrics cover Tag() regardless of engine; the per-backend
+// cfgtag_backend_* family splits calls and scanned-size distributions by
+// the engine that served them, so a deployment mixing backends can compare
+// them in one scrape.
+struct BackendMetrics {
+  obs::Counter* calls;
+  obs::Counter* bytes;
+  obs::Histogram* scan_bytes;
+};
+
 struct TagMetrics {
   obs::Counter* calls;
   obs::Counter* bytes;
   obs::Counter* tags;
   obs::Histogram* latency;
+  BackendMetrics backend[2];  // indexed by TaggerBackend
 
   static const TagMetrics& Get() {
     static const TagMetrics* const kMetrics = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
       auto* m = new TagMetrics;
       m->calls = reg.GetCounter("cfgtag_tag_calls_total",
-                                "Tag() invocations (functional model)");
+                                "Tag() invocations (any backend)");
       m->bytes = reg.GetCounter("cfgtag_tag_bytes_total",
                                 "Input bytes scanned by Tag()");
       m->tags = reg.GetCounter("cfgtag_tag_tokens_total",
                                "Tags emitted by Tag()");
       m->latency = reg.GetHistogram("cfgtag_tag_seconds",
                                     "Per-call Tag() wall time");
+      const char* names[2] = {"functional", "fused"};
+      for (int b = 0; b < 2; ++b) {
+        const std::string label =
+            std::string("{backend=\"") + names[b] + "\"}";
+        m->backend[b].calls =
+            reg.GetCounter("cfgtag_backend_calls_total" + label,
+                           "Tag() invocations served by this backend");
+        m->backend[b].bytes =
+            reg.GetCounter("cfgtag_backend_bytes_total" + label,
+                           "Input bytes scanned by this backend");
+        m->backend[b].scan_bytes = reg.GetHistogram(
+            "cfgtag_backend_scan_bytes" + label,
+            "Per-call input size distribution for this backend",
+            obs::DefaultSizeBuckets());
+      }
       return m;
     }();
     return *kMetrics;
@@ -132,14 +170,27 @@ void CompiledTagger::Tag(std::string_view input,
     ++emitted;
     return sink(t);
   };
-  tagger::SessionPool::Handle session =
-      model_->session_pool().Acquire(model_.get());
-  session->Feed(input, gated);
-  session->Feed(kPadding, gated);
-  session->Finish(gated);
+  if (fused_ != nullptr) {
+    tagger::FusedSessionPool::Handle session =
+        fused_->session_pool().Acquire(fused_.get());
+    session->Feed(input, gated);
+    session->Feed(kPadding, gated);
+    session->Finish(gated);
+  } else {
+    tagger::SessionPool::Handle session =
+        model_->session_pool().Acquire(model_.get());
+    session->Feed(input, gated);
+    session->Feed(kPadding, gated);
+    session->Finish(gated);
+  }
   metrics.calls->Increment();
   metrics.bytes->Increment(input.size());
   metrics.tags->Increment(emitted);
+  const BackendMetrics& bm =
+      metrics.backend[fused_ != nullptr ? 1 : 0];
+  bm.calls->Increment();
+  bm.bytes->Increment(input.size());
+  bm.scan_bytes->Observe(static_cast<double>(input.size()));
 }
 
 StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(

@@ -14,6 +14,7 @@
 #include "rtl/techmap.h"
 #include "rtl/timing.h"
 #include "tagger/functional_model.h"
+#include "tagger/fused_model.h"
 #include "tagger/tag.h"
 
 namespace cfgtag::core {
@@ -55,6 +56,11 @@ class CompiledTagger {
   const grammar::Grammar& grammar() const { return *grammar_; }
   const hwgen::GeneratedTagger& hardware() const { return hardware_; }
   const tagger::FunctionalTagger& model() const { return *model_; }
+  // The fused bit-parallel engine; built only when
+  // options().tagger.backend == TaggerBackend::kFused (null otherwise).
+  const tagger::FusedTagger* fused_model() const { return fused_.get(); }
+  // The engine Tag() dispatches to.
+  tagger::TaggerBackend backend() const { return options_.tagger.backend; }
   const hwgen::HwOptions& options() const { return options_; }
 
   // --- Tagging -----------------------------------------------------------
@@ -112,6 +118,7 @@ class CompiledTagger {
   hwgen::HwOptions options_;
   hwgen::GeneratedTagger hardware_;
   std::unique_ptr<tagger::FunctionalTagger> model_;
+  std::unique_ptr<tagger::FusedTagger> fused_;  // only for the fused backend
 };
 
 }  // namespace cfgtag::core

@@ -1,0 +1,45 @@
+#include "tagger/byte_classes.h"
+
+namespace cfgtag::tagger {
+
+ByteClassifier::ByteClassifier() {
+  for (int c = 0; c < 256; ++c) class_of_[c] = 0;
+  representative_.assign(1, 0);
+}
+
+ByteClassifier ByteClassifier::Build(
+    const std::vector<regex::CharClass>& classes) {
+  ByteClassifier out;
+  // Iterative refinement: split every current class against each
+  // CharClass. A (old class, membership) pair maps to one new id; ids are
+  // handed out in ascending-byte first-encounter order each round, which
+  // keeps the result independent of the order of `classes`... up to
+  // relabeling, and fully deterministic for a fixed input vector.
+  for (const regex::CharClass& cc : classes) {
+    // new_id[old * 2 + in] = refined class id, assigned lazily.
+    std::vector<int> new_id(static_cast<size_t>(out.num_classes_) * 2, -1);
+    uint16_t next = 0;
+    uint8_t refined[256];
+    for (int c = 0; c < 256; ++c) {
+      const unsigned char b = static_cast<unsigned char>(c);
+      const size_t key = static_cast<size_t>(out.class_of_[b]) * 2 +
+                         (cc.Test(b) ? 1 : 0);
+      if (new_id[key] < 0) new_id[key] = next++;
+      refined[c] = static_cast<uint8_t>(new_id[key]);
+    }
+    for (int c = 0; c < 256; ++c) out.class_of_[c] = refined[c];
+    out.num_classes_ = next;
+  }
+  out.representative_.assign(out.num_classes_, 0);
+  std::vector<bool> seen(out.num_classes_, false);
+  for (int c = 0; c < 256; ++c) {
+    const uint8_t cls = out.class_of_[c];
+    if (!seen[cls]) {
+      seen[cls] = true;
+      out.representative_[cls] = static_cast<unsigned char>(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace cfgtag::tagger

@@ -1,0 +1,50 @@
+#ifndef CFGTAG_TAGGER_BYTE_CLASSES_H_
+#define CFGTAG_TAGGER_BYTE_CLASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "regex/char_class.h"
+
+namespace cfgtag::tagger {
+
+// Partition of the 256 byte values into equivalence classes over a set of
+// CharClasses: two bytes land in the same class iff every given CharClass
+// either contains both or neither. Transition tables indexed by byte class
+// instead of raw byte shrink by the compression ratio (the same trick
+// XGrammar uses to collapse context-independent token masks): a typical
+// grammar uses a dozen-odd distinct character classes, so 256 byte rows
+// collapse to that many class rows and the whole table stays cache
+// resident.
+//
+// Class ids are assigned in first-encounter order over ascending byte
+// values, so id 0 always contains byte 0 and ids are deterministic for a
+// given input set.
+class ByteClassifier {
+ public:
+  // An empty classifier puts every byte in class 0.
+  ByteClassifier();
+
+  // Builds the coarsest partition refining every class in `classes`.
+  static ByteClassifier Build(const std::vector<regex::CharClass>& classes);
+
+  uint16_t NumClasses() const { return num_classes_; }
+  uint8_t ClassOf(unsigned char c) const { return class_of_[c]; }
+
+  // One member byte per class (the smallest): any per-class predicate over
+  // the generating CharClasses can be evaluated on the representative.
+  unsigned char Representative(uint16_t cls) const {
+    return representative_[cls];
+  }
+
+  const uint8_t* class_map() const { return class_of_; }
+
+ private:
+  uint8_t class_of_[256];
+  std::vector<unsigned char> representative_;
+  uint16_t num_classes_ = 1;
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_BYTE_CLASSES_H_

@@ -1,0 +1,497 @@
+#include "tagger/fused_model.h"
+
+#include <algorithm>
+
+#include "grammar/analysis.h"
+#include "regex/position_automaton.h"
+
+namespace cfgtag::tagger {
+
+namespace {
+
+inline size_t MetaWords(size_t words) { return (words + 63) / 64; }
+
+inline bool MetaTest(const uint64_t* meta, size_t w) {
+  return (meta[w >> 6] >> (w & 63)) & 1;
+}
+
+}  // namespace
+
+StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
+                                          const TaggerOptions& options) {
+  CFGTAG_ASSIGN_OR_RETURN(auto analysis, grammar::Analyze(*grammar));
+  FusedTagger t(grammar, options);
+  const size_t num_tokens = grammar->NumTokens();
+  t.num_tokens_ = num_tokens;
+
+  // Per-token position automata are only needed at build time; everything
+  // the per-byte step reads is baked into the fused tables below.
+  std::vector<regex::PositionAutomaton> automata;
+  automata.reserve(num_tokens);
+  for (const grammar::TokenDef& def : grammar->tokens()) {
+    automata.push_back(regex::PositionAutomaton::Build(*def.regex));
+  }
+
+  // Word-aligned fused layout (the FunctionalTagger word_offset_ scheme):
+  // token t owns words [word_offset_[t], word_offset_[t+1]) exclusively.
+  t.word_offset_.assign(num_tokens + 1, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    t.word_offset_[tok + 1] =
+        t.word_offset_[tok] + static_cast<uint32_t>(automata[tok].NumWords());
+    t.total_positions_ += automata[tok].NumPositions();
+  }
+  t.num_words_ = t.word_offset_[num_tokens];
+  t.meta_words_ = MetaWords(t.num_words_);
+  t.word_token_.assign(t.num_words_, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    for (uint32_t w = t.word_offset_[tok]; w < t.word_offset_[tok + 1]; ++w) {
+      t.word_token_[w] = static_cast<int32_t>(tok);
+    }
+  }
+
+  // Byte classes over every distinct character class the machine tests:
+  // all position classes plus the delimiter set. Any two bytes in one
+  // class take identical transitions everywhere, so per-class tables are
+  // exact.
+  std::vector<regex::CharClass> classes;
+  classes.push_back(options.delimiters);
+  for (const auto& pa : automata) {
+    for (const regex::CharClass& cc : pa.positions) classes.push_back(cc);
+  }
+  t.classifier_ = ByteClassifier::Build(classes);
+  const size_t num_classes = t.classifier_.NumClasses();
+  t.class_is_delim_.assign(num_classes, 0);
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    t.class_is_delim_[cls] =
+        options.delimiters.Test(
+            t.classifier_.Representative(static_cast<uint16_t>(cls)))
+            ? 1
+            : 0;
+  }
+
+  const size_t nw = t.num_words_;
+  auto set_global_bit = [&](std::vector<uint64_t>& v, size_t tok, uint32_t q) {
+    const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
+    v[gb >> 6] |= 1ULL << (gb & 63);
+  };
+
+  // Per-class position masks and the global accept mask.
+  t.class_mask_.assign(num_classes * nw, 0);
+  t.accept_mask_.assign(nw, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    const regex::PositionAutomaton& pa = automata[tok];
+    for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
+      for (size_t cls = 0; cls < num_classes; ++cls) {
+        if (pa.positions[q].Test(
+                t.classifier_.Representative(static_cast<uint16_t>(cls)))) {
+          const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
+          t.class_mask_[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
+        }
+      }
+      if (pa.is_last[q]) set_global_bit(t.accept_mask_, tok, q);
+    }
+  }
+
+  // Follow rows, token-width wide, flattened. Global bit index of token
+  // t's local position q is word_offset_[t]*64 + q (the layout is
+  // word-aligned), so row_offset_ is indexed densely by global bit.
+  t.row_offset_.assign(nw * 64, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    const regex::PositionAutomaton& pa = automata[tok];
+    const size_t width = t.word_offset_[tok + 1] - t.word_offset_[tok];
+    for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
+      const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
+      t.row_offset_[gb] = static_cast<uint32_t>(t.row_data_.size());
+      const size_t base = t.row_data_.size();
+      t.row_data_.resize(base + width, 0);
+      for (uint32_t succ : pa.follow[q]) {
+        t.row_data_[base + succ / 64] |= 1ULL << (succ % 64);
+      }
+    }
+  }
+
+  // Look-ahead extension masks: accepting position p is set in
+  // ext_mask_[cls] iff some follow(p) position consumes a byte of cls —
+  // so the Fig. 7 suppression test per token collapses to
+  // (state & accept & ext[next_cls]) != 0 over the token's words.
+  t.ext_mask_.assign(num_classes * nw, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    const regex::PositionAutomaton& pa = automata[tok];
+    const uint32_t ws = t.word_offset_[tok];
+    const size_t width = t.word_offset_[tok + 1] - ws;
+    for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
+      if (!pa.is_last[q]) continue;
+      const size_t gb = static_cast<size_t>(ws) * 64 + q;
+      const uint64_t* row = t.row_data_.data() + t.row_offset_[gb];
+      for (size_t cls = 0; cls < num_classes; ++cls) {
+        const uint64_t* cm = t.class_mask_.data() + cls * nw + ws;
+        bool extends = false;
+        for (size_t v = 0; v < width; ++v) {
+          if (row[v] & cm[v]) {
+            extends = true;
+            break;
+          }
+        }
+        if (extends) t.ext_mask_[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
+      }
+    }
+  }
+
+  // Sparse injection patterns. A token's pattern is its first positions
+  // placed at its global offset; start_first_ unions the start tokens',
+  // arm_pattern_[t] unions t's Follow set's.
+  auto append_first = [&](std::vector<WordBits>* out, int32_t tok) {
+    const regex::PositionAutomaton& pa = automata[tok];
+    const uint32_t ws = t.word_offset_[tok];
+    const size_t width = t.word_offset_[tok + 1] - ws;
+    std::vector<uint64_t> local(width, 0);
+    for (uint32_t q : pa.first) local[q / 64] |= 1ULL << (q % 64);
+    for (size_t v = 0; v < width; ++v) {
+      if (local[v] == 0) continue;
+      const uint32_t w = ws + static_cast<uint32_t>(v);
+      // Merge with an existing entry for the same word if present (two
+      // follow tokens can share... they cannot share words, but one call
+      // site may append the same token twice via duplicate Follow sets;
+      // Analyze dedups, so a linear check on the tail is enough).
+      bool merged = false;
+      for (WordBits& wb : *out) {
+        if (wb.word == w) {
+          wb.bits |= local[v];
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out->push_back(WordBits{w, local[v]});
+    }
+  };
+
+  for (int32_t s : analysis.start_tokens) {
+    append_first(&t.start_first_, s);
+  }
+  t.arm_offset_.assign(num_tokens + 1, 0);
+  for (size_t tok = 0; tok < num_tokens; ++tok) {
+    std::vector<WordBits> pattern;
+    for (int32_t f : analysis.follow_tok[tok]) {
+      if (f != grammar::Analysis::kEndMarker) append_first(&pattern, f);
+    }
+    t.arm_pattern_.insert(t.arm_pattern_.end(), pattern.begin(),
+                          pattern.end());
+    t.arm_offset_[tok + 1] = static_cast<uint32_t>(t.arm_pattern_.size());
+  }
+
+  t.session_pool_ = std::make_shared<FusedSessionPool>();
+  return t;
+}
+
+void FusedTagger::Run(std::string_view input, const TagSink& sink) const {
+  FusedSessionPool::Handle session = session_pool_->Acquire(this);
+  session->Feed(input, sink);
+  session->Finish(sink);
+}
+
+std::vector<Tag> FusedTagger::TagAll(std::string_view input) const {
+  std::vector<Tag> tags;
+  Run(input, [&tags](const Tag& t) {
+    tags.push_back(t);
+    return true;
+  });
+  return tags;
+}
+
+// ------------------------------------------------------------ FusedSession
+
+FusedSession::FusedSession(const FusedTagger* tagger) : tagger_(nullptr) {
+  Rebind(tagger);
+}
+
+void FusedSession::Rebind(const FusedTagger* tagger) {
+  if (tagger != tagger_) {
+    tagger_ = tagger;
+    if (state_.size() != tagger_->num_words_) {
+      state_.assign(tagger_->num_words_, 0);
+      next_.assign(tagger_->num_words_, 0);
+      armed_first_.assign(tagger_->num_words_, 0);
+    }
+    if (state_meta_.size() != tagger_->meta_words_) {
+      state_meta_.assign(tagger_->meta_words_, 0);
+      next_meta_.assign(tagger_->meta_words_, 0);
+      armed_meta_.assign(tagger_->meta_words_, 0);
+    }
+  }
+  Reset();
+}
+
+void FusedSession::Reset() {
+  // Unmarked state/next words are never read, but armed_first_ words must
+  // be zero wherever unmarked (the OR-accumulate invariant), and a full
+  // zero of everything is the cheapest way to restore all invariants.
+  std::fill(state_.begin(), state_.end(), 0);
+  std::fill(next_.begin(), next_.end(), 0);
+  std::fill(armed_first_.begin(), armed_first_.end(), 0);
+  std::fill(state_meta_.begin(), state_meta_.end(), 0);
+  std::fill(next_meta_.begin(), next_meta_.end(), 0);
+  std::fill(armed_meta_.begin(), armed_meta_.end(), 0);
+  armed_any_ = false;
+  any_live_ = false;
+  if (tagger_->options_.EffectiveArmMode() != ArmMode::kScan) {
+    for (const FusedTagger::WordBits& wb : tagger_->start_first_) {
+      armed_first_[wb.word] |= wb.bits;
+      armed_meta_[wb.word >> 6] |= 1ULL << (wb.word & 63);
+      armed_any_ = true;
+    }
+  }
+  prev_was_delim_ = false;
+  has_pending_ = false;
+  finished_ = false;
+  stopped_ = false;
+  pending_ = 0;
+  pos_ = 0;
+}
+
+void FusedSession::ProcessByte(unsigned char c, bool has_next,
+                               unsigned char next_c, const TagSink& sink) {
+  const FusedTagger& t = *tagger_;
+  const size_t nw = t.num_words_;
+  const ArmMode mode = t.options_.EffectiveArmMode();
+  const uint8_t cls = t.classifier_.ClassOf(c);
+  const bool delim = t.class_is_delim_[cls] != 0;
+
+  uint64_t* next = next_.data();
+  uint64_t* next_meta = next_meta_.data();
+  std::fill(next_meta_.begin(), next_meta_.end(), 0);
+
+  // OR `bits` into next[w], zeroing the word on first touch.
+  auto touch_or = [&](size_t w, uint64_t bits) {
+    const size_t mi = w >> 6;
+    const uint64_t mb = 1ULL << (w & 63);
+    if (next_meta[mi] & mb) {
+      next[w] |= bits;
+    } else {
+      next_meta[mi] |= mb;
+      next[w] = bits;
+    }
+  };
+
+  // 1. Successors of live positions — word ops over marked words only.
+  //    Every bit of word w belongs to word_token_[w], and its follow row
+  //    spans just that token's words (width 1 for most tokens, making the
+  //    inner loop a pure accumulate-and-OR on a single word).
+  for (size_t mi = 0; mi < state_meta_.size(); ++mi) {
+    uint64_t mbits = state_meta_[mi];
+    while (mbits) {
+      const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+      mbits &= mbits - 1;
+      uint64_t bits = state_[w];
+      const int32_t tok = t.word_token_[w];
+      const uint32_t ws = t.word_offset_[tok];
+      const uint32_t we = t.word_offset_[tok + 1];
+      if (we - ws == 1) {
+        uint64_t acc = 0;
+        const size_t base = w * 64;
+        while (bits) {
+          acc |= t.row_data_[t.row_offset_[base + static_cast<size_t>(
+                                                     __builtin_ctzll(bits))]];
+          bits &= bits - 1;
+        }
+        if (acc) touch_or(w, acc);
+      } else {
+        while (bits) {
+          const size_t gb =
+              w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          const uint64_t* row = t.row_data_.data() + t.row_offset_[gb];
+          for (uint32_t v = ws; v < we; ++v) {
+            if (row[v - ws]) touch_or(v, row[v - ws]);
+          }
+        }
+      }
+    }
+  }
+
+  // 2. Injection: pending arms, plus start tokens in scan/resync arming.
+  if (!delim) {
+    if (armed_any_) {
+      for (size_t mi = 0; mi < armed_meta_.size(); ++mi) {
+        uint64_t mbits = armed_meta_[mi];
+        while (mbits) {
+          const size_t w =
+              mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+          mbits &= mbits - 1;
+          touch_or(w, armed_first_[w]);
+        }
+      }
+    }
+    if (mode == ArmMode::kScan ||
+        (mode == ArmMode::kResync && prev_was_delim_)) {
+      for (const FusedTagger::WordBits& wb : t.start_first_) {
+        touch_or(wb.word, wb.bits);
+      }
+    }
+  }
+
+  // 3. Single-pass class filter over the touched words; words filtered to
+  //    zero drop out of the meta so later passes skip them.
+  const uint64_t* cm = t.class_mask_.data() + static_cast<size_t>(cls) * nw;
+  uint64_t any = 0;
+  for (size_t mi = 0; mi < next_meta_.size(); ++mi) {
+    uint64_t mbits = next_meta[mi];
+    uint64_t kept = 0;
+    while (mbits) {
+      const uint64_t low = mbits & (~mbits + 1);
+      const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+      mbits ^= low;
+      next[w] &= cm[w];
+      if (next[w]) kept |= low;
+      any |= next[w];
+    }
+    next_meta[mi] = kept;
+  }
+
+  // 4. Match extraction: accept-mask AND over live words, one emission per
+  //    token (ascending word order == ascending token id, the contract
+  //    shared with the cycle-accurate harness), Fig. 7 look-ahead folded
+  //    in as the ext-mask AND.
+  emitted_.clear();
+  if (any) {
+    const uint64_t* ext =
+        (t.options_.longest_match && has_next)
+            ? t.ext_mask_.data() +
+                  static_cast<size_t>(t.classifier_.ClassOf(next_c)) * nw
+            : nullptr;
+    size_t skip_until = 0;
+    for (size_t mi = 0; mi < next_meta_.size(); ++mi) {
+      uint64_t mbits = next_meta[mi];
+      while (mbits) {
+        const size_t w =
+            mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+        mbits &= mbits - 1;
+        if (w < skip_until) continue;
+        if ((next[w] & t.accept_mask_[w]) == 0) continue;
+        const int32_t tok = t.word_token_[w];
+        const uint32_t ws = t.word_offset_[tok];
+        const uint32_t we = t.word_offset_[tok + 1];
+        skip_until = we;
+        bool suppressed = false;
+        if (ext != nullptr) {
+          for (uint32_t v = ws; v < we && !suppressed; ++v) {
+            if (MetaTest(next_meta, v) &&
+                (next[v] & t.accept_mask_[v] & ext[v])) {
+              suppressed = true;
+            }
+          }
+        }
+        if (!suppressed) {
+          Tag tag;
+          tag.token = tok;
+          tag.end = pos_;
+          if (!stopped_ && !sink(tag)) stopped_ = true;
+          emitted_.push_back(tok);
+        }
+      }
+    }
+  }
+
+  // 5. Arms: consumed by a non-delimiter byte, survive delimiters; this
+  //    byte's matches arm their Follow sets for the next byte — one OR of
+  //    a precomputed word pattern per match.
+  if (!delim && armed_any_) {
+    for (size_t mi = 0; mi < armed_meta_.size(); ++mi) {
+      uint64_t mbits = armed_meta_[mi];
+      while (mbits) {
+        const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+        mbits &= mbits - 1;
+        armed_first_[w] = 0;
+      }
+      armed_meta_[mi] = 0;
+    }
+    armed_any_ = false;
+  }
+  for (int32_t tok : emitted_) {
+    const uint32_t begin = t.arm_offset_[tok];
+    const uint32_t end = t.arm_offset_[tok + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const FusedTagger::WordBits& wb = t.arm_pattern_[i];
+      armed_first_[wb.word] |= wb.bits;
+      armed_meta_[wb.word >> 6] |= 1ULL << (wb.word & 63);
+      armed_any_ = true;
+    }
+  }
+
+  state_.swap(next_);
+  state_meta_.swap(next_meta_);
+  any_live_ = any != 0;
+  prev_was_delim_ = delim;
+  ++pos_;
+}
+
+void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
+  if (finished_ || stopped_ || chunk.empty()) return;
+  const char* data = chunk.data();
+  const size_t n = chunk.size();
+  const FusedTagger& t = *tagger_;
+  const ArmMode mode = t.options_.EffectiveArmMode();
+  auto is_delim = [&](size_t i) {
+    return t.class_is_delim_[t.classifier_.ClassOf(
+               static_cast<unsigned char>(data[i]))] != 0;
+  };
+
+  if (has_pending_) {
+    ProcessByte(pending_, /*has_next=*/true,
+                static_cast<unsigned char>(data[0]), sink);
+    has_pending_ = false;
+    if (stopped_) return;
+  }
+
+  size_t i = 0;
+  while (i < n) {
+    if (!any_live_) {
+      // Idle fast paths: with an all-zero fused state, bytes that cannot
+      // inject change nothing but the position and the delimiter flag, so
+      // whole runs are skipped without stepping.
+      if (is_delim(i)) {
+        // Delimiter run: no injection on delimiters, arms survive.
+        size_t j = i + 1;
+        while (j < n && is_delim(j)) ++j;
+        pos_ += j - i;
+        prev_was_delim_ = true;
+        i = j;
+        continue;
+      }
+      if (!armed_any_ && mode == ArmMode::kAnchored) {
+        // Dead stream: anchored arming can never re-inject.
+        pos_ += n - i;
+        prev_was_delim_ = is_delim(n - 1);
+        return;
+      }
+      if (!armed_any_ && mode == ArmMode::kResync && !prev_was_delim_) {
+        // Mid-garbage in resync mode: start injection waits for the next
+        // delimiter, so non-delimiter bytes are inert.
+        size_t j = i + 1;
+        while (j < n && !is_delim(j)) ++j;
+        pos_ += j - i;
+        prev_was_delim_ = false;
+        i = j;
+        continue;
+      }
+    }
+    if (i + 1 >= n) break;
+    ProcessByte(static_cast<unsigned char>(data[i]), /*has_next=*/true,
+                static_cast<unsigned char>(data[i + 1]), sink);
+    if (stopped_) return;
+    ++i;
+  }
+  if (i < n) {
+    pending_ = static_cast<unsigned char>(data[i]);
+    has_pending_ = true;
+  }
+}
+
+void FusedSession::Finish(const TagSink& sink) {
+  if (finished_) return;
+  finished_ = true;
+  if (stopped_ || !has_pending_) return;
+  ProcessByte(pending_, /*has_next=*/false, 0, sink);
+  has_pending_ = false;
+}
+
+}  // namespace cfgtag::tagger

@@ -1,0 +1,183 @@
+#ifndef CFGTAG_TAGGER_FUSED_MODEL_H_
+#define CFGTAG_TAGGER_FUSED_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+#include "tagger/byte_classes.h"
+#include "tagger/session_pool.h"
+#include "tagger/tag.h"
+
+namespace cfgtag::tagger {
+
+class FusedTagger;
+class FusedSessionPool;
+
+// Streaming session over a FusedTagger: same chunked-feed contract as
+// TaggerSession (one-byte lag for the Fig. 7 look-ahead, absolute stream
+// offsets, Finish() flushes the lagging byte). The machine state is one
+// contiguous word vector plus a word-occupancy meta bitmap, so the
+// per-byte cost scales with *live* words, not grammar size — and an idle
+// fast path skips whole delimiter runs (and, in anchored mode, the dead
+// tail of the stream) without stepping at all.
+class FusedSession {
+ public:
+  // The tagger must outlive the session.
+  explicit FusedSession(const FusedTagger* tagger);
+
+  // Consumes a chunk, emitting tags in stream order.
+  void Feed(std::string_view chunk, const TagSink& sink);
+
+  // Ends the stream: processes the lagging final byte with no look-ahead
+  // suppression. Further Feed() calls are ignored until Reset().
+  void Finish(const TagSink& sink);
+
+  // Returns to the stream-start state.
+  void Reset();
+
+  // Re-targets the session at `tagger` and resets it; buffers are only
+  // reallocated when the fused state shape differs.
+  void Rebind(const FusedTagger* tagger);
+
+  // Bytes fully processed so far (excludes the lagging byte).
+  uint64_t bytes_consumed() const { return pos_; }
+
+  const FusedTagger* tagger() const { return tagger_; }
+
+ private:
+  void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
+                   const TagSink& sink);
+
+  const FusedTagger* tagger_;
+  // Fused state bitmaps, double-buffered. Only words whose meta bit is set
+  // hold valid data; unmarked words are stale and must never be read.
+  std::vector<uint64_t> state_, next_;
+  std::vector<uint64_t> state_meta_, next_meta_;
+  // Union of the first-position masks of all armed tokens (the pending
+  // injection), with its own occupancy meta. Unmarked words are zero.
+  std::vector<uint64_t> armed_first_, armed_meta_;
+  std::vector<int32_t> emitted_;  // scratch: tokens emitted this byte
+  bool armed_any_ = false;
+  bool any_live_ = false;
+  bool prev_was_delim_ = false;
+  bool has_pending_ = false;
+  bool finished_ = false;
+  bool stopped_ = false;  // sink requested early stop
+  unsigned char pending_ = 0;
+  uint64_t pos_ = 0;
+};
+
+// Bit-parallel tagger with every token's Glushkov positions fused into one
+// word-aligned global bitmap — the software mirror of the paper's §3.2
+// hardware, which is literally one wide pipeline register stepped once per
+// byte. Token t's positions occupy words [word_offset_[t], word_offset_
+// [t+1]) of the fused state (the FunctionalTagger layout), so any word
+// belongs to exactly one token and match extraction is a masked AND plus a
+// word->token lookup. All transition tables are indexed by *byte class*
+// (ByteClassifier over the union of position classes and the delimiter
+// set), not raw byte, keeping them cache resident.
+//
+// Semantically identical to FunctionalTagger for every TaggerOptions value
+// — enforced by the differential fuzz and equivalence tests — but the
+// per-byte step is a handful of branch-free word passes, with no per-token
+// dispatch, candidate sorting, or scratch copying.
+class FusedTagger {
+ public:
+  // The grammar must outlive the tagger.
+  static StatusOr<FusedTagger> Create(const grammar::Grammar* grammar,
+                                      const TaggerOptions& options);
+
+  // Scans `input`, calling `sink` for every detected token in stream
+  // order (token-id order within a byte, as the hardware reports them).
+  void Run(std::string_view input, const TagSink& sink) const;
+
+  // Convenience: collect all tags.
+  std::vector<Tag> TagAll(std::string_view input) const;
+
+  // Streaming interface: feed the input in arbitrary chunks.
+  FusedSession NewSession() const { return FusedSession(this); }
+
+  // Shared scratch pool behind Run(); see SessionPool. Thread-safe.
+  FusedSessionPool& session_pool() const { return *session_pool_; }
+
+  const grammar::Grammar& grammar() const { return *grammar_; }
+  const TaggerOptions& options() const { return options_; }
+
+  // Total Glushkov positions over all tokens = the pattern-byte metric.
+  size_t TotalPositions() const { return total_positions_; }
+  // Words of the fused global state bitmap.
+  size_t NumStateWords() const { return num_words_; }
+  // Byte-class compression: distinct transition classes out of 256 bytes.
+  size_t NumByteClasses() const { return classifier_.NumClasses(); }
+
+ private:
+  friend class FusedSession;
+
+  // One (word, bits) update of a precomputed sparse OR pattern.
+  struct WordBits {
+    uint32_t word = 0;
+    uint64_t bits = 0;
+  };
+
+  FusedTagger(const grammar::Grammar* grammar, TaggerOptions options)
+      : grammar_(grammar), options_(options) {}
+
+  const grammar::Grammar* grammar_;
+  TaggerOptions options_;
+
+  size_t num_tokens_ = 0;
+  size_t num_words_ = 0;   // fused state words
+  size_t meta_words_ = 0;  // words of the occupancy meta bitmap
+  size_t total_positions_ = 0;
+
+  // word_offset_[t] = first fused-state word of token t; back() = total.
+  std::vector<uint32_t> word_offset_;
+  // word_token_[w] = the token owning word w (words are never shared).
+  std::vector<int32_t> word_token_;
+
+  // Byte-class machinery. class_of_[byte] -> class id; class_is_delim_
+  // folds the delimiter test into the same lookup.
+  ByteClassifier classifier_;
+  std::vector<uint8_t> class_is_delim_;
+
+  // Per-class global masks, row-major [cls * num_words_ + w]:
+  // class_mask_: positions whose character class contains the class;
+  // ext_mask_: *accepting* positions with a successor consuming the class
+  // (the Fig. 7 look-ahead as a mask: a match is suppressed iff
+  // state & accept & ext[class(next byte)] is nonzero in its token words).
+  std::vector<uint64_t> class_mask_;
+  std::vector<uint64_t> ext_mask_;
+
+  // Global accept mask (all tokens' last positions).
+  std::vector<uint64_t> accept_mask_;
+
+  // Follow rows: row_offset_[global_bit] indexes into row_data_; the row
+  // spans the owning token's words (width word_offset_[t+1] -
+  // word_offset_[t], usually 1), holding the bitmap of follow(position).
+  std::vector<uint32_t> row_offset_;
+  std::vector<uint64_t> row_data_;
+
+  // Sparse OR patterns. start_first_: the first positions of all start
+  // tokens (scan/resync injection). arm_pattern_[arm_offset_[t] ..
+  // arm_offset_[t+1]): the first positions of every token in t's Follow
+  // set — arming a whole Follow set is |follow words| ORs.
+  std::vector<WordBits> start_first_;
+  std::vector<WordBits> arm_pattern_;
+  std::vector<uint32_t> arm_offset_;
+
+  // Shared (internally synchronized) so copies stay cheap; sessions
+  // rebind to whichever tagger acquires them.
+  std::shared_ptr<FusedSessionPool> session_pool_;
+};
+
+// Pool of reusable FusedSession scratch (see BasicSessionPool).
+class FusedSessionPool final
+    : public BasicSessionPool<FusedTagger, FusedSession> {};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_FUSED_MODEL_H_

@@ -50,6 +50,19 @@ enum class ArmMode {
   kResync,
 };
 
+// Which software execution engine serves the tagging hot path. Both
+// implement identical semantics (the differential fuzz and equivalence
+// suites enforce tag-for-tag identity); they differ only in speed and
+// memory shape.
+enum class TaggerBackend {
+  // One Glushkov automaton stepped per candidate token (sparse active-set
+  // bookkeeping; the reference software model).
+  kFunctional,
+  // Every token's positions fused into one contiguous bitmap stepped with
+  // branch-free word ops over byte-class-compressed masks.
+  kFused,
+};
+
 // Knobs shared by the functional model and the hardware generator. The two
 // engines implement identical semantics for any given options value; the
 // equivalence tests sweep these.
@@ -68,6 +81,10 @@ struct TaggerOptions {
   // Fig. 7 longest-match look-ahead: suppress a match whose token run can
   // consume the next byte. Disable to see every intermediate detection.
   bool longest_match = true;
+
+  // Software engine for CompiledTagger::Tag and the nids scan paths. Has
+  // no effect on the generated hardware.
+  TaggerBackend backend = TaggerBackend::kFunctional;
 
   // The effective arming mode: `anchored == false` (legacy scan request)
   // overrides the default-constructed arm_mode.

@@ -1,0 +1,124 @@
+// End-to-end CLI tests for cfgtagc: argument validation (strict --threads
+// parsing) and the --backend switch. The binary path comes in through the
+// CFGTAGC_BINARY compile definition; each case invokes the real tool.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef CFGTAGC_BINARY
+#error "CFGTAGC_BINARY must be defined by the build"
+#endif
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/cfgtagc_cli_" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+// Runs the tool with `args`, returns its exit code; stdout+stderr go to
+// `capture_path` (always captured so failures print something useful).
+int RunTool(const std::string& args, const std::string& capture_path) {
+  const std::string cmd = std::string(CFGTAGC_BINARY) + " " + args + " > " +
+                          capture_path + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  return WEXITSTATUS(rc);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CfgtagcCliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    grammar_ = TempPath("grammar.y");
+    input_ = TempPath("input.txt");
+    out_ = TempPath("out.txt");
+    WriteFile(grammar_,
+              "NUM [0-9]+\nWORD [a-z]+\n%%\ns: NUM WORD;\n%%\n");
+    WriteFile(input_, "123 abc\n456 def\n");
+  }
+
+  std::string grammar_, input_, out_;
+};
+
+TEST_F(CfgtagcCliTest, TagsWithDefaultBackend) {
+  ASSERT_EQ(RunTool(grammar_ + " --tag " + input_, out_), 0) << Slurp(out_);
+  const std::string output = Slurp(out_);
+  EXPECT_NE(output.find("functional engine"), std::string::npos) << output;
+  EXPECT_NE(output.find("NUM"), std::string::npos) << output;
+}
+
+TEST_F(CfgtagcCliTest, BackendFusedTagsIdentically) {
+  ASSERT_EQ(RunTool(grammar_ + " --tag " + input_, out_), 0) << Slurp(out_);
+  const std::string functional = Slurp(out_);
+  ASSERT_EQ(
+      RunTool(grammar_ + " --backend fused --tag " + input_, out_), 0)
+      << Slurp(out_);
+  const std::string fused = Slurp(out_);
+  EXPECT_NE(fused.find("fused engine"), std::string::npos) << fused;
+  // Identical tag lines: everything after the "N tags from" banner.
+  const auto tags_of = [](const std::string& s) {
+    return s.substr(s.find(" tags from "));
+  };
+  EXPECT_EQ(tags_of(functional).substr(tags_of(functional).find(":")),
+            tags_of(fused).substr(tags_of(fused).find(":")));
+}
+
+TEST_F(CfgtagcCliTest, BackendEqualsSyntaxAndMode) {
+  EXPECT_EQ(RunTool(grammar_ + " --backend=fused --mode=resync --tag " +
+                        input_,
+                    out_),
+            0)
+      << Slurp(out_);
+}
+
+TEST_F(CfgtagcCliTest, RejectsUnknownBackend) {
+  EXPECT_EQ(RunTool(grammar_ + " --backend turbo --tag " + input_, out_), 2);
+  EXPECT_NE(Slurp(out_).find("--backend must be functional or fused"),
+            std::string::npos)
+      << Slurp(out_);
+}
+
+TEST_F(CfgtagcCliTest, ThreadsAcceptsPositiveCounts) {
+  EXPECT_EQ(RunTool(grammar_ + " --mode resync --threads 2 --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  EXPECT_EQ(RunTool(grammar_ + " --mode resync --threads=4 --backend fused "
+                    "--tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+}
+
+TEST_F(CfgtagcCliTest, RejectsBadThreadCounts) {
+  for (const char* bad : {"0", "-3", "abc", "12abc", "", "2.5",
+                          "99999999999999999999"}) {
+    EXPECT_EQ(RunTool(grammar_ + " --threads \"" + bad + "\" --tag " +
+                          input_,
+                      out_),
+              2)
+        << "--threads " << bad << " accepted: " << Slurp(out_);
+    EXPECT_NE(Slurp(out_).find("--threads needs a positive count"),
+              std::string::npos)
+        << Slurp(out_);
+  }
+}
+
+}  // namespace

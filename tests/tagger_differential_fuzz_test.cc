@@ -1,0 +1,195 @@
+// Differential fuzzing across the tagging engines: on randomly generated
+// small grammars and random byte streams, the fused backend must be
+// tag-for-tag identical to the functional reference — for every arm mode,
+// with and without the longest-match look-ahead, chunked or whole-buffer —
+// and CompiledTagger::Tag must agree with itself across backends.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/token_tagger.h"
+#include "grammar/grammar.h"
+#include "tagger/functional_model.h"
+#include "tagger/fused_model.h"
+
+namespace cfgtag {
+namespace {
+
+using grammar::Grammar;
+using grammar::Symbol;
+using tagger::ArmMode;
+using tagger::FunctionalTagger;
+using tagger::FusedTagger;
+using tagger::Tag;
+using tagger::TaggerOptions;
+
+// Small random grammar: literal tokens plus optional class tokens, wired
+// into right-linear productions (same family as the hwgen equivalence
+// fuzzer, but occasionally with a long literal so the fused state spans
+// multiple words).
+Grammar RandomGrammar(Rng& rng) {
+  Grammar g;
+  const int num_lits = 2 + static_cast<int>(rng.NextIndex(3));
+  std::vector<int32_t> tokens;
+  for (int i = 0; i < num_lits; ++i) {
+    std::string text;
+    text.push_back(static_cast<char>('a' + i));
+    text += rng.NextString(1 + rng.NextIndex(3), "xyz");
+    auto t = g.AddLiteralToken(text);
+    if (t.ok()) tokens.push_back(*t);
+  }
+  if (rng.NextBool(0.6)) {
+    auto t = g.AddToken("NUM", "[0-9]+");
+    if (t.ok()) tokens.push_back(*t);
+  }
+  if (rng.NextBool(0.4)) {
+    auto t = g.AddToken("HEX", "[a-f][a-f0-9]*");
+    if (t.ok()) tokens.push_back(*t);
+  }
+  if (rng.NextBool(0.25)) {
+    // >64 positions: forces a two-word token bitmap.
+    auto t = g.AddLiteralToken("q" + std::string(70, 'w'));
+    if (t.ok()) tokens.push_back(*t);
+  }
+
+  const int num_nts = 2 + static_cast<int>(rng.NextIndex(2));
+  std::vector<int32_t> nts;
+  for (int i = 0; i < num_nts; ++i) {
+    nts.push_back(g.AddNonterminal("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < num_nts; ++i) {
+    const int alts = 1 + static_cast<int>(rng.NextIndex(2));
+    for (int a = 0; a < alts; ++a) {
+      std::vector<Symbol> rhs;
+      rhs.push_back(Symbol::Terminal(tokens[rng.NextIndex(tokens.size())]));
+      const int extra = static_cast<int>(rng.NextIndex(3));
+      for (int e = 0; e < extra; ++e) {
+        if (rng.NextBool(0.35) && i + 1 < num_nts) {
+          rhs.push_back(Symbol::Nonterminal(
+              nts[i + 1 + rng.NextIndex(num_nts - i - 1)]));
+        } else {
+          rhs.push_back(
+              Symbol::Terminal(tokens[rng.NextIndex(tokens.size())]));
+        }
+      }
+      g.AddProduction(nts[i], std::move(rhs));
+    }
+  }
+  g.SetStart(nts[0]);
+  return g;
+}
+
+// Random byte stream biased toward bytes the grammar can consume: token
+// spellings, digits, delimiters, and occasional arbitrary garbage.
+std::string RandomStream(const Grammar& g, Rng& rng) {
+  std::string out;
+  const size_t pieces = 1 + rng.NextIndex(12);
+  for (size_t p = 0; p < pieces; ++p) {
+    switch (rng.NextIndex(5)) {
+      case 0:  // a token spelling
+      case 1: {
+        const auto& def = g.tokens()[rng.NextIndex(g.tokens().size())];
+        if (def.is_literal) {
+          out += def.literal_text;
+          // Sometimes truncate/extend to probe partial matches.
+          if (rng.NextBool(0.3) && out.size() > 1) out.pop_back();
+        } else {
+          out += std::to_string(rng.NextIndex(100000));
+        }
+        break;
+      }
+      case 2:  // delimiters
+        out.append(1 + rng.NextIndex(4), rng.NextBool(0.5) ? ' ' : '\n');
+        break;
+      case 3:  // lowercase garbage (often prefixes of literals)
+        out += rng.NextString(1 + rng.NextIndex(6), "abcdefwxyz");
+        break;
+      default:  // arbitrary bytes
+        for (size_t i = 0, n = 1 + rng.NextIndex(4); i < n; ++i) {
+          out.push_back(static_cast<char>(rng.NextIndex(256)));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Tag> ChunkedFused(const FusedTagger& t, std::string_view input,
+                              size_t chunk) {
+  std::vector<Tag> tags;
+  tagger::FusedSession session = t.NewSession();
+  const tagger::TagSink sink = [&](const Tag& tag) {
+    tags.push_back(tag);
+    return true;
+  };
+  for (size_t i = 0; i < input.size(); i += chunk) {
+    session.Feed(std::string_view(input).substr(i, chunk), sink);
+  }
+  session.Finish(sink);
+  return tags;
+}
+
+void ExpectSameTags(const std::vector<Tag>& want, const std::vector<Tag>& got,
+                    const std::string& what, const std::string& input) {
+  ASSERT_EQ(want.size(), got.size())
+      << what << " diverged on input: " << testing::PrintToString(input);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_TRUE(want[i].token == got[i].token && want[i].end == got[i].end)
+        << what << " tag " << i << " diverged on input: "
+        << testing::PrintToString(input);
+  }
+}
+
+TEST(DifferentialFuzzTest, FusedMatchesFunctionalEverywhere) {
+  Rng rng(20260806);
+  const ArmMode kModes[] = {ArmMode::kAnchored, ArmMode::kScan,
+                            ArmMode::kResync};
+  for (int iter = 0; iter < 60; ++iter) {
+    const Grammar g = RandomGrammar(rng);
+    TaggerOptions opt;
+    opt.arm_mode = kModes[iter % 3];
+    opt.longest_match = (iter % 2) == 0;
+    auto functional = FunctionalTagger::Create(&g, opt);
+    auto fused = FusedTagger::Create(&g, opt);
+    ASSERT_TRUE(functional.ok()) << functional.status();
+    ASSERT_TRUE(fused.ok()) << fused.status();
+    for (int s = 0; s < 8; ++s) {
+      const std::string input = RandomStream(g, rng);
+      const std::vector<Tag> want = functional->TagAll(input);
+      ExpectSameTags(want, fused->TagAll(input), "fused whole-buffer",
+                     input);
+      const size_t chunk = 1 + rng.NextIndex(7);
+      ExpectSameTags(want, ChunkedFused(*fused, input, chunk),
+                     "fused chunk=" + std::to_string(chunk), input);
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, CompiledTaggerBackendsAgree) {
+  Rng rng(424242);
+  for (int iter = 0; iter < 12; ++iter) {
+    Grammar g = RandomGrammar(rng);
+    Grammar g2 = g.Clone();
+    hwgen::HwOptions options;
+    options.tagger.arm_mode = ArmMode::kResync;
+    auto functional = core::CompiledTagger::Compile(std::move(g), options);
+    options.tagger.backend = tagger::TaggerBackend::kFused;
+    auto fused = core::CompiledTagger::Compile(std::move(g2), options);
+    ASSERT_TRUE(functional.ok()) << functional.status();
+    ASSERT_TRUE(fused.ok()) << fused.status();
+    ASSERT_NE(fused->fused_model(), nullptr);
+    ASSERT_EQ(functional->fused_model(), nullptr);
+    for (int s = 0; s < 6; ++s) {
+      const std::string input = RandomStream(functional->grammar(), rng);
+      const std::vector<Tag> want = functional->Tag(input);
+      const std::vector<Tag> got = fused->Tag(input);
+      ExpectSameTags(want, got, "CompiledTagger fused backend", input);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfgtag

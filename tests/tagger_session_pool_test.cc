@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "grammar/grammar_parser.h"
+#include "obs/metrics.h"
 #include "tagger/functional_model.h"
 #include "tagger/session_pool.h"
 
@@ -47,9 +48,73 @@ TEST(SessionPoolTest, AcquireTracksCheckouts) {
     EXPECT_NE(c.get(), nullptr);
   }
   EXPECT_EQ(pool.IdleCount(), 2u);
-  pool.Acquire(&*t);  // temporary: checked right back in
-  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.HighWater(), 2u);
+  // A temporary single checkout is a new (one-deep) burst: when it drains,
+  // the high-water trim shrinks the idle list to that burst's peak.
+  pool.Acquire(&*t);
+  EXPECT_EQ(pool.IdleCount(), 1u);
   EXPECT_EQ(pool.sessions_created(), 2u);
+  EXPECT_EQ(pool.sessions_dropped(), 1u);
+}
+
+TEST(SessionPoolTest, HardCapBoundsIdleSessions) {
+  grammar::Grammar g = MustParse("%%\ns: \"ab\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+  pool.set_max_idle(2);
+  {
+    std::vector<SessionPool::Handle> handles;
+    for (int i = 0; i < 5; ++i) handles.push_back(pool.Acquire(&*t));
+    EXPECT_EQ(pool.sessions_created(), 5u);
+  }
+  // Five returned, at most two kept (the cap applies before any trim).
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.sessions_dropped(), 3u);
+  EXPECT_EQ(pool.HighWater(), 5u);
+}
+
+TEST(SessionPoolTest, BurstTrimReleasesScratchAfterDrain) {
+  grammar::Grammar g = MustParse("%%\ns: \"ab\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+  {
+    std::vector<SessionPool::Handle> handles;
+    for (int i = 0; i < 8; ++i) handles.push_back(pool.Acquire(&*t));
+  }
+  // The burst's own peak was 8, so all 8 stay resident right after it...
+  EXPECT_EQ(pool.IdleCount(), 8u);
+  // ...but the next steady single-session use trims down to its own peak:
+  // a one-off 8-way burst does not pin 8 sessions' scratch forever.
+  (void)t->TagAll("ab");
+  EXPECT_EQ(pool.IdleCount(), 1u);
+  EXPECT_EQ(pool.sessions_dropped(), 7u);
+}
+
+TEST(SessionPoolTest, IdleGaugeTracksPool) {
+  grammar::Grammar g = MustParse("%%\ns: \"ab\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+  obs::Gauge* idle = obs::MetricsRegistry::Default().GetGauge(
+      "cfgtag_session_pool_idle_sessions");
+  obs::Counter* dropped = obs::MetricsRegistry::Default().GetCounter(
+      "cfgtag_session_pool_dropped_total");
+  const uint64_t dropped_before = dropped->Value();
+  {
+    SessionPool::Handle a = pool.Acquire(&*t);
+    SessionPool::Handle b = pool.Acquire(&*t);
+    EXPECT_EQ(idle->Value(), 0.0);
+  }
+  EXPECT_EQ(idle->Value(), static_cast<double>(pool.IdleCount()));
+  pool.set_max_idle(1);
+  { SessionPool::Handle a = pool.Acquire(&*t); }
+  // One of the two sessions was dropped by the lowered cap (or the burst
+  // trim); the process-wide counter advanced by exactly that amount.
+  EXPECT_EQ(pool.IdleCount(), 1u);
+  EXPECT_EQ(idle->Value(), 1.0);
+  EXPECT_EQ(dropped->Value() - dropped_before, pool.sessions_dropped());
 }
 
 TEST(SessionPoolTest, SurvivesTaggerMove) {

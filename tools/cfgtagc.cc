@@ -16,6 +16,9 @@
 //   --testbench FILE    with --tag: emit a self-checking VHDL testbench
 //                       that replays the tagged input and asserts the tags
 //   --mode MODE         anchored | scan | resync       (default anchored)
+//   --backend ENGINE    functional | fused: the software engine behind
+//                       --tag (default functional; fused is the
+//                       byte-class-compressed bit-parallel engine)
 //   --threads N         with --tag: shard the input at newline record
 //                       boundaries and tag shards in parallel (needs
 //                       --mode resync and newline-framed records;
@@ -30,7 +33,10 @@
 // A second positional argument is shorthand for --tag:
 //   cfgtagc GRAMMAR INPUT == cfgtagc GRAMMAR --tag INPUT
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,6 +60,7 @@ int Usage(const char* argv0) {
                "usage: %s GRAMMAR [INPUT] [--vhdl FILE] [--entity NAME]\n"
                "       [--report] [--analysis] [--tag FILE]\n"
                "       [--cycle-accurate] [--mode anchored|scan|resync]\n"
+               "       [--backend functional|fused]\n"
                "       [--threads N] [--bytes-per-cycle N] [--replicate N]\n"
                "       [--no-longest-match] [--no-encoder]\n"
                "       [--metrics-out FILE] [--trace-out FILE]\n",
@@ -92,6 +99,20 @@ void WriteObservability() {
                    g_trace_out.c_str());
     }
   }
+}
+
+// Strict positive-integer parse: the whole string must be digits (no
+// trailing junk — "12abc" is an error, unlike atoi), and the value must fit
+// and be >= 1.
+bool ParsePositiveInt(const char* s, int* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (v <= 0 || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -192,12 +213,23 @@ int RunTool(int argc, char** argv) {
       } else {
         return Usage(argv[0]);
       }
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (std::strcmp(v, "functional") == 0) {
+        options.tagger.backend = cfgtag::tagger::TaggerBackend::kFunctional;
+      } else if (std::strcmp(v, "fused") == 0) {
+        options.tagger.backend = cfgtag::tagger::TaggerBackend::kFused;
+      } else {
+        std::fprintf(stderr, "--backend must be functional or fused\n");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
-      threads = std::atoi(v);
-      if (threads <= 0) {
-        std::fprintf(stderr, "--threads needs a positive count\n");
+      if (!ParsePositiveInt(v, &threads)) {
+        std::fprintf(stderr, "--threads needs a positive count, got \"%s\"\n",
+                     v);
         return Usage(argv[0]);
       }
     } else if (arg == "--bytes-per-cycle") {
@@ -429,9 +461,13 @@ int RunTool(int argc, char** argv) {
       }
       std::printf("wrote waveform to %s\n", vcd_path.c_str());
     }
+    const char* engine =
+        cycle_accurate ? "cycle-accurate"
+        : options.tagger.backend == cfgtag::tagger::TaggerBackend::kFused
+            ? "fused"
+            : "functional";
     std::printf("%zu tags from %s (%s engine):\n", tags.size(),
-                tag_path.c_str(),
-                cycle_accurate ? "cycle-accurate" : "functional");
+                tag_path.c_str(), engine);
     for (const auto& t : tags) {
       std::printf("  byte %8llu  %s\n",
                   static_cast<unsigned long long>(t.end),
