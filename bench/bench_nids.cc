@@ -72,8 +72,9 @@ void Run(bool smoke) {
   std::printf(
       "Context-gated NIDS vs context-free signatures\n"
       "(decoy traffic: every signature hit is a false positive)\n\n");
-  std::printf("%8s | %12s %12s | %14s %14s %14s\n", "rules", "naive FPs",
-              "context FPs", "scan MB/s", "fused MB/s", "engine4 MB/s");
+  std::printf("%8s | %12s %12s | %14s %14s %14s %14s\n", "rules",
+              "naive FPs", "context FPs", "scan MB/s", "fused MB/s",
+              "lazy MB/s", "engine4 MB/s");
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   for (int nrules : {4, 16, 64}) {
@@ -86,6 +87,10 @@ void Run(bool smoke) {
     opt.tagger.backend = tagger::TaggerBackend::kFused;
     auto fused_filter = ValueOrDie(
         nids::ContextFilter::Create(g->Clone(), rules, opt), "fused filter");
+    // And with the lazy-DFA backend.
+    opt.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+    auto lazy_filter = ValueOrDie(
+        nids::ContextFilter::Create(g->Clone(), rules, opt), "lazy filter");
     const std::string traffic = MakeDecoyTraffic(rules, messages, 7);
 
     const auto naive = filter.ScanUngated(traffic);
@@ -106,6 +111,16 @@ void Run(bool smoke) {
       std::abort();
     }
 
+    // Lazy-DFA backend: same contract.
+    const auto t6 = std::chrono::steady_clock::now();
+    const auto lazy_alerts = lazy_filter.Scan(traffic);
+    const auto t7 = std::chrono::steady_clock::now();
+    const double lsecs = std::chrono::duration<double>(t7 - t6).count();
+    if (lazy_alerts != context) {
+      std::fprintf(stderr, "FATAL lazy/functional alert mismatch\n");
+      std::abort();
+    }
+
     // The same scan through the parallel engine, sharded across 4
     // workers — the before/after of the batch-scan change.
     nids::ScanEngineOptions eopt;
@@ -123,8 +138,11 @@ void Run(bool smoke) {
     const double scan_mbps = traffic.size() / 1e6 / (secs > 0 ? secs : 1e-9);
     const double fused_mbps =
         traffic.size() / 1e6 / (fsecs > 0 ? fsecs : 1e-9);
-    std::printf("%8d | %12zu %12zu | %14.1f %14.1f %14.1f\n", nrules,
+    const double lazy_mbps =
+        traffic.size() / 1e6 / (lsecs > 0 ? lsecs : 1e-9);
+    std::printf("%8d | %12zu %12zu | %14.1f %14.1f %14.1f %14.1f\n", nrules,
                 naive.size(), context.size(), scan_mbps, fused_mbps,
+                lazy_mbps,
                 traffic.size() / 1e6 / (esecs > 0 ? esecs : 1e-9));
     const std::string rules_label = "rules=\"" + std::to_string(nrules) +
                                     "\"";
@@ -136,6 +154,11 @@ void Run(bool smoke) {
            "cfgtag_bench_nids_mbps{backend=\"fused\"," + rules_label + "}",
            "ContextFilter::Scan MB/s by tagging backend")
         ->Set(fused_mbps);
+    reg.GetGauge(
+           "cfgtag_bench_nids_mbps{backend=\"lazy_dfa\"," + rules_label +
+               "}",
+           "ContextFilter::Scan MB/s by tagging backend")
+        ->Set(lazy_mbps);
   }
 
   std::printf(
@@ -143,24 +166,14 @@ void Run(bool smoke) {
       "the context filter scans only PATH spans and stays silent. Attack\n"
       "traffic (signatures in the path) alerts in both (see nids_test).\n");
 
-  const char* out_path = "bench_metrics.json";
-  std::ofstream out(out_path, std::ios::binary);
-  out << reg.ToJson();
-  if (out) {
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-  }
+  WriteMetricsJson("bench_metrics.json");
 }
 
 }  // namespace
 }  // namespace cfgtag::bench
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = cfgtag::bench::StripSmokeFlag(&argc, argv);
   cfgtag::bench::Run(smoke);
   return 0;
 }

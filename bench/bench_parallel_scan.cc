@@ -91,8 +91,13 @@ void Run(bool smoke) {
   // The same rules and grammar behind the fused tagging backend.
   opt.tagger.backend = tagger::TaggerBackend::kFused;
   auto fused_filter = ValueOrDie(
-      nids::ContextFilter::Create(std::move(g).value(), MakeRules(), opt),
+      nids::ContextFilter::Create(g->Clone(), MakeRules(), opt),
       "fused filter");
+  // And the lazy-DFA backend.
+  opt.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+  auto lazy_filter = ValueOrDie(
+      nids::ContextFilter::Create(std::move(g).value(), MakeRules(), opt),
+      "lazy filter");
 
   // Batch workload: independent streams of a few hundred messages each.
   const int num_streams = smoke ? 8 : 64;
@@ -113,6 +118,11 @@ void Run(bool smoke) {
     reference[i] = filter.Scan(streams[i]);
     if (fused_filter.Scan(streams[i]) != reference[i]) {
       std::fprintf(stderr, "FATAL fused backend mismatch on stream %zu\n",
+                   i);
+      std::abort();
+    }
+    if (lazy_filter.Scan(streams[i]) != reference[i]) {
+      std::fprintf(stderr, "FATAL lazy backend mismatch on stream %zu\n",
                    i);
       std::abort();
     }
@@ -149,12 +159,25 @@ void Run(bool smoke) {
         }
       },
       kIters);
+  // And the lazy-DFA backend, which amortizes its transition cache across
+  // the whole batch via the session pool.
+  const double lazy_seq_secs = Time(
+      [&] {
+        for (const std::string_view s : streams) {
+          auto alerts = lazy_filter.Scan(s);
+          if (alerts.empty() && !s.empty()) std::abort();
+        }
+      },
+      kIters);
   reg.GetGauge("cfgtag_bench_scan_backend_mbps{backend=\"functional\"}",
                "Sequential batch scan MB/s by tagging backend")
       ->Set(batch_bytes / 1e6 / seq_secs);
   reg.GetGauge("cfgtag_bench_scan_backend_mbps{backend=\"fused\"}",
                "Sequential batch scan MB/s by tagging backend")
       ->Set(batch_bytes / 1e6 / fused_seq_secs);
+  reg.GetGauge("cfgtag_bench_scan_backend_mbps{backend=\"lazy_dfa\"}",
+               "Sequential batch scan MB/s by tagging backend")
+      ->Set(batch_bytes / 1e6 / lazy_seq_secs);
 
   std::printf("%10s | %12s | %10s\n", "threads", "MB/s", "speedup");
   std::printf("%10s | %12.1f | %10s\n", "seq",
@@ -162,6 +185,9 @@ void Run(bool smoke) {
   std::printf("%10s | %12.1f | %9.2fx\n", "seq-fused",
               batch_bytes / 1e6 / fused_seq_secs,
               seq_secs / fused_seq_secs);
+  std::printf("%10s | %12.1f | %9.2fx\n", "seq-lazy",
+              batch_bytes / 1e6 / lazy_seq_secs,
+              seq_secs / lazy_seq_secs);
   for (int threads : {1, 2, 4, 8}) {
     nids::ScanEngineOptions eopt;
     eopt.num_threads = threads;
@@ -218,24 +244,14 @@ void Run(bool smoke) {
         ->Set(speedup);
   }
 
-  const char* out_path = "bench_metrics.json";
-  std::ofstream out(out_path, std::ios::binary);
-  out << reg.ToJson();
-  if (out) {
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-  }
+  WriteMetricsJson("bench_metrics.json");
 }
 
 }  // namespace
 }  // namespace cfgtag::bench
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = cfgtag::bench::StripSmokeFlag(&argc, argv);
   cfgtag::bench::Run(smoke);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "tagger/functional_model.h"
 #include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
 #include "tagger/lexer.h"
 #include "tagger/ll_parser.h"
 #include "tagger/naive_matcher.h"
@@ -84,6 +85,29 @@ void BM_FusedModel(benchmark::State& state) {
       static_cast<double>(tagger.fused_model()->NumByteClasses());
 }
 BENCHMARK(BM_FusedModel)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_LazyDfaModel(benchmark::State& state) {
+  // The fused engine memoized as a lazily built DFA: interned global-
+  // bitmap configurations, byte-class alphabet, cached tag emissions.
+  const int copies = static_cast<int>(state.range(0));
+  hwgen::HwOptions opt;
+  opt.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+  core::CompiledTagger tagger = CompileXmlRpc(copies, opt);
+  const std::string& input = Workload();
+  size_t tags = 0;
+  for (auto _ : state) {
+    tagger.Tag(input, [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    });
+  }
+  benchmark::DoNotOptimize(tags);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.counters["byte_classes"] = static_cast<double>(
+      tagger.lazy_model()->fused().NumByteClasses());
+}
+BENCHMARK(BM_LazyDfaModel)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_LlParser(benchmark::State& state) {
   auto g = xmlrpc::XmlRpcGrammar();
@@ -170,13 +194,15 @@ void BM_ImplementFlow(benchmark::State& state) {
 BENCHMARK(BM_ImplementFlow)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 
 // Head-to-head backend comparison on the sustained (resync) workload —
-// both software engines tag the same byte stream end to end, equivalence-
-// checked first, and the resulting MB/s land in bench_metrics.json as
-// cfgtag_bench_backend_mbps{backend=...,copies=...} gauges plus a
-// cfgtag_bench_backend_speedup{copies=...} ratio. Resync mode keeps every
-// message live (anchored mode goes dead after the first message, which
-// the fused idle fast path would skip outright and the comparison would
-// measure nothing).
+// all three software engines tag the same byte stream end to end,
+// equivalence-checked first, and the resulting MB/s land in
+// bench_metrics.json / BENCH_4.json as
+// cfgtag_bench_backend_mbps{backend=...,copies=...} gauges plus the
+// cfgtag_bench_backend_speedup{copies=...} (fused over functional) and
+// cfgtag_bench_lazy_over_fused_speedup{copies=...} ratios — the latter is
+// the CI release-bench gate. Resync mode keeps every message live
+// (anchored mode goes dead after the first message, which the idle fast
+// paths would skip outright and the comparison would measure nothing).
 void RecordBackendComparison(bool smoke) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const std::string& full = Workload();
@@ -187,8 +213,9 @@ void RecordBackendComparison(bool smoke) {
 
   std::printf("\nBackend comparison (%zu KB, resync mode, %d iteration%s)\n",
               input.size() >> 10, iters, iters == 1 ? "" : "s");
-  std::printf("%8s | %14s %14s | %8s\n", "copies", "functional MB/s",
-              "fused MB/s", "speedup");
+  std::printf("%8s | %14s %14s %14s | %8s %10s\n", "copies",
+              "functional MB/s", "fused MB/s", "lazy-dfa MB/s", "speedup",
+              "lazy/fused");
 
   auto time_engine = [&](const auto& engine) {
     size_t tags = 0;
@@ -211,19 +238,27 @@ void RecordBackendComparison(bool smoke) {
     auto functional =
         ValueOrDie(tagger::FunctionalTagger::Create(&g, topt), "functional");
     auto fused = ValueOrDie(tagger::FusedTagger::Create(&g, topt), "fused");
+    auto lazy = ValueOrDie(tagger::LazyDfaTagger::Create(&g, topt), "lazy");
     // Tag-for-tag equivalence before timing anything.
     const auto want = functional.TagAll(input);
-    const auto got = fused.TagAll(input);
-    if (want != got) {
+    if (fused.TagAll(input) != want) {
       std::fprintf(stderr, "FATAL fused/functional tag mismatch (x%d)\n",
+                   copies);
+      std::abort();
+    }
+    if (lazy.TagAll(input) != want) {
+      std::fprintf(stderr, "FATAL lazy/functional tag mismatch (x%d)\n",
                    copies);
       std::abort();
     }
     const double functional_mbps = time_engine(functional);
     const double fused_mbps = time_engine(fused);
+    const double lazy_mbps = time_engine(lazy);
     const double speedup = fused_mbps / functional_mbps;
-    std::printf("%8d | %14.1f %14.1f | %7.2fx\n", copies, functional_mbps,
-                fused_mbps, speedup);
+    const double lazy_over_fused = lazy_mbps / fused_mbps;
+    std::printf("%8d | %14.1f %14.1f %14.1f | %7.2fx %9.2fx\n", copies,
+                functional_mbps, fused_mbps, lazy_mbps, speedup,
+                lazy_over_fused);
     const std::string copies_label = "copies=\"" + std::to_string(copies) +
                                      "\"";
     reg.GetGauge("cfgtag_bench_backend_mbps{backend=\"functional\"," +
@@ -235,9 +270,18 @@ void RecordBackendComparison(bool smoke) {
                "}",
            "Sustained tagging MB/s of the software backend")
         ->Set(fused_mbps);
+    reg.GetGauge("cfgtag_bench_backend_mbps{backend=\"lazy_dfa\"," +
+                     copies_label + "}",
+                 "Sustained tagging MB/s of the software backend")
+        ->Set(lazy_mbps);
     reg.GetGauge("cfgtag_bench_backend_speedup{" + copies_label + "}",
                  "Fused over functional throughput ratio")
         ->Set(speedup);
+    reg.GetGauge(
+           "cfgtag_bench_lazy_over_fused_speedup{" + copies_label + "}",
+           "Lazy-DFA over fused throughput ratio (CI gate: must stay "
+           ">= 1.0 on the XML-RPC workload)")
+        ->Set(lazy_over_fused);
   }
 
   // Context-free lexer baseline on the same bytes (copies don't apply: the
@@ -271,16 +315,7 @@ int main(int argc, char** argv) {
   // --smoke (ours, stripped before google-benchmark sees the args) shrinks
   // the backend comparison to a CI-sized workload; pair it with a
   // --benchmark_filter to keep the google-benchmark section short too.
-  bool smoke = false;
-  int out_argc = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      argv[out_argc++] = argv[i];
-    }
-  }
-  argc = out_argc;
+  const bool smoke = cfgtag::bench::StripSmokeFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   cfgtag::obs::MetricsRegistry::Default()
@@ -290,13 +325,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   cfgtag::bench::RecordBackendComparison(smoke);
-  const char* out_path = "bench_metrics.json";
-  std::ofstream out(out_path, std::ios::binary);
-  out << cfgtag::obs::MetricsRegistry::Default().ToJson();
-  if (out) {
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-  }
+  cfgtag::bench::WriteMetricsJson("bench_metrics.json");
+  // The consolidated perf baseline the CI release-bench gate parses: the
+  // same registry snapshot under the tracked BENCH_4.json name (backend
+  // MB/s and speedup gauges included).
+  cfgtag::bench::WriteMetricsJson("BENCH_4.json");
   return 0;
 }

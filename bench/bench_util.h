@@ -3,11 +3,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/status.h"
 #include "core/token_tagger.h"
 #include "grammar/transforms.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xmlrpc/xmlrpc_grammar.h"
 
@@ -52,6 +55,37 @@ inline core::CompiledTagger CompileXmlRpc(int copies,
   auto compiled = core::CompiledTagger::Compile(DuplicatedXmlRpc(copies), opt);
   CheckOk(compiled.status(), "Compile");
   return std::move(compiled).value();
+}
+
+// Strips the suite-wide --smoke flag out of argv (so downstream parsers —
+// google-benchmark included — never see it) and reports whether it was
+// present. Every bench main() calls this instead of hand-rolling the loop.
+inline bool StripSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return smoke;
+}
+
+// Dumps the default metrics registry — populated by the instrumented paths
+// the bench exercised plus the bench's own gauges — as JSON to `path`, the
+// machine-readable trail BENCH_*.json trajectories and the CI perf gate
+// consume.
+inline void WriteMetricsJson(const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << obs::MetricsRegistry::Default().ToJson();
+  if (out) {
+    std::fprintf(stderr, "wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+  }
 }
 
 }  // namespace cfgtag::bench

@@ -61,17 +61,34 @@ StatusOr<CompiledTagger> CompiledTagger::Compile(
     out.model_ =
         std::make_unique<tagger::FunctionalTagger>(std::move(model).value());
   }
-  if (options.tagger.backend == tagger::TaggerBackend::kFused) {
+  const tagger::TaggerBackend requested = options.tagger.backend;
+  if (requested == tagger::TaggerBackend::kFused ||
+      requested == tagger::TaggerBackend::kLazyDfa ||
+      requested == tagger::TaggerBackend::kAuto) {
     obs::ScopedSpan stage("tagger.CreateFusedModel");
     obs::ScopedTimer stage_timer(StageHistogram("fused"));
     auto fused =
         tagger::FusedTagger::Create(out.grammar_.get(), options.tagger);
     if (!fused.ok()) return fused.status().WithContext("fused model");
-    out.fused_ =
-        std::make_unique<tagger::FusedTagger>(std::move(fused).value());
     reg.GetGauge("cfgtag_compile_byte_classes",
                  "Byte classes of the last fused-backend compile")
-        ->Set(static_cast<double>(out.fused_->NumByteClasses()));
+        ->Set(static_cast<double>(fused.value().NumByteClasses()));
+    // kAuto resolves here, against the one set of fused tables either
+    // engine fronts: narrow grammars get the lazy DFA, wide ones stay
+    // fused (see LazyDfaTagger::AutoPrefers).
+    const bool lazy =
+        requested == tagger::TaggerBackend::kLazyDfa ||
+        (requested == tagger::TaggerBackend::kAuto &&
+         tagger::LazyDfaTagger::AutoPrefers(fused.value()));
+    if (lazy) {
+      out.lazy_ = std::make_unique<tagger::LazyDfaTagger>(
+          tagger::LazyDfaTagger::Wrap(std::move(fused).value()));
+      out.options_.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+    } else {
+      out.fused_ =
+          std::make_unique<tagger::FusedTagger>(std::move(fused).value());
+      out.options_.tagger.backend = tagger::TaggerBackend::kFused;
+    }
   }
 
   const rtl::Netlist::Stats stats = out.hardware_.netlist.ComputeStats();
@@ -106,7 +123,7 @@ struct TagMetrics {
   obs::Counter* bytes;
   obs::Counter* tags;
   obs::Histogram* latency;
-  BackendMetrics backend[2];  // indexed by TaggerBackend
+  BackendMetrics backend[3];  // indexed by TaggerBackend
 
   static const TagMetrics& Get() {
     static const TagMetrics* const kMetrics = [] {
@@ -120,8 +137,8 @@ struct TagMetrics {
                                "Tags emitted by Tag()");
       m->latency = reg.GetHistogram("cfgtag_tag_seconds",
                                     "Per-call Tag() wall time");
-      const char* names[2] = {"functional", "fused"};
-      for (int b = 0; b < 2; ++b) {
+      const char* names[3] = {"functional", "fused", "lazy_dfa"};
+      for (int b = 0; b < 3; ++b) {
         const std::string label =
             std::string("{backend=\"") + names[b] + "\"}";
         m->backend[b].calls =
@@ -170,7 +187,13 @@ void CompiledTagger::Tag(std::string_view input,
     ++emitted;
     return sink(t);
   };
-  if (fused_ != nullptr) {
+  if (lazy_ != nullptr) {
+    tagger::LazyDfaSessionPool::Handle session =
+        lazy_->session_pool().Acquire(lazy_.get());
+    session->Feed(input, gated);
+    session->Feed(kPadding, gated);
+    session->Finish(gated);
+  } else if (fused_ != nullptr) {
     tagger::FusedSessionPool::Handle session =
         fused_->session_pool().Acquire(fused_.get());
     session->Feed(input, gated);
@@ -187,7 +210,7 @@ void CompiledTagger::Tag(std::string_view input,
   metrics.bytes->Increment(input.size());
   metrics.tags->Increment(emitted);
   const BackendMetrics& bm =
-      metrics.backend[fused_ != nullptr ? 1 : 0];
+      metrics.backend[lazy_ != nullptr ? 2 : (fused_ != nullptr ? 1 : 0)];
   bm.calls->Increment();
   bm.bytes->Increment(input.size());
   bm.scan_bytes->Observe(static_cast<double>(input.size()));

@@ -15,6 +15,7 @@
 #include "rtl/timing.h"
 #include "tagger/functional_model.h"
 #include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
 #include "tagger/tag.h"
 
 namespace cfgtag::core {
@@ -56,10 +57,15 @@ class CompiledTagger {
   const grammar::Grammar& grammar() const { return *grammar_; }
   const hwgen::GeneratedTagger& hardware() const { return hardware_; }
   const tagger::FunctionalTagger& model() const { return *model_; }
-  // The fused bit-parallel engine; built only when
-  // options().tagger.backend == TaggerBackend::kFused (null otherwise).
+  // The fused bit-parallel engine; built only when the resolved backend is
+  // TaggerBackend::kFused (null otherwise).
   const tagger::FusedTagger* fused_model() const { return fused_.get(); }
-  // The engine Tag() dispatches to.
+  // The lazy-DFA engine; built only when the resolved backend is
+  // TaggerBackend::kLazyDfa (null otherwise). It owns the fused engine it
+  // memoizes.
+  const tagger::LazyDfaTagger* lazy_model() const { return lazy_.get(); }
+  // The engine Tag() dispatches to. A kAuto request is resolved during
+  // Compile (see LazyDfaTagger::AutoPrefers), so this is never kAuto.
   tagger::TaggerBackend backend() const { return options_.tagger.backend; }
   const hwgen::HwOptions& options() const { return options_; }
 
@@ -119,6 +125,7 @@ class CompiledTagger {
   hwgen::GeneratedTagger hardware_;
   std::unique_ptr<tagger::FunctionalTagger> model_;
   std::unique_ptr<tagger::FusedTagger> fused_;  // only for the fused backend
+  std::unique_ptr<tagger::LazyDfaTagger> lazy_;  // only for the lazy backend
 };
 
 }  // namespace cfgtag::core

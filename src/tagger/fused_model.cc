@@ -179,6 +179,7 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
     t.arm_offset_[tok + 1] = static_cast<uint32_t>(t.arm_pattern_.size());
   }
 
+  t.delim_scanner_ = RunScanner::ForSet(options.delimiters);
   t.session_pool_ = std::make_shared<FusedSessionPool>();
   return t;
 }
@@ -234,7 +235,7 @@ void FusedSession::Reset() {
   armed_any_ = false;
   any_live_ = false;
   if (tagger_->options_.EffectiveArmMode() != ArmMode::kScan) {
-    for (const FusedTagger::WordBits& wb : tagger_->start_first_) {
+    for (const WordBits& wb : tagger_->start_first_) {
       armed_first_[wb.word] |= wb.bits;
       armed_meta_[wb.word >> 6] |= 1ULL << (wb.word & 63);
       armed_any_ = true;
@@ -323,7 +324,7 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
     }
     if (mode == ArmMode::kScan ||
         (mode == ArmMode::kResync && prev_was_delim_)) {
-      for (const FusedTagger::WordBits& wb : t.start_first_) {
+      for (const WordBits& wb : t.start_first_) {
         touch_or(wb.word, wb.bits);
       }
     }
@@ -410,7 +411,7 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
     const uint32_t begin = t.arm_offset_[tok];
     const uint32_t end = t.arm_offset_[tok + 1];
     for (uint32_t i = begin; i < end; ++i) {
-      const FusedTagger::WordBits& wb = t.arm_pattern_[i];
+      const WordBits& wb = t.arm_pattern_[i];
       armed_first_[wb.word] |= wb.bits;
       armed_meta_[wb.word >> 6] |= 1ULL << (wb.word & 63);
       armed_any_ = true;
@@ -424,16 +425,71 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
   ++pos_;
 }
 
+void FusedSession::LoadConfig(const WordBits* state, size_t num_state,
+                              const WordBits* armed, size_t num_armed,
+                              bool prev_delim) {
+  // Zero the currently marked armed words (the OR-accumulate invariant
+  // requires unmarked words to be zero); state words are only read where
+  // marked, so clearing their meta suffices.
+  for (size_t mi = 0; mi < armed_meta_.size(); ++mi) {
+    uint64_t mbits = armed_meta_[mi];
+    while (mbits) {
+      const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+      mbits &= mbits - 1;
+      armed_first_[w] = 0;
+    }
+    armed_meta_[mi] = 0;
+  }
+  std::fill(state_meta_.begin(), state_meta_.end(), 0);
+  for (size_t k = 0; k < num_state; ++k) {
+    state_[state[k].word] = state[k].bits;
+    state_meta_[state[k].word >> 6] |= 1ULL << (state[k].word & 63);
+  }
+  for (size_t k = 0; k < num_armed; ++k) {
+    armed_first_[armed[k].word] = armed[k].bits;
+    armed_meta_[armed[k].word >> 6] |= 1ULL << (armed[k].word & 63);
+  }
+  any_live_ = num_state != 0;
+  armed_any_ = num_armed != 0;
+  prev_was_delim_ = prev_delim;
+  has_pending_ = false;
+  finished_ = false;
+  stopped_ = false;
+  pending_ = 0;
+}
+
+void FusedSession::SnapshotConfig(std::vector<WordBits>* state,
+                                  std::vector<WordBits>* armed) const {
+  for (size_t mi = 0; mi < state_meta_.size(); ++mi) {
+    uint64_t mbits = state_meta_[mi];
+    while (mbits) {
+      const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+      mbits &= mbits - 1;
+      if (state_[w]) {
+        state->push_back(WordBits{static_cast<uint32_t>(w), state_[w]});
+      }
+    }
+  }
+  for (size_t mi = 0; mi < armed_meta_.size(); ++mi) {
+    uint64_t mbits = armed_meta_[mi];
+    while (mbits) {
+      const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+      mbits &= mbits - 1;
+      if (armed_first_[w]) {
+        armed->push_back(WordBits{static_cast<uint32_t>(w), armed_first_[w]});
+      }
+    }
+  }
+}
+
 void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
   if (finished_ || stopped_ || chunk.empty()) return;
   const char* data = chunk.data();
   const size_t n = chunk.size();
   const FusedTagger& t = *tagger_;
   const ArmMode mode = t.options_.EffectiveArmMode();
-  auto is_delim = [&](size_t i) {
-    return t.class_is_delim_[t.classifier_.ClassOf(
-               static_cast<unsigned char>(data[i]))] != 0;
-  };
+  const RunScanner& delim = t.delim_scanner_;
+  const SkipMetrics& skips = SkipMetrics::Get();
 
   if (has_pending_) {
     ProcessByte(pending_, /*has_next=*/true,
@@ -447,11 +503,12 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
     if (!any_live_) {
       // Idle fast paths: with an all-zero fused state, bytes that cannot
       // inject change nothing but the position and the delimiter flag, so
-      // whole runs are skipped without stepping.
-      if (is_delim(i)) {
+      // whole runs are skipped without stepping — and the run boundary is
+      // found with a multi-byte SWAR/memchr scan, not a per-byte test.
+      if (delim.Test(static_cast<unsigned char>(data[i]))) {
         // Delimiter run: no injection on delimiters, arms survive.
-        size_t j = i + 1;
-        while (j < n && is_delim(j)) ++j;
+        const size_t j = i + 1 + delim.FindFirstNotIn(data + i + 1, n - i - 1);
+        skips.delimiter->Increment(j - i);
         pos_ += j - i;
         prev_was_delim_ = true;
         i = j;
@@ -459,15 +516,16 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
       }
       if (!armed_any_ && mode == ArmMode::kAnchored) {
         // Dead stream: anchored arming can never re-inject.
+        skips.anchored->Increment(n - i);
         pos_ += n - i;
-        prev_was_delim_ = is_delim(n - 1);
+        prev_was_delim_ = delim.Test(static_cast<unsigned char>(data[n - 1]));
         return;
       }
       if (!armed_any_ && mode == ArmMode::kResync && !prev_was_delim_) {
         // Mid-garbage in resync mode: start injection waits for the next
         // delimiter, so non-delimiter bytes are inert.
-        size_t j = i + 1;
-        while (j < n && !is_delim(j)) ++j;
+        const size_t j = i + 1 + delim.FindFirstIn(data + i + 1, n - i - 1);
+        skips.resync->Increment(j - i);
         pos_ += j - i;
         prev_was_delim_ = false;
         i = j;

@@ -10,12 +10,22 @@
 #include "grammar/grammar.h"
 #include "tagger/byte_classes.h"
 #include "tagger/session_pool.h"
+#include "tagger/skip_scan.h"
 #include "tagger/tag.h"
 
 namespace cfgtag::tagger {
 
 class FusedTagger;
 class FusedSessionPool;
+class LazyDfaSession;
+
+// One (word, bits) entry of a sparse bitmap pattern — the unit of the
+// fused tagger's injection patterns and of the lazy-DFA backend's interned
+// machine-configuration snapshots.
+struct WordBits {
+  uint32_t word = 0;
+  uint64_t bits = 0;
+};
 
 // Streaming session over a FusedTagger: same chunked-feed contract as
 // TaggerSession (one-byte lag for the Fig. 7 look-ahead, absolute stream
@@ -49,8 +59,26 @@ class FusedSession {
   const FusedTagger* tagger() const { return tagger_; }
 
  private:
+  // The lazy-DFA backend drives a scratch FusedSession directly: it loads
+  // an interned configuration, takes one ProcessByte step, and snapshots
+  // the result (see src/tagger/lazy_dfa.cc).
+  friend class LazyDfaSession;
+
   void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
                    const TagSink& sink);
+
+  // Replaces the machine configuration with an externally captured one:
+  // sparse (word, bits) lists for the state and armed bitmaps, plus the
+  // delimiter flag. Every listed bits value must be nonzero. Clears the
+  // pending byte, stop and finish flags; leaves pos_ untouched (set it
+  // separately when stream offsets matter).
+  void LoadConfig(const WordBits* state, size_t num_state,
+                  const WordBits* armed, size_t num_armed, bool prev_delim);
+
+  // Appends the live (word, bits) pairs of the state and armed bitmaps in
+  // ascending word order. Round-trips through LoadConfig.
+  void SnapshotConfig(std::vector<WordBits>* state,
+                      std::vector<WordBits>* armed) const;
 
   const FusedTagger* tagger_;
   // Fused state bitmaps, double-buffered. Only words whose meta bit is set
@@ -114,14 +142,15 @@ class FusedTagger {
   // Byte-class compression: distinct transition classes out of 256 bytes.
   size_t NumByteClasses() const { return classifier_.NumClasses(); }
 
+  const ByteClassifier& classifier() const { return classifier_; }
+  bool ClassIsDelim(uint8_t cls) const { return class_is_delim_[cls] != 0; }
+  // Multi-byte scanner over the delimiter set (the idle fast-skip engine,
+  // shared with the lazy-DFA backend).
+  const RunScanner& delimiter_scanner() const { return delim_scanner_; }
+
  private:
   friend class FusedSession;
-
-  // One (word, bits) update of a precomputed sparse OR pattern.
-  struct WordBits {
-    uint32_t word = 0;
-    uint64_t bits = 0;
-  };
+  friend class LazyDfaSession;
 
   FusedTagger(const grammar::Grammar* grammar, TaggerOptions options)
       : grammar_(grammar), options_(options) {}
@@ -143,6 +172,7 @@ class FusedTagger {
   // folds the delimiter test into the same lookup.
   ByteClassifier classifier_;
   std::vector<uint8_t> class_is_delim_;
+  RunScanner delim_scanner_;
 
   // Per-class global masks, row-major [cls * num_words_ + w]:
   // class_mask_: positions whose character class contains the class;

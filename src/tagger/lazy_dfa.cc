@@ -1,0 +1,386 @@
+#include "tagger/lazy_dfa.h"
+
+#include <algorithm>
+
+namespace cfgtag::tagger {
+
+namespace {
+
+// Approximate per-state index cost (one unordered_multimap node plus
+// bucket share) folded into the cache budget accounting.
+constexpr size_t kIndexNodeBytes = 48;
+
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 29;
+  h = (h ^ v) * 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 32);
+}
+
+uint64_t HashConfig(const std::vector<WordBits>& state,
+                    const std::vector<WordBits>& armed, bool prev_delim,
+                    int16_t pending_cls) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  h = MixHash(h, (static_cast<uint64_t>(state.size()) << 32) ^
+                     static_cast<uint64_t>(armed.size()));
+  for (const WordBits& wb : state) {
+    h = MixHash(h, wb.bits);
+    h = MixHash(h, wb.word);
+  }
+  for (const WordBits& wb : armed) {
+    h = MixHash(h, ~wb.bits);
+    h = MixHash(h, wb.word);
+  }
+  h = MixHash(h, (static_cast<uint64_t>(prev_delim) << 16) ^
+                     static_cast<uint64_t>(static_cast<uint16_t>(pending_cls)));
+  return h;
+}
+
+bool SameRun(const WordBits* a, const WordBits* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i].word != b[i].word || a[i].bits != b[i].bits) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const DfaCacheMetrics& DfaCacheMetrics::Get() {
+  static const DfaCacheMetrics kMetrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return DfaCacheMetrics{
+        reg.GetCounter("cfgtag_dfa_cache_states",
+                       "DFA configurations interned by lazy-DFA sessions"),
+        reg.GetCounter("cfgtag_dfa_cache_flushes",
+                       "Lazy-DFA transition caches dropped at the byte cap"),
+        reg.GetCounter("cfgtag_dfa_cache_fallbacks",
+                       "Lazy-DFA sessions that fell back to fused execution "
+                       "after repeated cache flushes")};
+  }();
+  return kMetrics;
+}
+
+// --------------------------------------------------------- LazyDfaTagger
+
+LazyDfaTagger::LazyDfaTagger(FusedTagger fused)
+    : fused_(std::move(fused)),
+      session_pool_(std::make_shared<LazyDfaSessionPool>()) {}
+
+StatusOr<LazyDfaTagger> LazyDfaTagger::Create(const grammar::Grammar* grammar,
+                                              const TaggerOptions& options) {
+  CFGTAG_ASSIGN_OR_RETURN(FusedTagger fused,
+                          FusedTagger::Create(grammar, options));
+  return Wrap(std::move(fused));
+}
+
+LazyDfaTagger LazyDfaTagger::Wrap(FusedTagger fused) {
+  return LazyDfaTagger(std::move(fused));
+}
+
+void LazyDfaTagger::Run(std::string_view input, const TagSink& sink) const {
+  LazyDfaSessionPool::Handle session = session_pool_->Acquire(this);
+  session->Feed(input, sink);
+  session->Finish(sink);
+}
+
+std::vector<Tag> LazyDfaTagger::TagAll(std::string_view input) const {
+  std::vector<Tag> tags;
+  Run(input, [&tags](const Tag& t) {
+    tags.push_back(t);
+    return true;
+  });
+  return tags;
+}
+
+// -------------------------------------------------------- LazyDfaSession
+
+LazyDfaSession::LazyDfaSession(const LazyDfaTagger* tagger)
+    : tagger_(nullptr), scratch_(&tagger->fused()) {
+  Rebind(tagger);
+}
+
+void LazyDfaSession::Rebind(const LazyDfaTagger* tagger) {
+  if (tagger != tagger_) {
+    tagger_ = tagger;
+    scratch_.Rebind(&tagger_->fused());
+    ClearCache();
+    num_classes_ = tagger_->fused().NumByteClasses();
+    flushes_ = 0;
+    fallback_ = false;
+  }
+  Reset();
+}
+
+void LazyDfaSession::ClearCache() {
+  states_.clear();
+  trans_.clear();
+  snap_pool_.clear();
+  emit_pool_.clear();
+  index_.clear();
+  cache_bytes_ = 0;
+}
+
+void LazyDfaSession::Reset() {
+  consumed_ = 0;
+  finished_ = false;
+  stopped_ = false;
+  if (fallback_) {
+    scratch_.Reset();
+    return;
+  }
+  // Intern (or find) the stream-start configuration: no live positions,
+  // start tokens armed unless in scan mode, no pending byte.
+  const FusedTagger& f = tagger_->fused();
+  tmp_state_.clear();
+  tmp_armed_.clear();
+  if (f.options().EffectiveArmMode() != ArmMode::kScan) {
+    tmp_armed_ = f.start_first_;
+    std::sort(tmp_armed_.begin(), tmp_armed_.end(),
+              [](const WordBits& a, const WordBits& b) {
+                return a.word < b.word;
+              });
+  }
+  state_ = InternState(tmp_state_, tmp_armed_, /*prev_delim=*/false,
+                       /*pending_cls=*/-1);
+}
+
+int32_t LazyDfaSession::InternState(const std::vector<WordBits>& state,
+                                    const std::vector<WordBits>& armed,
+                                    bool prev_delim, int16_t pending_cls) {
+  const uint64_t h = HashConfig(state, armed, prev_delim, pending_cls);
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    const StateInfo& cand = states_[it->second];
+    if (cand.pending_cls == pending_cls && cand.prev_delim == prev_delim &&
+        cand.num_state == state.size() && cand.num_armed == armed.size() &&
+        SameRun(snap_pool_.data() + cand.snap_begin, state.data(),
+                state.size()) &&
+        SameRun(snap_pool_.data() + cand.snap_begin + cand.num_state,
+                armed.data(), armed.size())) {
+      return it->second;
+    }
+  }
+  StateInfo info;
+  info.hash = h;
+  info.snap_begin = static_cast<uint32_t>(snap_pool_.size());
+  info.num_state = static_cast<uint32_t>(state.size());
+  info.num_armed = static_cast<uint32_t>(armed.size());
+  info.pending_cls = pending_cls;
+  info.prev_delim = prev_delim;
+  snap_pool_.insert(snap_pool_.end(), state.begin(), state.end());
+  snap_pool_.insert(snap_pool_.end(), armed.begin(), armed.end());
+  const int32_t id = static_cast<int32_t>(states_.size());
+  states_.push_back(info);
+  trans_.resize(trans_.size() + num_classes_);
+  index_.emplace(h, id);
+  cache_bytes_ += sizeof(StateInfo) + num_classes_ * sizeof(Trans) +
+                  (state.size() + armed.size()) * sizeof(WordBits) +
+                  kIndexNodeBytes;
+  DfaCacheMetrics::Get().states->Increment();
+  return id;
+}
+
+void LazyDfaSession::MaterializeScratch() {
+  const FusedTagger& f = tagger_->fused();
+  const StateInfo info = states_[static_cast<size_t>(state_)];
+  scratch_.LoadConfig(snap_pool_.data() + info.snap_begin, info.num_state,
+                      snap_pool_.data() + info.snap_begin + info.num_state,
+                      info.num_armed, info.prev_delim);
+  scratch_.pos_ = consumed_;
+  scratch_.stopped_ = stopped_;
+  if (info.pending_cls >= 0) {
+    scratch_.has_pending_ = true;
+    scratch_.pending_ =
+        f.classifier().Representative(static_cast<uint16_t>(info.pending_cls));
+  }
+}
+
+void LazyDfaSession::SyncFromScratch() {
+  consumed_ = scratch_.pos_;
+  stopped_ = scratch_.stopped_;
+}
+
+void LazyDfaSession::EnterFallback() {
+  // Order matters: the scratch session must absorb the current interned
+  // configuration before the pools holding it are freed.
+  MaterializeScratch();
+  ClearCache();
+  fallback_ = true;
+  DfaCacheMetrics::Get().fallbacks->Increment();
+}
+
+void LazyDfaSession::Flush() {
+  ++flushes_;
+  DfaCacheMetrics::Get().flushes->Increment();
+  if (flushes_ >= tagger_->options().dfa_flush_fallback) {
+    EnterFallback();
+    return;
+  }
+  // Copy the current configuration out of the pools, drop everything,
+  // re-intern it as the sole survivor.
+  const StateInfo info = states_[static_cast<size_t>(state_)];
+  tmp_state_.assign(snap_pool_.begin() + info.snap_begin,
+                    snap_pool_.begin() + info.snap_begin + info.num_state);
+  tmp_armed_.assign(
+      snap_pool_.begin() + info.snap_begin + info.num_state,
+      snap_pool_.begin() + info.snap_begin + info.num_state + info.num_armed);
+  ClearCache();
+  state_ = InternState(tmp_state_, tmp_armed_, info.prev_delim,
+                       info.pending_cls);
+}
+
+LazyDfaSession::Trans LazyDfaSession::BuildTransition(uint8_t cls) {
+  if (cache_bytes_ > tagger_->options().dfa_cache_bytes) {
+    Flush();
+    if (fallback_) return Trans{};
+  }
+  const FusedTagger& f = tagger_->fused();
+  const StateInfo info = states_[static_cast<size_t>(state_)];
+  tmp_state_.clear();
+  tmp_armed_.clear();
+  tmp_emit_.clear();
+  int32_t next_id;
+  bool next_prev_delim;
+  if (info.pending_cls < 0) {
+    // Absorb: the input byte becomes the pending look-ahead; the machine
+    // configuration is untouched and nothing emits.
+    tmp_state_.assign(snap_pool_.begin() + info.snap_begin,
+                      snap_pool_.begin() + info.snap_begin + info.num_state);
+    tmp_armed_.assign(
+        snap_pool_.begin() + info.snap_begin + info.num_state,
+        snap_pool_.begin() + info.snap_begin + info.num_state + info.num_armed);
+    next_prev_delim = info.prev_delim;
+  } else {
+    // One real fused step on the class representatives — exact for every
+    // byte of the class, since the engine only reads byte classes.
+    scratch_.LoadConfig(snap_pool_.data() + info.snap_begin, info.num_state,
+                        snap_pool_.data() + info.snap_begin + info.num_state,
+                        info.num_armed, info.prev_delim);
+    scratch_.pos_ = 0;
+    scratch_.ProcessByte(
+        f.classifier().Representative(static_cast<uint16_t>(info.pending_cls)),
+        /*has_next=*/true, f.classifier().Representative(cls),
+        [this](const Tag& t) {
+          tmp_emit_.push_back(t.token);
+          return true;
+        });
+    scratch_.SnapshotConfig(&tmp_state_, &tmp_armed_);
+    next_prev_delim = scratch_.prev_was_delim_;
+  }
+  next_id = InternState(tmp_state_, tmp_armed_, next_prev_delim,
+                        static_cast<int16_t>(cls));
+  Trans tr;
+  tr.next = next_id;
+  tr.emit_begin = static_cast<uint32_t>(emit_pool_.size());
+  tr.emit_count = static_cast<uint32_t>(tmp_emit_.size());
+  emit_pool_.insert(emit_pool_.end(), tmp_emit_.begin(), tmp_emit_.end());
+  cache_bytes_ += tmp_emit_.size() * sizeof(int32_t);
+  trans_[static_cast<size_t>(state_) * num_classes_ + cls] = tr;
+  return tr;
+}
+
+void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
+  if (finished_ || stopped_ || chunk.empty()) return;
+  if (fallback_) {
+    scratch_.Feed(chunk, sink);
+    SyncFromScratch();
+    return;
+  }
+  const char* data = chunk.data();
+  const size_t n = chunk.size();
+  const FusedTagger& f = tagger_->fused();
+  const ByteClassifier& classes = f.classifier();
+  const ArmMode mode = f.options().EffectiveArmMode();
+  const RunScanner& delim = f.delimiter_scanner();
+  const SkipMetrics& skips = SkipMetrics::Get();
+
+  size_t i = 0;
+  while (i < n) {
+    // Copy what the skip checks need before any build can grow states_.
+    const StateInfo& cur = states_[static_cast<size_t>(state_)];
+    const int16_t pending = cur.pending_cls;
+    if (cur.num_state == 0 && pending >= 0) {
+      // Idle fast paths, the DFA rendition: a dead configuration cycles
+      // through states differing only in pending class and delimiter
+      // flag, so a whole inert run collapses to position arithmetic plus
+      // ONE real transition on the run's last byte — which re-derives the
+      // exact successor, because it is invariant across the run.
+      const bool pending_delim = f.ClassIsDelim(static_cast<uint8_t>(pending));
+      const bool armed = cur.num_armed != 0;
+      if (pending_delim && delim.Test(static_cast<unsigned char>(data[i]))) {
+        // Delimiter run: dead + delimiter pending emits nothing and
+        // preserves arms whatever the input, so jump to the run's end.
+        const size_t j = i + delim.FindFirstNotIn(data + i, n - i);
+        if (j > i + 1) {
+          skips.delimiter->Increment(j - 1 - i);
+          consumed_ += j - 1 - i;
+          i = j - 1;
+        }
+      } else if (!armed && mode == ArmMode::kAnchored) {
+        // Dead stream: anchored arming can never re-inject; only the last
+        // byte is fed (keeping the pending machinery consistent).
+        if (n - i > 1) {
+          skips.anchored->Increment(n - 1 - i);
+          consumed_ += n - 1 - i;
+          i = n - 1;
+        }
+      } else if (!armed && mode == ArmMode::kResync && !cur.prev_delim &&
+                 !pending_delim &&
+                 !delim.Test(static_cast<unsigned char>(data[i]))) {
+        // Mid-garbage in resync mode: start injection waits for the next
+        // delimiter, so non-delimiter bytes are inert.
+        const size_t j = i + delim.FindFirstIn(data + i, n - i);
+        if (j > i + 1) {
+          skips.resync->Increment(j - 1 - i);
+          consumed_ += j - 1 - i;
+          i = j - 1;
+        }
+      }
+    }
+    const uint8_t cls = classes.ClassOf(static_cast<unsigned char>(data[i]));
+    Trans tr = trans_[static_cast<size_t>(state_) * num_classes_ + cls];
+    if (tr.next < 0) {
+      tr = BuildTransition(cls);
+      if (fallback_) {
+        // The scratch session holds the exact current configuration and
+        // stream position; the rest of the stream runs pure fused.
+        scratch_.Feed(std::string_view(data + i, n - i), sink);
+        SyncFromScratch();
+        return;
+      }
+    }
+    if (tr.emit_count != 0) {
+      const int32_t* toks = emit_pool_.data() + tr.emit_begin;
+      for (uint32_t k = 0; k < tr.emit_count; ++k) {
+        Tag tag;
+        tag.token = toks[k];
+        tag.end = consumed_;
+        if (!stopped_ && !sink(tag)) stopped_ = true;
+      }
+    }
+    if (pending >= 0) ++consumed_;
+    state_ = tr.next;
+    ++i;
+    if (stopped_) return;
+  }
+}
+
+void LazyDfaSession::Finish(const TagSink& sink) {
+  if (finished_) return;
+  finished_ = true;
+  if (fallback_) {
+    scratch_.Finish(sink);
+    SyncFromScratch();
+    return;
+  }
+  if (stopped_) return;
+  const StateInfo& info = states_[static_cast<size_t>(state_)];
+  if (info.pending_cls < 0) return;
+  // One real fused step with no look-ahead; not worth caching (once per
+  // stream), and the class representative is again exact.
+  MaterializeScratch();
+  scratch_.Finish(sink);
+  SyncFromScratch();
+}
+
+}  // namespace cfgtag::tagger

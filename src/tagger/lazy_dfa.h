@@ -1,0 +1,206 @@
+#ifndef CFGTAG_TAGGER_LAZY_DFA_H_
+#define CFGTAG_TAGGER_LAZY_DFA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+#include "obs/metrics.h"
+#include "tagger/fused_model.h"
+#include "tagger/session_pool.h"
+#include "tagger/tag.h"
+
+namespace cfgtag::tagger {
+
+class LazyDfaTagger;
+class LazyDfaSessionPool;
+
+// Process-wide accounting for the lazy-DFA transition cache, shared by all
+// sessions: states interned, RE2-style cache flushes, and sessions that
+// gave up caching and fell back to pure fused execution.
+struct DfaCacheMetrics {
+  obs::Counter* states;
+  obs::Counter* flushes;
+  obs::Counter* fallbacks;
+
+  static const DfaCacheMetrics& Get();
+};
+
+// Streaming session over a LazyDfaTagger: the fused engine memoized as a
+// lazily built DFA. An interned DFA state is a full machine configuration
+// — the sparse live words of the fused state bitmap, the sparse armed
+// words, the delimiter flag, and the *class* of the pending look-ahead
+// byte (the Fig. 7 one-byte lag; emissions and post-emission arming both
+// depend on the look-ahead's class, so it must live in the state for
+// transitions to be a function of (state, input class) alone). The
+// alphabet is the tagger's ByteClassifier classes: every machine decision
+// factors through the byte class, so stepping the fused engine on a class
+// representative builds a transition that is exact for every byte of the
+// class.
+//
+// Steady state, the inner loop is one table lookup — `trans[state][
+// class_of[byte]]` — plus an emission-replay branch. A miss takes one real
+// fused step (LoadConfig, ProcessByte, SnapshotConfig) and interns the
+// result. When the cache grows past TaggerOptions::dfa_cache_bytes it is
+// dropped wholesale and rebuilt from the current configuration (RE2's
+// flush discipline); after dfa_flush_fallback flushes the session stops
+// caching and runs its scratch FusedSession directly for the rest of its
+// life (Rebind to a different tagger clears the verdict).
+//
+// Tag streams are byte-identical, order included, to the functional and
+// fused engines — enforced by the differential and fuzz suites.
+class LazyDfaSession {
+ public:
+  // The tagger must outlive the session.
+  explicit LazyDfaSession(const LazyDfaTagger* tagger);
+
+  // Consumes a chunk, emitting tags in stream order.
+  void Feed(std::string_view chunk, const TagSink& sink);
+
+  // Ends the stream: processes the lagging pending byte with no look-ahead
+  // suppression. Further Feed() calls are ignored until Reset().
+  void Finish(const TagSink& sink);
+
+  // Returns to the stream-start state. The transition cache (and a
+  // standing fused-fallback verdict) survives — pooled sessions get warm
+  // caches across scans of the same tagger.
+  void Reset();
+
+  // Re-targets the session at `tagger` and resets it. A different tagger
+  // invalidates the cache and clears any fallback verdict.
+  void Rebind(const LazyDfaTagger* tagger);
+
+  // Bytes fully processed so far (excludes the pending look-ahead byte).
+  uint64_t bytes_consumed() const { return consumed_; }
+
+  const LazyDfaTagger* tagger() const { return tagger_; }
+
+  // Cache introspection (tests and metrics surfacing).
+  size_t cache_states() const { return states_.size(); }
+  size_t cache_bytes() const { return cache_bytes_; }
+  uint64_t cache_flushes() const { return flushes_; }
+  bool fallback_active() const { return fallback_; }
+
+ private:
+  // A cached transition: successor state plus the tags the step emits,
+  // as token ids into emit_pool_ (the end offset is the stream position
+  // at replay time, so only the ids are interned).
+  struct Trans {
+    int32_t next = -1;
+    uint32_t emit_begin = 0;
+    uint32_t emit_count = 0;
+  };
+
+  // An interned configuration. Snapshot words live in snap_pool_ at
+  // [snap_begin, snap_begin + num_state + num_armed): state words first,
+  // both runs in ascending word order with nonzero bits (the canonical
+  // form SnapshotConfig produces, making equality a field-wise compare).
+  struct StateInfo {
+    uint64_t hash = 0;
+    uint32_t snap_begin = 0;
+    uint32_t num_state = 0;
+    uint32_t num_armed = 0;
+    int16_t pending_cls = -1;  // byte class of the pending byte; -1 = none
+    bool prev_delim = false;
+  };
+
+  int32_t InternState(const std::vector<WordBits>& state,
+                      const std::vector<WordBits>& armed, bool prev_delim,
+                      int16_t pending_cls);
+  // Builds (and caches) the transition out of the current state on input
+  // class `cls`, flushing first if the cache is over budget. May enter
+  // fallback mode — the caller must check fallback_active() after a build.
+  Trans BuildTransition(uint8_t cls);
+  void Flush();
+  void EnterFallback();
+  // Loads the current interned configuration into scratch_, restoring the
+  // stream position, stop flag, and pending byte (as its class
+  // representative) so the fused engine can continue the stream exactly.
+  void MaterializeScratch();
+  void ClearCache();
+  void SyncFromScratch();
+
+  const LazyDfaTagger* tagger_;
+  FusedSession scratch_;
+
+  std::vector<StateInfo> states_;
+  std::vector<Trans> trans_;  // row-major [state * num_classes + cls]
+  std::vector<WordBits> snap_pool_;
+  std::vector<int32_t> emit_pool_;
+  std::unordered_multimap<uint64_t, int32_t> index_;
+  size_t cache_bytes_ = 0;
+  size_t num_classes_ = 0;
+
+  // Scratch for intern/build, kept allocated across steps.
+  std::vector<WordBits> tmp_state_, tmp_armed_;
+  std::vector<int32_t> tmp_emit_;
+
+  int32_t state_ = 0;
+  uint64_t consumed_ = 0;
+  uint64_t flushes_ = 0;
+  bool fallback_ = false;
+  bool finished_ = false;
+  bool stopped_ = false;
+};
+
+// The lazy-DFA backend: owns the fused engine it memoizes and hands out
+// pooled LazyDfaSessions. See LazyDfaSession for the execution model.
+class LazyDfaTagger {
+ public:
+  // The grammar must outlive the tagger.
+  static StatusOr<LazyDfaTagger> Create(const grammar::Grammar* grammar,
+                                        const TaggerOptions& options);
+
+  // Wraps an already-built fused engine (the kAuto path compiles the
+  // fused tables once, then decides which backend fronts them).
+  static LazyDfaTagger Wrap(FusedTagger fused);
+
+  // Scans `input`, calling `sink` for every detected token in stream
+  // order (token-id order within a byte).
+  void Run(std::string_view input, const TagSink& sink) const;
+
+  // Convenience: collect all tags.
+  std::vector<Tag> TagAll(std::string_view input) const;
+
+  // Streaming interface: feed the input in arbitrary chunks.
+  LazyDfaSession NewSession() const { return LazyDfaSession(this); }
+
+  // Shared scratch pool behind Run(); see SessionPool. Thread-safe.
+  LazyDfaSessionPool& session_pool() const { return *session_pool_; }
+
+  const FusedTagger& fused() const { return fused_; }
+  const grammar::Grammar& grammar() const { return fused_.grammar(); }
+  const TaggerOptions& options() const { return fused_.options(); }
+
+  // The `--backend auto` heuristic: prefer the lazy DFA when the
+  // byte-class x state-word product is small enough that the reachable
+  // configuration set plausibly fits the transition cache; wide grammars
+  // keep the fused engine, whose cost is already proportional to live
+  // words.
+  static constexpr size_t kAutoProductLimit = 8192;
+  static bool AutoPrefers(const FusedTagger& fused) {
+    return static_cast<size_t>(fused.NumByteClasses()) *
+               fused.NumStateWords() <=
+           kAutoProductLimit;
+  }
+
+ private:
+  explicit LazyDfaTagger(FusedTagger fused);
+
+  FusedTagger fused_;
+  std::shared_ptr<LazyDfaSessionPool> session_pool_;
+};
+
+// Pool of reusable LazyDfaSession scratch (see BasicSessionPool). Reused
+// sessions keep their transition cache when re-acquired for the same
+// tagger — repeated scans run almost entirely out of cached transitions.
+class LazyDfaSessionPool final
+    : public BasicSessionPool<LazyDfaTagger, LazyDfaSession> {};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_LAZY_DFA_H_

@@ -1,0 +1,68 @@
+#ifndef CFGTAG_TAGGER_SKIP_SCAN_H_
+#define CFGTAG_TAGGER_SKIP_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "regex/char_class.h"
+
+namespace cfgtag::tagger {
+
+// Multi-byte run scanner over a fixed byte set — the engine behind the
+// idle fast-skips shared by the fused and lazy-DFA backends. Both "skip
+// while in the set" (delimiter runs) and "skip until the set" (resync
+// garbage runs) reduce to finding the first byte on the other side of a
+// membership test, so the scanner exposes exactly those two primitives.
+//
+// Strategy is picked at build time from the set's population:
+//   * 1 member        — std::memchr for find-first-in, SWAR for the rest;
+//   * <= 8 members    — branch-free SWAR: 8 input bytes per 64-bit word,
+//                       one exact zero-lane test per member value
+//                       (whitespace, the default delimiter set, has 6);
+//   * anything larger — table-driven byte loop (still one load per byte,
+//                       no per-byte branch beyond the test itself).
+// The SWAR paths assume little-endian lane order and fall back to the
+// table on big-endian targets.
+class RunScanner {
+ public:
+  // An empty scanner: nothing is in the set.
+  RunScanner();
+
+  static RunScanner ForSet(const regex::CharClass& set);
+
+  // Index of the first byte of data[0, n) NOT in the set; n if every byte
+  // is a member.
+  size_t FindFirstNotIn(const char* data, size_t n) const;
+
+  // Index of the first byte of data[0, n) in the set; n if none is.
+  size_t FindFirstIn(const char* data, size_t n) const;
+
+  bool Test(unsigned char c) const { return in_set_[c] != 0; }
+
+ private:
+  static constexpr int kMaxSwarValues = 8;
+
+  uint8_t in_set_[256];
+  // Broadcast patterns (value repeated in every lane) for the SWAR path.
+  uint64_t broadcast_[kMaxSwarValues];
+  int num_values_ = 0;
+  bool swar_ = false;
+  unsigned char single_ = 0;  // the member byte when num_values_ == 1
+};
+
+// Process-wide accounting for the idle fast-skips (bytes that advanced the
+// stream without stepping the machine), labelled by which skip fired.
+// Shared between FusedSession and LazyDfaSession so a deployment sees one
+// family regardless of backend.
+struct SkipMetrics {
+  obs::Counter* delimiter;  // delimiter runs with no live state
+  obs::Counter* anchored;   // dead anchored-mode stream tails
+  obs::Counter* resync;     // unarmed non-delimiter runs in resync mode
+
+  static const SkipMetrics& Get();
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_SKIP_SCAN_H_

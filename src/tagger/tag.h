@@ -50,7 +50,7 @@ enum class ArmMode {
   kResync,
 };
 
-// Which software execution engine serves the tagging hot path. Both
+// Which software execution engine serves the tagging hot path. All
 // implement identical semantics (the differential fuzz and equivalence
 // suites enforce tag-for-tag identity); they differ only in speed and
 // memory shape.
@@ -61,6 +61,18 @@ enum class TaggerBackend {
   // Every token's positions fused into one contiguous bitmap stepped with
   // branch-free word ops over byte-class-compressed masks.
   kFused,
+  // The fused engine memoized as a lazily built DFA: reachable machine
+  // configurations are interned and each (configuration, byte class)
+  // transition is cached with its precomputed tag emissions, so the
+  // steady-state step is one table lookup. Unseen transitions take one
+  // real fused step; a memory cap flushes the cache RE2-style, and
+  // flush-thrash falls back to pure fused execution for the session.
+  kLazyDfa,
+  // Resolved at compile time: lazy-DFA when the grammar's byte-class x
+  // state-word product is small enough for the transition cache to stay
+  // effective, fused otherwise. CompiledTagger::backend() reports the
+  // resolved choice; kAuto never reaches a running engine.
+  kAuto,
 };
 
 // Knobs shared by the functional model and the hardware generator. The two
@@ -85,6 +97,15 @@ struct TaggerOptions {
   // Software engine for CompiledTagger::Tag and the nids scan paths. Has
   // no effect on the generated hardware.
   TaggerBackend backend = TaggerBackend::kFunctional;
+
+  // Lazy-DFA backend only: per-session budget for the transition cache
+  // (interned states, transition rows, emission lists). Crossing it drops
+  // the whole cache and rebuilds from the current configuration (RE2's
+  // flush discipline); sessions whose cache flushes dfa_flush_fallback
+  // times stop caching and run the fused engine directly for the rest of
+  // their life.
+  size_t dfa_cache_bytes = 16u << 20;
+  uint32_t dfa_flush_fallback = 4;
 
   // The effective arming mode: `anchored == false` (legacy scan request)
   // overrides the default-constructed arm_mode.

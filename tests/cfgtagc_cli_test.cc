@@ -80,8 +80,37 @@ TEST_F(CfgtagcCliTest, BackendFusedTagsIdentically) {
             tags_of(fused).substr(tags_of(fused).find(":")));
 }
 
+TEST_F(CfgtagcCliTest, BackendLazyTagsIdentically) {
+  ASSERT_EQ(RunTool(grammar_ + " --tag " + input_, out_), 0) << Slurp(out_);
+  const std::string functional = Slurp(out_);
+  ASSERT_EQ(
+      RunTool(grammar_ + " --backend lazy --tag " + input_, out_), 0)
+      << Slurp(out_);
+  const std::string lazy = Slurp(out_);
+  EXPECT_NE(lazy.find("lazy-dfa engine"), std::string::npos) << lazy;
+  const auto tags_of = [](const std::string& s) {
+    return s.substr(s.find(" tags from "));
+  };
+  EXPECT_EQ(tags_of(functional).substr(tags_of(functional).find(":")),
+            tags_of(lazy).substr(tags_of(lazy).find(":")));
+}
+
+TEST_F(CfgtagcCliTest, BackendAutoResolvesToConcreteEngine) {
+  // kAuto never survives Compile: a tiny grammar resolves to the lazy DFA
+  // (the byte-class x state-word product is far under the limit).
+  ASSERT_EQ(RunTool(grammar_ + " --backend auto --tag " + input_, out_), 0)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("lazy-dfa engine"), std::string::npos)
+      << Slurp(out_);
+}
+
 TEST_F(CfgtagcCliTest, BackendEqualsSyntaxAndMode) {
   EXPECT_EQ(RunTool(grammar_ + " --backend=fused --mode=resync --tag " +
+                        input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  EXPECT_EQ(RunTool(grammar_ + " --backend=lazy --mode=resync --tag " +
                         input_,
                     out_),
             0)
@@ -90,8 +119,9 @@ TEST_F(CfgtagcCliTest, BackendEqualsSyntaxAndMode) {
 
 TEST_F(CfgtagcCliTest, RejectsUnknownBackend) {
   EXPECT_EQ(RunTool(grammar_ + " --backend turbo --tag " + input_, out_), 2);
-  EXPECT_NE(Slurp(out_).find("--backend must be functional or fused"),
-            std::string::npos)
+  EXPECT_NE(
+      Slurp(out_).find("--backend must be functional, fused, lazy or auto"),
+      std::string::npos)
       << Slurp(out_);
 }
 

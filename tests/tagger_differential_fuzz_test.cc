@@ -1,8 +1,10 @@
 // Differential fuzzing across the tagging engines: on randomly generated
-// small grammars and random byte streams, the fused backend must be
-// tag-for-tag identical to the functional reference — for every arm mode,
-// with and without the longest-match look-ahead, chunked or whole-buffer —
-// and CompiledTagger::Tag must agree with itself across backends.
+// small grammars and random byte streams, the fused and lazy-DFA backends
+// must be tag-for-tag identical to the functional reference — for every
+// arm mode, with and without the longest-match look-ahead, chunked or
+// whole-buffer, and for the lazy DFA also under a starvation-sized
+// transition cache (constant flushing, then the fused fallback) — and
+// CompiledTagger::Tag must agree with itself across backends.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "grammar/grammar.h"
 #include "tagger/functional_model.h"
 #include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
 
 namespace cfgtag {
 namespace {
@@ -23,6 +26,7 @@ using grammar::Symbol;
 using tagger::ArmMode;
 using tagger::FunctionalTagger;
 using tagger::FusedTagger;
+using tagger::LazyDfaTagger;
 using tagger::Tag;
 using tagger::TaggerOptions;
 
@@ -117,10 +121,11 @@ std::string RandomStream(const Grammar& g, Rng& rng) {
   return out;
 }
 
-std::vector<Tag> ChunkedFused(const FusedTagger& t, std::string_view input,
-                              size_t chunk) {
+template <typename Tagger>
+std::vector<Tag> Chunked(const Tagger& t, std::string_view input,
+                         size_t chunk) {
   std::vector<Tag> tags;
-  tagger::FusedSession session = t.NewSession();
+  auto session = t.NewSession();
   const tagger::TagSink sink = [&](const Tag& tag) {
     tags.push_back(tag);
     return true;
@@ -154,16 +159,33 @@ TEST(DifferentialFuzzTest, FusedMatchesFunctionalEverywhere) {
     opt.longest_match = (iter % 2) == 0;
     auto functional = FunctionalTagger::Create(&g, opt);
     auto fused = FusedTagger::Create(&g, opt);
+    auto lazy = LazyDfaTagger::Create(&g, opt);
+    // Starvation-sized cache: interning even a handful of states blows the
+    // budget, so every path through Flush() — and, past dfa_flush_fallback
+    // flushes, the sticky fused fallback — is exercised on real streams.
+    TaggerOptions tiny = opt;
+    tiny.dfa_cache_bytes = 1 << 10;
+    auto lazy_tiny = LazyDfaTagger::Create(&g, tiny);
     ASSERT_TRUE(functional.ok()) << functional.status();
     ASSERT_TRUE(fused.ok()) << fused.status();
+    ASSERT_TRUE(lazy.ok()) << lazy.status();
+    ASSERT_TRUE(lazy_tiny.ok()) << lazy_tiny.status();
     for (int s = 0; s < 8; ++s) {
       const std::string input = RandomStream(g, rng);
       const std::vector<Tag> want = functional->TagAll(input);
       ExpectSameTags(want, fused->TagAll(input), "fused whole-buffer",
                      input);
+      ExpectSameTags(want, lazy->TagAll(input), "lazy whole-buffer", input);
+      ExpectSameTags(want, lazy_tiny->TagAll(input),
+                     "lazy tiny-cache whole-buffer", input);
       const size_t chunk = 1 + rng.NextIndex(7);
-      ExpectSameTags(want, ChunkedFused(*fused, input, chunk),
+      ExpectSameTags(want, Chunked(*fused, input, chunk),
                      "fused chunk=" + std::to_string(chunk), input);
+      ExpectSameTags(want, Chunked(*lazy, input, chunk),
+                     "lazy chunk=" + std::to_string(chunk), input);
+      ExpectSameTags(want, Chunked(*lazy_tiny, input, chunk),
+                     "lazy tiny-cache chunk=" + std::to_string(chunk),
+                     input);
     }
   }
 }
@@ -173,20 +195,28 @@ TEST(DifferentialFuzzTest, CompiledTaggerBackendsAgree) {
   for (int iter = 0; iter < 12; ++iter) {
     Grammar g = RandomGrammar(rng);
     Grammar g2 = g.Clone();
+    Grammar g3 = g.Clone();
     hwgen::HwOptions options;
     options.tagger.arm_mode = ArmMode::kResync;
     auto functional = core::CompiledTagger::Compile(std::move(g), options);
     options.tagger.backend = tagger::TaggerBackend::kFused;
     auto fused = core::CompiledTagger::Compile(std::move(g2), options);
+    options.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+    auto lazy = core::CompiledTagger::Compile(std::move(g3), options);
     ASSERT_TRUE(functional.ok()) << functional.status();
     ASSERT_TRUE(fused.ok()) << fused.status();
+    ASSERT_TRUE(lazy.ok()) << lazy.status();
     ASSERT_NE(fused->fused_model(), nullptr);
     ASSERT_EQ(functional->fused_model(), nullptr);
+    ASSERT_NE(lazy->lazy_model(), nullptr);
+    ASSERT_EQ(lazy->fused_model(), nullptr);
     for (int s = 0; s < 6; ++s) {
       const std::string input = RandomStream(functional->grammar(), rng);
       const std::vector<Tag> want = functional->Tag(input);
-      const std::vector<Tag> got = fused->Tag(input);
-      ExpectSameTags(want, got, "CompiledTagger fused backend", input);
+      ExpectSameTags(want, fused->Tag(input), "CompiledTagger fused backend",
+                     input);
+      ExpectSameTags(want, lazy->Tag(input), "CompiledTagger lazy backend",
+                     input);
     }
   }
 }

@@ -1,0 +1,288 @@
+// LazyDfaTagger — the lazily built DFA memoizing the fused engine — must
+// be tag-for-tag identical to the FunctionalTagger reference on every
+// option combination, including streaming, early-stop sinks, the idle
+// skip paths, cache flushes under a starvation-sized budget, and the
+// sticky fused fallback after repeated flush thrash.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.h"
+#include "grammar/grammar_parser.h"
+#include "tagger/functional_model.h"
+#include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
+
+namespace cfgtag::tagger {
+namespace {
+
+grammar::Grammar MustParse(const std::string& text) {
+  auto g = grammar::ParseGrammar(text);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+std::vector<Tag> Functional(const grammar::Grammar& g,
+                            const TaggerOptions& opt,
+                            std::string_view input) {
+  auto t = FunctionalTagger::Create(&g, opt);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t->TagAll(input);
+}
+
+std::vector<Tag> Lazy(const grammar::Grammar& g, const TaggerOptions& opt,
+                      std::string_view input) {
+  auto t = LazyDfaTagger::Create(&g, opt);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t->TagAll(input);
+}
+
+void ExpectSameTags(const std::vector<Tag>& a, const std::vector<Tag>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].token, b[i].token) << "tag " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "tag " << i;
+  }
+}
+
+const char kCalcGrammar[] =
+    "NUM [0-9]+\nWORD [a-z]+\nOP [-+*/]\n%%\ns: NUM OP NUM | WORD;\n%%\n";
+
+TEST(LazyDfaTaggerTest, MatchesFunctionalAllArmModes) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  for (ArmMode mode : {ArmMode::kAnchored, ArmMode::kScan, ArmMode::kResync}) {
+    for (bool longest : {true, false}) {
+      TaggerOptions opt;
+      opt.arm_mode = mode;
+      opt.longest_match = longest;
+      for (std::string_view input :
+           {"12+34", "12 + 34", "hello", "12x", "", "   ", "??12+34??",
+            "a1b2c3", "garbage 12+34 more", "###\n42/7\n###",
+            "9*8 trailing", "12+34 56-78"}) {
+        ExpectSameTags(Functional(g, opt, input), Lazy(g, opt, input));
+      }
+    }
+  }
+}
+
+TEST(LazyDfaTaggerTest, ChunkedFeedMatchesWholeBuffer) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const std::string input = "  12+34 junk 99*1   abc 5-5 ";
+  const std::vector<Tag> whole = t->TagAll(input);
+  for (size_t chunk : {1u, 2u, 3u, 5u, 7u, 11u}) {
+    std::vector<Tag> streamed;
+    LazyDfaSession session = t->NewSession();
+    const TagSink sink = [&](const Tag& tag) {
+      streamed.push_back(tag);
+      return true;
+    };
+    for (size_t i = 0; i < input.size(); i += chunk) {
+      session.Feed(std::string_view(input).substr(i, chunk), sink);
+    }
+    session.Finish(sink);
+    ExpectSameTags(whole, streamed);
+    EXPECT_EQ(session.bytes_consumed(), input.size());
+  }
+}
+
+TEST(LazyDfaTaggerTest, EarlyStopMatchesFunctional) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kScan;
+  const std::string input = "12+34 abc 9*9 def";
+  for (size_t limit = 1; limit <= 4; ++limit) {
+    auto collect = [&](auto& tagger) {
+      std::vector<Tag> tags;
+      tagger.Run(input, [&](const Tag& tag) {
+        tags.push_back(tag);
+        return tags.size() < limit;
+      });
+      return tags;
+    };
+    auto functional = FunctionalTagger::Create(&g, opt);
+    auto lazy = LazyDfaTagger::Create(&g, opt);
+    ASSERT_TRUE(functional.ok() && lazy.ok());
+    ExpectSameTags(collect(*functional), collect(*lazy));
+  }
+}
+
+TEST(LazyDfaTaggerTest, SkipPathsStayExact) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  // Delimiter-run skip (resync): mostly-space stream with islands.
+  {
+    TaggerOptions opt;
+    opt.arm_mode = ArmMode::kResync;
+    std::string input(10000, ' ');
+    input.replace(5000, 5, "12+34");
+    input.replace(9990, 3, "abc");
+    ExpectSameTags(Functional(g, opt, input), Lazy(g, opt, input));
+  }
+  // Anchored-dead skip: nothing can match after the stream dies.
+  {
+    TaggerOptions opt;  // anchored
+    std::string input = "12+34 ";
+    input += std::string(5000, 'z');
+    input += " 9*9";
+    ExpectSameTags(Functional(g, opt, input), Lazy(g, opt, input));
+  }
+  // Resync garbage skip: a dead non-delimiter run is inert until the next
+  // delimiter rearms the machine.
+  {
+    TaggerOptions opt;
+    opt.arm_mode = ArmMode::kResync;
+    std::string input(8000, '?');
+    input += " 12+34";
+    const auto want = Functional(g, opt, input);
+    auto t = LazyDfaTagger::Create(&g, opt);
+    ASSERT_TRUE(t.ok());
+    std::vector<Tag> got;
+    LazyDfaSession session = t->NewSession();
+    const TagSink sink = [&](const Tag& tag) {
+      got.push_back(tag);
+      return true;
+    };
+    session.Feed(input, sink);
+    session.Finish(sink);
+    ExpectSameTags(want, got);
+    // The skip paths must keep the byte ledger exact, not just the tags.
+    EXPECT_EQ(session.bytes_consumed(), input.size());
+  }
+}
+
+TEST(LazyDfaTaggerTest, TinyCacheFlushesButStaysExact) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  // Budget below the cost of even a few interned states: every stretch of
+  // input churns the cache through Flush().
+  opt.dfa_cache_bytes = 1 << 9;
+  opt.dfa_flush_fallback = 1u << 30;  // never give up caching
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const std::string input = "  12+34 junk 99*1   abc 5-5 12 34 xyzzy 7/8 ";
+  const auto want = Functional(g, opt, input);
+  std::vector<Tag> got;
+  LazyDfaSession session = t->NewSession();
+  const TagSink sink = [&](const Tag& tag) {
+    got.push_back(tag);
+    return true;
+  };
+  session.Feed(input, sink);
+  session.Finish(sink);
+  ExpectSameTags(want, got);
+  EXPECT_GT(session.cache_flushes(), 0u);
+  EXPECT_FALSE(session.fallback_active());
+  EXPECT_LE(session.cache_bytes(), opt.dfa_cache_bytes * 2);
+}
+
+TEST(LazyDfaTaggerTest, FlushThrashFallsBackToFused) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  opt.dfa_cache_bytes = 1 << 9;
+  opt.dfa_flush_fallback = 2;
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const std::string input = "  12+34 junk 99*1   abc 5-5 12 34 xyzzy 7/8 ";
+  const auto want = Functional(g, opt, input);
+  std::vector<Tag> got;
+  LazyDfaSession session = t->NewSession();
+  const TagSink sink = [&](const Tag& tag) {
+    got.push_back(tag);
+    return true;
+  };
+  session.Feed(input, sink);
+  session.Finish(sink);
+  ExpectSameTags(want, got);
+  EXPECT_TRUE(session.fallback_active());
+  EXPECT_GE(session.cache_flushes(), 2u);
+  // The verdict is sticky across Reset(): the session stays fused.
+  session.Reset();
+  EXPECT_TRUE(session.fallback_active());
+  got.clear();
+  session.Feed(input, sink);
+  session.Finish(sink);
+  ExpectSameTags(want, got);
+  // Rebinding to a different tagger clears the verdict with the cache.
+  auto t2 = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t2.ok());
+  session.Rebind(&*t2);
+  EXPECT_FALSE(session.fallback_active());
+  EXPECT_EQ(session.cache_flushes(), 0u);
+}
+
+TEST(LazyDfaTaggerTest, ResetKeepsWarmCache) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const std::string input = "  12+34 junk 99*1   abc 5-5 ";
+  const auto want = Functional(g, opt, input);
+  LazyDfaSession session = t->NewSession();
+  std::vector<Tag> got;
+  const TagSink sink = [&](const Tag& tag) {
+    got.push_back(tag);
+    return true;
+  };
+  session.Feed(input, sink);
+  session.Finish(sink);
+  ExpectSameTags(want, got);
+  const size_t warm_states = session.cache_states();
+  EXPECT_GT(warm_states, 0u);
+  // A second pass over the same stream runs out of cached transitions:
+  // identical output and not a single new state interned.
+  session.Reset();
+  got.clear();
+  session.Feed(input, sink);
+  session.Finish(sink);
+  ExpectSameTags(want, got);
+  EXPECT_EQ(session.cache_states(), warm_states);
+}
+
+TEST(LazyDfaTaggerTest, SessionPoolReusesSessions) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  auto t = LazyDfaTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  (void)t->TagAll("12+34");
+  (void)t->TagAll("56-7");
+  EXPECT_EQ(t->session_pool().IdleCount(), 1u);
+  EXPECT_GE(t->session_pool().sessions_reused(), 1u);
+  // Pool survives a tagger move (shared_ptr semantics).
+  LazyDfaTagger moved = std::move(t).value();
+  ASSERT_EQ(moved.TagAll("1+1").size(), 3u);  // NUM OP NUM
+}
+
+TEST(LazyDfaTaggerTest, AutoHeuristicPrefersLazyForSmallGrammars) {
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  auto fused = FusedTagger::Create(&g, {});
+  ASSERT_TRUE(fused.ok());
+  // A handful of byte classes over a few state words is far under the
+  // product limit — exactly the shape `--backend auto` routes to the DFA.
+  EXPECT_TRUE(LazyDfaTagger::AutoPrefers(*fused));
+  EXPECT_LE(static_cast<size_t>(fused->NumByteClasses()) *
+                fused->NumStateWords(),
+            LazyDfaTagger::kAutoProductLimit);
+}
+
+TEST(LazyDfaTaggerTest, CacheMetricsAreRegistered) {
+  const DfaCacheMetrics& m = DfaCacheMetrics::Get();
+  ASSERT_NE(m.states, nullptr);
+  ASSERT_NE(m.flushes, nullptr);
+  ASSERT_NE(m.fallbacks, nullptr);
+  const uint64_t states_before = m.states->Value();
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  auto t = LazyDfaTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  (void)t->TagAll("12+34 77*1");
+  EXPECT_GT(m.states->Value(), states_before);
+}
+
+}  // namespace
+}  // namespace cfgtag::tagger

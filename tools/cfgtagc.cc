@@ -16,9 +16,13 @@
 //   --testbench FILE    with --tag: emit a self-checking VHDL testbench
 //                       that replays the tagged input and asserts the tags
 //   --mode MODE         anchored | scan | resync       (default anchored)
-//   --backend ENGINE    functional | fused: the software engine behind
-//                       --tag (default functional; fused is the
-//                       byte-class-compressed bit-parallel engine)
+//   --backend ENGINE    functional | fused | lazy | auto: the software
+//                       engine behind --tag (default functional; fused is
+//                       the byte-class-compressed bit-parallel engine,
+//                       lazy memoizes fused steps as a lazily built DFA,
+//                       auto picks lazy when the grammar's byte-class x
+//                       state-word product is small enough for the
+//                       transition cache to pay off, fused otherwise)
 //   --threads N         with --tag: shard the input at newline record
 //                       boundaries and tag shards in parallel (needs
 //                       --mode resync and newline-framed records;
@@ -60,7 +64,7 @@ int Usage(const char* argv0) {
                "usage: %s GRAMMAR [INPUT] [--vhdl FILE] [--entity NAME]\n"
                "       [--report] [--analysis] [--tag FILE]\n"
                "       [--cycle-accurate] [--mode anchored|scan|resync]\n"
-               "       [--backend functional|fused]\n"
+               "       [--backend functional|fused|lazy|auto]\n"
                "       [--threads N] [--bytes-per-cycle N] [--replicate N]\n"
                "       [--no-longest-match] [--no-encoder]\n"
                "       [--metrics-out FILE] [--trace-out FILE]\n",
@@ -220,8 +224,13 @@ int RunTool(int argc, char** argv) {
         options.tagger.backend = cfgtag::tagger::TaggerBackend::kFunctional;
       } else if (std::strcmp(v, "fused") == 0) {
         options.tagger.backend = cfgtag::tagger::TaggerBackend::kFused;
+      } else if (std::strcmp(v, "lazy") == 0) {
+        options.tagger.backend = cfgtag::tagger::TaggerBackend::kLazyDfa;
+      } else if (std::strcmp(v, "auto") == 0) {
+        options.tagger.backend = cfgtag::tagger::TaggerBackend::kAuto;
       } else {
-        std::fprintf(stderr, "--backend must be functional or fused\n");
+        std::fprintf(stderr,
+                     "--backend must be functional, fused, lazy or auto\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--threads") {
@@ -461,11 +470,17 @@ int RunTool(int argc, char** argv) {
       }
       std::printf("wrote waveform to %s\n", vcd_path.c_str());
     }
-    const char* engine =
-        cycle_accurate ? "cycle-accurate"
-        : options.tagger.backend == cfgtag::tagger::TaggerBackend::kFused
-            ? "fused"
-            : "functional";
+    // Report the engine the compile resolved to (--backend auto becomes
+    // fused or lazy-dfa by here).
+    const char* engine = "functional";
+    if (cycle_accurate) {
+      engine = "cycle-accurate";
+    } else if (tagger->backend() == cfgtag::tagger::TaggerBackend::kFused) {
+      engine = "fused";
+    } else if (tagger->backend() ==
+               cfgtag::tagger::TaggerBackend::kLazyDfa) {
+      engine = "lazy-dfa";
+    }
     std::printf("%zu tags from %s (%s engine):\n", tags.size(),
                 tag_path.c_str(), engine);
     for (const auto& t : tags) {
