@@ -252,6 +252,15 @@ void Run(bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = cfgtag::bench::StripSmokeFlag(&argc, argv);
+  // --stats-port serves the observability endpoints over loopback for the
+  // life of the run (and switches attribution on); --stats-hold-seconds
+  // leaves a scrape window after the bench body.
+  const int stats_port =
+      cfgtag::bench::StripIntFlag(&argc, argv, "--stats-port", -1);
+  const int stats_hold =
+      cfgtag::bench::StripIntFlag(&argc, argv, "--stats-hold-seconds", 0);
+  cfgtag::bench::MaybeServeStats(stats_port);
   cfgtag::bench::Run(smoke);
+  cfgtag::bench::HoldStats(stats_hold);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attribution.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -157,6 +159,25 @@ std::vector<Alert> ContextFilter::Scan(std::string_view stream,
   std::stable_sort(alerts.begin(), alerts.end(),
                    [](const Alert& a, const Alert& b) { return a.end < b.end; });
   local.alerts = alerts.size();
+  if (!alerts.empty()) {
+    // Flight-record every alert (rare; correlation id inherited from the
+    // enclosing ScanEngine shard, if any) and fold per-rule counts into
+    // the attribution table when the switch is on.
+    for (const Alert& a : alerts) {
+      const Rule& rule = rules_[a.rule_index];
+      obs::RecordEvent(obs::EventKind::kNidsAlert,
+                       static_cast<int64_t>(a.end), rule.severity, rule.id);
+    }
+    if (obs::AttributionTable::enabled()) {
+      std::vector<uint64_t> per_rule(rules_.size(), 0);
+      for (const Alert& a : alerts) ++per_rule[a.rule_index];
+      for (size_t i = 0; i < per_rule.size(); ++i) {
+        if (per_rule[i] != 0) {
+          obs::AttributionTable::Default().AddRule(rules_[i].id, per_rule[i]);
+        }
+      }
+    }
+  }
   metrics.scans->Increment();
   metrics.bytes->Increment(local.bytes);
   metrics.tokens->Increment(local.tokens);

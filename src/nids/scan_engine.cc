@@ -1,7 +1,9 @@
 #include "nids/scan_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tagger/tag.h"
@@ -59,7 +61,21 @@ std::vector<StreamResult> ScanEngine::ScanBatch(
   obs::ScopedTimer timer(metrics.batch_seconds);
   std::vector<StreamResult> results(streams.size());
   pool_.RunIndexed(streams.size(), [&](size_t i) {
+    // Each stream gets its own correlation id: alerts it raises inherit
+    // the id via the thread-local scope, and a slow unit's event carries
+    // the same id — so a dump ties alert to shard.
+    obs::CorrelationScope cscope(obs::NextCorrelationId());
+    const auto t0 = std::chrono::steady_clock::now();
     results[i].alerts = filter_->Scan(streams[i], &results[i].stats);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (options_.slow_shard_seconds > 0 &&
+        secs >= options_.slow_shard_seconds) {
+      obs::RecordEvent(obs::EventKind::kSlowShard,
+                       static_cast<int64_t>(streams[i].size()),
+                       static_cast<int64_t>(i), "slow batch stream");
+    }
   });
   uint64_t bytes = 0;
   for (const StreamResult& r : results) bytes += r.stats.bytes;
@@ -101,11 +117,22 @@ StreamResult ScanEngine::ScanStream(std::string_view stream) const {
 
   std::vector<StreamResult> shard(starts.size());
   pool_.RunIndexed(starts.size(), [&](size_t i) {
+    obs::CorrelationScope cscope(obs::NextCorrelationId());
+    const auto t0 = std::chrono::steady_clock::now();
     const size_t begin = starts[i];
     const size_t end = i + 1 < starts.size() ? starts[i + 1] : stream.size();
     shard[i].alerts =
         filter_->Scan(stream.substr(begin, end - begin), &shard[i].stats);
     for (Alert& a : shard[i].alerts) a.end += begin;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (options_.slow_shard_seconds > 0 &&
+        secs >= options_.slow_shard_seconds) {
+      obs::RecordEvent(obs::EventKind::kSlowShard,
+                       static_cast<int64_t>(end - begin),
+                       static_cast<int64_t>(i), "slow stream shard");
+    }
   });
 
   // Shards cover disjoint increasing ranges and each shard's alerts are

@@ -29,6 +29,10 @@ struct ScanEngineOptions {
   // record byte must also be a tagger delimiter; otherwise ScanStream()
   // refuses to shard and falls back to one sequential Scan().
   regex::CharClass record_delimiters = regex::CharClass::Of('\n');
+  // A worker unit (one batch stream or one stream shard) slower than this
+  // is flight-recorded as a kSlowShard event, tagged with the unit's
+  // correlation id so its alerts can be tied back to it. <= 0 disables.
+  double slow_shard_seconds = 0.25;
 };
 
 // One stream's scan outcome: its alerts (stream-order, offsets absolute

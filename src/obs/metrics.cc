@@ -31,6 +31,59 @@ void SplitName(const std::string& name, std::string* base,
   *labels = name.substr(brace + 1, end - brace - 1);
 }
 
+// Prometheus text-format escaping for a HELP line: backslash and newline
+// only (the spec leaves everything else literal).
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Escapes the label *values* inside a `key="value",key2="value2"` body per
+// the text-format spec: backslash -> \\, quote -> \", newline -> \n.
+// Values arrive raw (callers build names by splicing strings between `="`
+// and `"`), so a quote inside a value is only treated as the closing quote
+// when the body ends or a ',' follows — the one ambiguous case, `",` as
+// literal value content, is misread, which is the price of carrying labels
+// inline in the metric name.
+std::string EscapeLabelBody(const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 8);
+  bool in_value = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (!in_value) {
+      out += c;
+      if (c == '"') in_value = true;
+      continue;
+    }
+    if (c == '"') {
+      if (i + 1 == body.size() || body[i + 1] == ',') {
+        out += '"';
+        in_value = false;
+      } else {
+        out += "\\\"";
+      }
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -153,25 +206,32 @@ std::string MetricsRegistry::ExpositionText() const {
     if (!headered.insert(base).second) return;
     auto help = help_.find(name);
     if (help != help_.end()) {
-      out += "# HELP " + base + " " + help->second + "\n";
+      out += "# HELP " + base + " " + EscapeHelp(help->second) + "\n";
     }
     out += "# TYPE " + base + " " + type + "\n";
+  };
+  auto series_name = [](const std::string& base, const std::string& labels) {
+    return labels.empty() ? base
+                          : base + "{" + EscapeLabelBody(labels) + "}";
   };
 
   std::string base, labels;
   for (const auto& [name, counter] : counters_) {
     SplitName(name, &base, &labels);
     emit_header(name, base, "counter");
-    out += name + " " + std::to_string(counter->Value()) + "\n";
+    out += series_name(base, labels) + " " +
+           std::to_string(counter->Value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     SplitName(name, &base, &labels);
     emit_header(name, base, "gauge");
-    out += name + " " + FormatDouble(gauge->Value()) + "\n";
+    out += series_name(base, labels) + " " + FormatDouble(gauge->Value()) +
+           "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     SplitName(name, &base, &labels);
     emit_header(name, base, "histogram");
+    if (!labels.empty()) labels = EscapeLabelBody(labels);
     const std::string prefix = labels.empty() ? "" : labels + ",";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < hist->bounds().size(); ++i) {

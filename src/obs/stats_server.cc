@@ -1,0 +1,183 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/attribution.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cfgtag::obs {
+
+namespace {
+
+struct Response {
+  int code = 200;
+  const char* reason = "OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+Response BuildResponse(const std::string& path) {
+  Response r;
+  if (path == "/healthz") {
+    r.body = "ok\n";
+  } else if (path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = MetricsRegistry::Default().ExpositionText();
+  } else if (path == "/metrics.json") {
+    r.content_type = "application/json";
+    r.body = MetricsRegistry::Default().ToJson();
+  } else if (path == "/trace.json") {
+    r.content_type = "application/json";
+    std::ostringstream os;
+    Tracer::Default().WriteChromeTrace(os);
+    r.body = os.str();
+  } else if (path == "/events") {
+    r.content_type = "application/json";
+    std::ostringstream os;
+    FlightRecorder::Default().WriteJson(os);
+    r.body = os.str();
+  } else if (path == "/rules") {
+    r.content_type = "application/json";
+    r.body = AttributionTable::Default().ToJson();
+  } else if (path == "/") {
+    r.body =
+        "cfgtag stats server\n"
+        "  /healthz       liveness probe\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  metrics registry as JSON\n"
+        "  /trace.json    Chrome trace_event JSON\n"
+        "  /events        flight-recorder event ring\n"
+        "  /rules         ranked hot-rule/token attribution\n";
+  } else {
+    r.code = 404;
+    r.reason = "Not Found";
+    r.body = "not found\n";
+  }
+  return r;
+}
+
+// First line of "GET /path HTTP/1.x" -> "/path" ("" on anything else).
+std::string ParseRequestPath(const char* buf, size_t n) {
+  const std::string_view req(buf, n);
+  if (req.rfind("GET ", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t end = req.find(' ', start);
+  if (end == std::string_view::npos) return "";
+  std::string path(req.substr(start, end - start));
+  // Strip a query string; the endpoints take no parameters.
+  const size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path;
+}
+
+void WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) return;
+    off += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+Status StatsServer::Start(int port) {
+  if (running()) return InternalError("stats server already running");
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("stats port out of range: " +
+                                std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("bind(127.0.0.1:" + std::to_string(port) +
+                         "): " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("listen(): " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept(); the fd itself is closed only
+  // after the accept thread has exited, so the descriptor cannot be reused
+  // by another thread while accept() still references it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void StatsServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() or a fatal socket error: exit the loop. Stop() owns
+      // the fd teardown.
+      return;
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  // One read covers any realistic request line + headers from a scraper;
+  // a truncated request simply 404s.
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  const std::string path = ParseRequestPath(buf, static_cast<size_t>(n));
+  const Response r = BuildResponse(path.empty() ? "\x01" : path);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Default()
+      .GetCounter("cfgtag_stats_requests_total",
+                  "HTTP requests served by the stats server")
+      ->Increment();
+
+  std::string head = "HTTP/1.0 " + std::to_string(r.code) + " " + r.reason +
+                     "\r\nContent-Type: " + r.content_type +
+                     "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, head.data(), head.size());
+  WriteAll(fd, r.body.data(), r.body.size());
+}
+
+}  // namespace cfgtag::obs

@@ -1,0 +1,64 @@
+#ifndef CFGTAG_OBS_STATS_SERVER_H_
+#define CFGTAG_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cfgtag::obs {
+
+// Dependency-free embedded HTTP stats server: a loopback-only listening
+// socket with a blocking accept loop on one dedicated thread, serving the
+// process's observability surfaces live:
+//
+//   /healthz       "ok" liveness probe
+//   /metrics       Prometheus text exposition of the default registry
+//   /metrics.json  the same registry as JSON
+//   /trace.json    Chrome trace_event JSON of the default tracer
+//   /events        the flight recorder's event ring as JSON
+//   /rules         the attribution table's ranked hot-rule/token JSON
+//   /              a plain-text index of the endpoints above
+//
+// Connections are handled serially (scrapers poll every few seconds; a
+// second connection simply queues in the accept backlog), HTTP/1.0 style:
+// read one request, write one Content-Length response, close. The server
+// binds 127.0.0.1 only — it exposes internals and has no auth.
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer() { Stop(); }
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 = kernel-assigned, see port()) and starts
+  // the accept thread. Fails if already running or the bind fails.
+  Status Start(int port);
+
+  // Shuts the listener down and joins the accept thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (meaningful after a successful Start()).
+  int port() const { return port_; }
+
+  // Total requests served (any endpoint, 404s included).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace cfgtag::obs
+
+#endif  // CFGTAG_OBS_STATS_SERVER_H_

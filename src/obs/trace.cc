@@ -1,7 +1,10 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <ostream>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace cfgtag::obs {
 
@@ -45,12 +48,30 @@ uint64_t Tracer::NowUs() const {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (spans_.size() >= capacity_) {
-    ++dropped_;
-    return;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) {
+      ++dropped_;
+      overwrote = true;
+    } else if (spans_.size() < capacity_) {
+      spans_.push_back(std::move(record));
+    } else {
+      spans_[ring_next_] = std::move(record);
+      ring_next_ = (ring_next_ + 1) % capacity_;
+      ++dropped_;
+      overwrote = true;
+    }
   }
-  spans_.push_back(std::move(record));
+  // Counter fetched per drop, not cached: drops are already the slow path
+  // and tests may Clear() the registry, which would dangle a cached
+  // pointer.
+  if (overwrote) {
+    MetricsRegistry::Default()
+        .GetCounter("cfgtag_trace_spans_dropped_total",
+                    "Trace spans overwritten because the span ring was full")
+        ->Increment();
+  }
 }
 
 void Tracer::SetLastPath(std::string path) {
@@ -80,12 +101,39 @@ std::string Tracer::LastSpanPath() const {
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  std::vector<SpanRecord> out = spans_;
+  if (ring_next_ != 0) {
+    std::rotate(out.begin(),
+                out.begin() + static_cast<ptrdiff_t>(ring_next_), out.end());
+  }
+  return out;
 }
 
 uint64_t Tracer::dropped_spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Tracer::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Linearize oldest-first before resizing so truncation drops from the
+  // old end.
+  if (ring_next_ != 0) {
+    std::rotate(spans_.begin(),
+                spans_.begin() + static_cast<ptrdiff_t>(ring_next_),
+                spans_.end());
+    ring_next_ = 0;
+  }
+  capacity_ = n;
+  if (spans_.size() > n) {
+    spans_.erase(spans_.begin(),
+                 spans_.end() - static_cast<ptrdiff_t>(n));
+  }
 }
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
@@ -104,6 +152,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  ring_next_ = 0;
   dropped_ = 0;
   last_path_.clear();
 }

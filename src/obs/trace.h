@@ -26,9 +26,11 @@ struct SpanRecord {
 // driven by ScopedSpan; spans nest per thread (a span opened while another
 // is live on the same thread becomes its child).
 //
-// The buffer is bounded: once `capacity` spans are stored, further spans
-// are counted in dropped_spans() but not retained, so leaving tracing on
-// in a long-lived service costs O(capacity) memory.
+// The buffer is a bounded ring: once `capacity` spans are stored, each new
+// span overwrites the oldest one, so a long-lived service always holds the
+// most recent window at O(capacity) memory. Overwrites are counted in
+// dropped_spans() and mirrored into the default MetricsRegistry as
+// `cfgtag_trace_spans_dropped_total`.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 1 << 16);
@@ -41,10 +43,17 @@ class Tracer {
   std::string LastSpanPath() const;
 
   // Completed spans in completion order (a parent therefore follows its
-  // children).
+  // children), oldest retained span first.
   std::vector<SpanRecord> Snapshot() const;
 
+  // Spans overwritten (oldest-first) because the ring was full.
   uint64_t dropped_spans() const;
+
+  size_t capacity() const;
+
+  // Resizes the ring, keeping the most recent min(n, size) spans. A
+  // capacity of 0 drops every future span (still counted).
+  void set_capacity(size_t n);
 
   // Writes the Chrome trace_event JSON ({"traceEvents": [...]}, "X" phase
   // complete events).
@@ -64,10 +73,12 @@ class Tracer {
   void SetLastPath(std::string path);
   uint32_t ThreadId();
 
-  const size_t capacity_;
+  size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  std::vector<SpanRecord> spans_;  // ring once full; spans_[ring_next_]
+                                   // is the oldest retained span
+  size_t ring_next_ = 0;
   uint64_t dropped_ = 0;
   std::string last_path_;
   uint32_t next_tid_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "grammar/analysis.h"
+#include "obs/attribution.h"
 #include "regex/position_automaton.h"
 
 namespace cfgtag::tagger {
@@ -207,6 +208,13 @@ FusedSession::FusedSession(const FusedTagger* tagger) : tagger_(nullptr) {
 
 void FusedSession::Rebind(const FusedTagger* tagger) {
   if (tagger != tagger_) {
+    // The old tagger may already be gone (pooled sessions outlive the
+    // tagger that last used them), so unmerged attribution cannot be
+    // resolved to token names any more — drop it rather than chase a
+    // possibly dangling pointer.
+    attr_dirty_ = false;
+    std::fill(attr_matches_.begin(), attr_matches_.end(), 0);
+    std::fill(attr_live_.begin(), attr_live_.end(), 0);
     tagger_ = tagger;
     if (state_.size() != tagger_->num_words_) {
       state_.assign(tagger_->num_words_, 0);
@@ -223,6 +231,13 @@ void FusedSession::Rebind(const FusedTagger* tagger) {
 }
 
 void FusedSession::Reset() {
+  FlushAttribution();
+  attr_on_ = obs::AttributionTable::enabled();
+  if (attr_on_ && (attr_matches_.size() != tagger_->num_tokens_ ||
+                   attr_live_.size() != tagger_->num_words_)) {
+    attr_matches_.assign(tagger_->num_tokens_, 0);
+    attr_live_.assign(tagger_->num_words_, 0);
+  }
   // Unmarked state/next words are never read, but armed_first_ words must
   // be zero wherever unmarked (the OR-accumulate invariant), and a full
   // zero of everything is the cheapest way to restore all invariants.
@@ -256,6 +271,7 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
   const ArmMode mode = t.options_.EffectiveArmMode();
   const uint8_t cls = t.classifier_.ClassOf(c);
   const bool delim = t.class_is_delim_[cls] != 0;
+  if (attr_on_) attr_dirty_ = true;
 
   uint64_t* next = next_.data();
   uint64_t* next_meta = next_meta_.data();
@@ -333,6 +349,8 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
   // 3. Single-pass class filter over the touched words; words filtered to
   //    zero drop out of the meta so later passes skip them.
   const uint64_t* cm = t.class_mask_.data() + static_cast<size_t>(cls) * nw;
+  // Local copies keep the loop-invariant flag and array bases in registers
+  // (member loads would re-read through `this` after the next[w] store).
   uint64_t any = 0;
   for (size_t mi = 0; mi < next_meta_.size(); ++mi) {
     uint64_t mbits = next_meta[mi];
@@ -346,6 +364,26 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
       any |= next[w];
     }
     next_meta[mi] = kept;
+  }
+
+  // Live-word attribution is *sampled*: every 64th byte credits its kept
+  // words with weight 64, in a separate rescan of the kept meta bits. A
+  // post-pass (instead of instrumenting the filter loop above) keeps the
+  // filter loop's codegen byte-identical whether attribution is on or
+  // off, and testing pos_ before the flag gives both configurations the
+  // same 63-in-64-not-taken branch here. The estimate stays unbiased over
+  // runs longer than the stride, and byte 0 is always sampled, so short
+  // streams still register.
+  if ((pos_ & 63) == 0 && attr_on_) {
+    uint64_t* const attr_live = attr_live_.data();
+    for (size_t mi = 0; mi < next_meta_.size(); ++mi) {
+      uint64_t mbits = next_meta[mi];
+      while (mbits) {
+        const size_t w = mi * 64 + static_cast<size_t>(__builtin_ctzll(mbits));
+        mbits &= mbits - 1;
+        attr_live[w] += 64;
+      }
+    }
   }
 
   // 4. Match extraction: accept-mask AND over live words, one emission per
@@ -386,6 +424,7 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
           tag.token = tok;
           tag.end = pos_;
           if (!stopped_ && !sink(tag)) stopped_ = true;
+          if (attr_on_) ++attr_matches_[static_cast<size_t>(tok)];
           emitted_.push_back(tok);
         }
       }
@@ -547,9 +586,32 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
 void FusedSession::Finish(const TagSink& sink) {
   if (finished_) return;
   finished_ = true;
-  if (stopped_ || !has_pending_) return;
-  ProcessByte(pending_, /*has_next=*/false, 0, sink);
-  has_pending_ = false;
+  if (!stopped_ && has_pending_) {
+    ProcessByte(pending_, /*has_next=*/false, 0, sink);
+    has_pending_ = false;
+  }
+  FlushAttribution();
+}
+
+void FusedSession::FlushAttribution() {
+  if (!attr_dirty_) return;
+  attr_dirty_ = false;
+  const std::vector<grammar::TokenDef>& tokens = tagger_->grammar().tokens();
+  obs::AttributionTable& table = obs::AttributionTable::Default();
+  // Fold the per-word live counts onto their owning tokens (words are
+  // never shared between tokens), then merge token rows in one pass.
+  std::vector<uint64_t> live(attr_matches_.size(), 0);
+  for (size_t w = 0; w < attr_live_.size(); ++w) {
+    if (attr_live_[w] != 0) {
+      live[static_cast<size_t>(tagger_->word_token_[w])] += attr_live_[w];
+      attr_live_[w] = 0;
+    }
+  }
+  for (size_t tok = 0; tok < attr_matches_.size(); ++tok) {
+    if (attr_matches_[tok] == 0 && live[tok] == 0) continue;
+    table.AddToken(tokens[tok].name, attr_matches_[tok], live[tok]);
+    attr_matches_[tok] = 0;
+  }
 }
 
 }  // namespace cfgtag::tagger

@@ -67,6 +67,12 @@ class FusedSession {
   void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
                    const TagSink& sink);
 
+  // Merges the per-token attribution scratch into
+  // obs::AttributionTable::Default() and zeroes it. Called from Finish()
+  // and Reset() so pooled sessions merge on release/recheckout; a no-op
+  // unless a ProcessByte ran with attribution on since the last flush.
+  void FlushAttribution();
+
   // Replaces the machine configuration with an externally captured one:
   // sparse (word, bits) lists for the state and armed bitmaps, plus the
   // delimiter flag. Every listed bits value must be nonzero. Clears the
@@ -97,6 +103,20 @@ class FusedSession {
   bool stopped_ = false;  // sink requested early stop
   unsigned char pending_ = 0;
   uint64_t pos_ = 0;
+
+  // Hot-path attribution (see obs::AttributionTable). attr_on_ samples the
+  // process-wide switch at Reset() time; when off, the per-byte cost is a
+  // single predicted branch. attr_matches_ is indexed by token id and is
+  // exact. attr_live_ is indexed by state *word* — pass 3 already has the
+  // word index in hand, so counting per word keeps the tagger's
+  // word_token_ lookup out of the inner loop — and holds a *sampled*
+  // activity estimate: every 64th byte counts with weight 64.
+  // FlushAttribution() folds words back onto tokens (cold path) and
+  // merges both into the process table.
+  bool attr_on_ = false;
+  bool attr_dirty_ = false;
+  std::vector<uint64_t> attr_matches_;
+  std::vector<uint64_t> attr_live_;
 };
 
 // Bit-parallel tagger with every token's Glushkov positions fused into one
@@ -139,6 +159,8 @@ class FusedTagger {
   size_t TotalPositions() const { return total_positions_; }
   // Words of the fused global state bitmap.
   size_t NumStateWords() const { return num_words_; }
+  // Words of the occupancy meta bitmap (one bit per state word).
+  size_t NumMetaWords() const { return meta_words_; }
   // Byte-class compression: distinct transition classes out of 256 bytes.
   size_t NumByteClasses() const { return classifier_.NumClasses(); }
 

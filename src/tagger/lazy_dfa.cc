@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/attribution.h"
+#include "obs/events.h"
+
 namespace cfgtag::tagger {
 
 namespace {
@@ -101,6 +104,11 @@ LazyDfaSession::LazyDfaSession(const LazyDfaTagger* tagger)
 
 void LazyDfaSession::Rebind(const LazyDfaTagger* tagger) {
   if (tagger != tagger_) {
+    // As with FusedSession::Rebind: the old tagger may be gone, so drop
+    // (not merge) any unflushed attribution.
+    attr_dirty_ = false;
+    std::fill(attr_matches_.begin(), attr_matches_.end(), 0);
+    attr_dfa_hits_ = attr_dfa_misses_ = 0;
     tagger_ = tagger;
     scratch_.Rebind(&tagger_->fused());
     ClearCache();
@@ -121,13 +129,24 @@ void LazyDfaSession::ClearCache() {
 }
 
 void LazyDfaSession::Reset() {
+  FlushAttribution();
+  attr_on_ = obs::AttributionTable::enabled();
+  if (attr_on_ &&
+      attr_matches_.size() != tagger_->grammar().NumTokens()) {
+    attr_matches_.assign(tagger_->grammar().NumTokens(), 0);
+  }
   consumed_ = 0;
   finished_ = false;
   stopped_ = false;
   if (fallback_) {
+    // In fallback the scratch session runs the real stream, so it counts
+    // for itself (its Reset() resamples the attribution switch).
     scratch_.Reset();
     return;
   }
+  // Build steps must never count: every emission they produce is replayed
+  // (and counted) from the cache.
+  scratch_.attr_on_ = false;
   // Intern (or find) the stream-start configuration: no live positions,
   // start tokens armed unless in scan mode, no pending byte.
   const FusedTagger& f = tagger_->fused();
@@ -206,12 +225,42 @@ void LazyDfaSession::EnterFallback() {
   MaterializeScratch();
   ClearCache();
   fallback_ = true;
+  // From here the scratch session runs the real stream, so it takes over
+  // attribution counting (LoadConfig does not resample the switch).
+  scratch_.attr_on_ = attr_on_;
+  if (attr_on_ &&
+      scratch_.attr_matches_.size() != tagger_->grammar().NumTokens()) {
+    scratch_.attr_matches_.assign(tagger_->grammar().NumTokens(), 0);
+    // Live-word counts are per fused state word, not per token.
+    scratch_.attr_live_.assign(tagger_->fused().NumStateWords(), 0);
+  }
   DfaCacheMetrics::Get().fallbacks->Increment();
+  obs::RecordEvent(obs::EventKind::kDfaCacheFallback,
+                   static_cast<int64_t>(flushes_),
+                   static_cast<int64_t>(consumed_),
+                   "lazy-dfa session fell back to fused");
+}
+
+void LazyDfaSession::FlushAttribution() {
+  if (!attr_dirty_) return;
+  attr_dirty_ = false;
+  obs::AttributionTable& table = obs::AttributionTable::Default();
+  const std::vector<grammar::TokenDef>& tokens = tagger_->grammar().tokens();
+  for (size_t tok = 0; tok < attr_matches_.size(); ++tok) {
+    if (attr_matches_[tok] == 0) continue;
+    table.AddToken(tokens[tok].name, attr_matches_[tok], /*live_words=*/0);
+    attr_matches_[tok] = 0;
+  }
+  table.AddDfaCache(attr_dfa_hits_, attr_dfa_misses_);
+  attr_dfa_hits_ = attr_dfa_misses_ = 0;
 }
 
 void LazyDfaSession::Flush() {
   ++flushes_;
   DfaCacheMetrics::Get().flushes->Increment();
+  obs::RecordEvent(obs::EventKind::kDfaCacheFlush,
+                   static_cast<int64_t>(cache_bytes_),
+                   static_cast<int64_t>(flushes_), "dfa transition cache flush");
   if (flushes_ >= tagger_->options().dfa_flush_fallback) {
     EnterFallback();
     return;
@@ -293,6 +342,7 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
   const ArmMode mode = f.options().EffectiveArmMode();
   const RunScanner& delim = f.delimiter_scanner();
   const SkipMetrics& skips = SkipMetrics::Get();
+  if (attr_on_) attr_dirty_ = true;
 
   size_t i = 0;
   while (i < n) {
@@ -340,6 +390,7 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
     const uint8_t cls = classes.ClassOf(static_cast<unsigned char>(data[i]));
     Trans tr = trans_[static_cast<size_t>(state_) * num_classes_ + cls];
     if (tr.next < 0) {
+      if (attr_on_) ++attr_dfa_misses_;
       tr = BuildTransition(cls);
       if (fallback_) {
         // The scratch session holds the exact current configuration and
@@ -348,6 +399,8 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
         SyncFromScratch();
         return;
       }
+    } else if (attr_on_) {
+      ++attr_dfa_hits_;
     }
     if (tr.emit_count != 0) {
       const int32_t* toks = emit_pool_.data() + tr.emit_begin;
@@ -356,6 +409,9 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
         tag.token = toks[k];
         tag.end = consumed_;
         if (!stopped_ && !sink(tag)) stopped_ = true;
+        if (attr_on_) {
+          ++attr_matches_[static_cast<size_t>(toks[k])];
+        }
       }
     }
     if (pending >= 0) ++consumed_;
@@ -369,18 +425,29 @@ void LazyDfaSession::Finish(const TagSink& sink) {
   if (finished_) return;
   finished_ = true;
   if (fallback_) {
-    scratch_.Finish(sink);
+    scratch_.Finish(sink);  // scratch merges its own attribution
     SyncFromScratch();
+    FlushAttribution();
     return;
   }
-  if (stopped_) return;
-  const StateInfo& info = states_[static_cast<size_t>(state_)];
-  if (info.pending_cls < 0) return;
-  // One real fused step with no look-ahead; not worth caching (once per
-  // stream), and the class representative is again exact.
-  MaterializeScratch();
-  scratch_.Finish(sink);
-  SyncFromScratch();
+  if (!stopped_ &&
+      states_[static_cast<size_t>(state_)].pending_cls >= 0) {
+    // One real fused step with no look-ahead; not worth caching (once per
+    // stream), and the class representative is again exact. The scratch
+    // step does not count attribution, so the wrapper tallies the final
+    // byte's emissions here.
+    MaterializeScratch();
+    if (attr_on_) {
+      scratch_.Finish([this, &sink](const Tag& tag) {
+        ++attr_matches_[static_cast<size_t>(tag.token)];
+        return sink(tag);
+      });
+    } else {
+      scratch_.Finish(sink);
+    }
+    SyncFromScratch();
+  }
+  FlushAttribution();
 }
 
 }  // namespace cfgtag::tagger

@@ -124,6 +124,11 @@ class LazyDfaSession {
   void ClearCache();
   void SyncFromScratch();
 
+  // Merges the per-token match counts and DFA hit/miss tallies into
+  // obs::AttributionTable::Default() and zeroes them (see the fused
+  // session's equivalent). In fallback mode scratch_ counts for itself.
+  void FlushAttribution();
+
   const LazyDfaTagger* tagger_;
   FusedSession scratch_;
 
@@ -145,6 +150,15 @@ class LazyDfaSession {
   bool fallback_ = false;
   bool finished_ = false;
   bool stopped_ = false;
+
+  // Hot-path attribution (see obs::AttributionTable), sampled at Reset().
+  // Matches are counted at emission replay; scratch_ never counts its own
+  // build steps (they would double every replayed emission).
+  bool attr_on_ = false;
+  bool attr_dirty_ = false;
+  std::vector<uint64_t> attr_matches_;
+  uint64_t attr_dfa_hits_ = 0;
+  uint64_t attr_dfa_misses_ = 0;
 };
 
 // The lazy-DFA backend: owns the fused engine it memoizes and hands out

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "tagger/functional_model.h"
 
@@ -182,6 +183,10 @@ class BasicSessionPool {
     if (freed > 0) {
       dropped_.fetch_add(freed, std::memory_order_relaxed);
       PoolMetrics().dropped->Increment(freed);
+      obs::RecordEvent(obs::EventKind::kSessionPoolDrop,
+                       static_cast<int64_t>(freed),
+                       static_cast<int64_t>(idle_.size()),
+                       "session pool retention cap");
     }
     PoolMetrics().idle->Set(static_cast<double>(idle_.size()));
   }

@@ -1,5 +1,6 @@
 #include "xmlrpc/router.h"
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xmlrpc/xmlrpc_grammar.h"
@@ -94,6 +95,19 @@ int XmlRpcRouter::Route(std::string_view message) const {
   const int port = RouteTags(tagger_.Tag(message));
   metrics.messages->Increment();
   if (port == switch_.default_port()) metrics.defaulted->Increment();
+  if (obs::AttributionTable::enabled()) {
+    // Reverse-map the routed port to its service name (linear: routers
+    // hold a handful of services). The default port may also be a
+    // service's port, in which case that service gets the credit.
+    const char* service = "(default)";
+    for (const RouterConfig::Service& s : config_.services) {
+      if (s.port == port) {
+        service = s.name.c_str();
+        break;
+      }
+    }
+    obs::AttributionTable::Default().AddService(service, 1);
+  }
   return port;
 }
 

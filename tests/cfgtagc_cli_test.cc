@@ -151,4 +151,57 @@ TEST_F(CfgtagcCliTest, RejectsBadThreadCounts) {
   }
 }
 
+TEST_F(CfgtagcCliTest, StatsAttributionAndFlightRecorderFlags) {
+  const std::string fr = TempPath("fr_ok.json");
+  std::remove(fr.c_str());
+  ASSERT_EQ(RunTool(grammar_ + " --stats-port=0 --attribution "
+                    "--flight-recorder-out " + fr + " --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  const std::string output = Slurp(out_);
+  // The server bound an ephemeral port and announced its endpoints.
+  EXPECT_NE(output.find("stats server on http://127.0.0.1:"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("/metrics"), std::string::npos) << output;
+  // The flight-recorder dump was written on exit and is parseable shape.
+  const std::string dump = Slurp(fr);
+  EXPECT_NE(dump.find("\"recorded\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"events\""), std::string::npos) << dump;
+  std::remove(fr.c_str());
+}
+
+TEST_F(CfgtagcCliTest, RejectsBadStatsPorts) {
+  for (const char* bad : {"65536", "-2", "abc"}) {
+    EXPECT_EQ(RunTool(grammar_ + " --stats-port \"" + bad + "\" --tag " +
+                          input_,
+                      out_),
+              2)
+        << "--stats-port " << bad << " accepted: " << Slurp(out_);
+    EXPECT_NE(Slurp(out_).find("--stats-port"), std::string::npos)
+        << Slurp(out_);
+  }
+}
+
+TEST_F(CfgtagcCliTest, FlightRecorderDumpCarriesStatusFailures) {
+  const std::string bad_grammar = TempPath("bad_grammar.y");
+  const std::string fr = TempPath("fr_fail.json");
+  WriteFile(bad_grammar, "NUM [0-9]+\n");  // no definitions section
+  std::remove(fr.c_str());
+  EXPECT_EQ(RunTool(bad_grammar + " --flight-recorder-out " + fr + " --tag " +
+                        input_,
+                    out_),
+            1)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("grammar error:"), std::string::npos)
+      << Slurp(out_);
+  // The failure that ended the run is in the dump.
+  const std::string dump = Slurp(fr);
+  EXPECT_NE(dump.find("status_error"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("grammar"), std::string::npos) << dump;
+  std::remove(fr.c_str());
+  std::remove(bad_grammar.c_str());
+}
+
 }  // namespace

@@ -11,6 +11,7 @@
 #include "grammar/grammar_parser.h"
 #include "nids/context_filter.h"
 #include "nids/scan_engine.h"
+#include "obs/events.h"
 #include "regex/char_class.h"
 
 namespace cfgtag::nids {
@@ -199,6 +200,58 @@ TEST(ScanEngineTest, SmallStreamsAndEmptyStream) {
   EXPECT_TRUE(engine.ScanStream("").alerts.empty());
   const std::string one = "REQ /x/../y HDR ua END\n";
   EXPECT_EQ(engine.ScanStream(one).alerts, filter.Scan(one));
+}
+
+// With the slow bound forced to "everything is slow" (any positive elapsed
+// time crosses 0.0... but the option requires > 0 to arm, so use a
+// denormal-small bound), each worker unit flight-records a kSlowShard
+// event carrying its correlation id, and the NIDS alerts raised inside
+// that unit carry the same id — a dump ties alert to shard.
+TEST(ScanEngineTest, SlowShardEventsCarryTheShardsCorrelationId) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Default();
+  const uint64_t recorded_before = rec.total_recorded();
+
+  const ContextFilter filter = ResyncFilter();
+  ScanEngineOptions opt;
+  opt.num_threads = 2;
+  opt.slow_shard_seconds = 1e-12;  // everything is "slow"
+  const ScanEngine engine(&filter, opt);
+  const std::string attack = "REQ /a/../../etc/passwd HDR curl END\n";
+  std::vector<std::string_view> streams{attack, attack};
+  engine.ScanBatch(streams);
+
+  std::vector<obs::Event> slow;
+  std::vector<obs::Event> alerts;
+  for (const obs::Event& e : rec.Snapshot()) {
+    if (e.seq <= recorded_before) continue;
+    if (e.kind == obs::EventKind::kSlowShard) slow.push_back(e);
+    if (e.kind == obs::EventKind::kNidsAlert) alerts.push_back(e);
+  }
+  ASSERT_EQ(slow.size(), 2u);  // one per stream unit
+  EXPECT_NE(slow[0].correlation_id, 0u);
+  EXPECT_NE(slow[1].correlation_id, 0u);
+  EXPECT_NE(slow[0].correlation_id, slow[1].correlation_id);
+  ASSERT_FALSE(alerts.empty());
+  for (const obs::Event& a : alerts) {
+    EXPECT_TRUE(a.correlation_id == slow[0].correlation_id ||
+                a.correlation_id == slow[1].correlation_id)
+        << "alert correlation id " << a.correlation_id
+        << " matches neither shard";
+  }
+}
+
+TEST(ScanEngineTest, SlowShardDetectionIsOffByBoundZero) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Default();
+  const uint64_t recorded_before = rec.total_recorded();
+  const ContextFilter filter = ResyncFilter();
+  ScanEngineOptions opt;
+  opt.slow_shard_seconds = 0.0;
+  const ScanEngine engine(&filter, opt);
+  engine.ScanBatch({Traffic(5, 1)});
+  for (const obs::Event& e : rec.Snapshot()) {
+    if (e.seq <= recorded_before) continue;
+    EXPECT_NE(e.kind, obs::EventKind::kSlowShard);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// AttributionTable semantics plus the end-to-end contract: with the
+// process-wide switch on, the fused and lazy-DFA engines merge per-token
+// match counts (and the fused live-bitmap activity) into the default table
+// when their sessions finish, and the table mirrors rows into the default
+// MetricsRegistry as labeled counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.h"
+#include "grammar/grammar_parser.h"
+#include "obs/attribution.h"
+#include "obs/metrics.h"
+#include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
+
+namespace cfgtag::obs {
+namespace {
+
+grammar::Grammar MustParse(const std::string& text) {
+  auto g = grammar::ParseGrammar(text);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+const char kCalcGrammar[] =
+    "NUM [0-9]+\nWORD [a-z]+\nOP [-+*/]\n%%\ns: NUM OP NUM | WORD;\n%%\n";
+
+// The switch is process-global; every test here restores the off default
+// and clears the shared table so tests compose in any order.
+class AttributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributionTable::set_enabled(false);
+    AttributionTable::Default().Clear();
+  }
+  void TearDown() override {
+    AttributionTable::set_enabled(false);
+    AttributionTable::Default().Clear();
+  }
+};
+
+TEST_F(AttributionTest, RowsAccumulateAndRankByHits) {
+  AttributionTable table;
+  table.AddToken("NUM", 3, 10);
+  table.AddToken("WORD", 5, 2);
+  table.AddToken("NUM", 4, 1);
+  const std::vector<AttributionTable::Row> ranked = table.RankedTokens();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].name, "NUM");
+  EXPECT_EQ(ranked[0].hits, 7u);
+  EXPECT_EQ(ranked[0].live_words, 11u);
+  EXPECT_EQ(ranked[1].name, "WORD");
+}
+
+TEST_F(AttributionTest, ZeroDeltasCreateNoRows) {
+  AttributionTable table;
+  table.AddToken("NUM", 0, 0);
+  table.AddRule("r1", 0);
+  EXPECT_TRUE(table.RankedTokens().empty());
+  EXPECT_TRUE(table.RankedRules().empty());
+}
+
+TEST_F(AttributionTest, DfaCacheTotalsAccumulate) {
+  AttributionTable table;
+  table.AddDfaCache(10, 2);
+  table.AddDfaCache(5, 1);
+  EXPECT_EQ(table.dfa_cache_hits(), 15u);
+  EXPECT_EQ(table.dfa_cache_misses(), 3u);
+}
+
+TEST_F(AttributionTest, ToJsonRanksAllSections) {
+  AttributionTable table;
+  table.AddToken("NUM", 7, 3);
+  table.AddRule("sql-injection", 2);
+  table.AddService("deposit", 9);
+  table.AddDfaCache(4, 1);
+  const std::string json = table.ToJson();
+  EXPECT_NE(json.find("\"tokens\""), std::string::npos);
+  EXPECT_NE(json.find("\"NUM\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"sql-injection\""), std::string::npos);
+  EXPECT_NE(json.find("\"services\""), std::string::npos);
+  EXPECT_NE(json.find("\"deposit\""), std::string::npos);
+  EXPECT_NE(json.find("\"dfa_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\""), std::string::npos);
+}
+
+TEST_F(AttributionTest, DefaultTableMirrorsIntoTheMetricsRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  Counter* matches = reg.GetCounter(
+      "cfgtag_attr_token_matches_total{token=\"MIRROR_TOKEN\"}");
+  const uint64_t before = matches->Value();
+  AttributionTable::Default().AddToken("MIRROR_TOKEN", 6, 13);
+  EXPECT_EQ(matches->Value(), before + 6);
+  EXPECT_GE(reg.GetCounter(
+                   "cfgtag_attr_token_live_words_total{token=\"MIRROR_TOKEN\"}")
+                ->Value(),
+            13u);
+}
+
+TEST_F(AttributionTest, FusedEngineAttributesMatchesPerToken) {
+  const grammar::Grammar g = MustParse(kCalcGrammar);
+  auto fused = tagger::FusedTagger::Create(&g, {});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+
+  AttributionTable::set_enabled(true);
+  const std::vector<tagger::Tag> tags = fused->TagAll("12+34");
+  EXPECT_FALSE(tags.empty());
+
+  const std::vector<AttributionTable::Row> ranked =
+      AttributionTable::Default().RankedTokens();
+  uint64_t num_hits = 0;
+  uint64_t num_live = 0;
+  for (const AttributionTable::Row& row : ranked) {
+    if (row.name == "NUM") {
+      num_hits = row.hits;
+      num_live = row.live_words;
+    }
+  }
+  // "12+34" matches NUM at offsets 2 (12), 5 (34) plus the longest-match
+  // prefixes the engine reports; at least one NUM match must have been
+  // attributed, and its positions were live for several bytes.
+  EXPECT_GT(num_hits, 0u);
+  EXPECT_GT(num_live, 0u);
+}
+
+TEST_F(AttributionTest, FusedEngineCountsNothingWhenDisabled) {
+  const grammar::Grammar g = MustParse(kCalcGrammar);
+  auto fused = tagger::FusedTagger::Create(&g, {});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  fused->TagAll("12+34");
+  EXPECT_TRUE(AttributionTable::Default().RankedTokens().empty());
+}
+
+TEST_F(AttributionTest, LazyDfaEngineAttributesMatchesAndCacheTraffic) {
+  const grammar::Grammar g = MustParse(kCalcGrammar);
+  auto lazy = tagger::LazyDfaTagger::Create(&g, {});
+  ASSERT_TRUE(lazy.ok()) << lazy.status();
+
+  AttributionTable::set_enabled(true);
+  // Two passes over the same input: the first builds DFA transitions
+  // (misses), the second replays them (hits).
+  lazy->TagAll("12+34");
+  lazy->TagAll("12+34");
+
+  AttributionTable& table = AttributionTable::Default();
+  uint64_t num_hits = 0;
+  for (const AttributionTable::Row& row : table.RankedTokens()) {
+    if (row.name == "NUM") num_hits = row.hits;
+  }
+  EXPECT_GT(num_hits, 0u);
+  EXPECT_GT(table.dfa_cache_misses(), 0u);
+  EXPECT_GT(table.dfa_cache_hits(), 0u);
+}
+
+TEST_F(AttributionTest, EnableTakesEffectAtNextSessionReset) {
+  const grammar::Grammar g = MustParse(kCalcGrammar);
+  auto fused = tagger::FusedTagger::Create(&g, {});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+
+  // Run once disabled, then enable: only the post-enable run counts.
+  fused->TagAll("12+34");
+  AttributionTable::set_enabled(true);
+  fused->TagAll("56*78");
+  std::vector<AttributionTable::Row> ranked =
+      AttributionTable::Default().RankedTokens();
+  uint64_t total_hits = 0;
+  for (const AttributionTable::Row& row : ranked) total_hits += row.hits;
+  EXPECT_GT(total_hits, 0u);
+}
+
+}  // namespace
+}  // namespace cfgtag::obs

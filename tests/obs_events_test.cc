@@ -1,0 +1,180 @@
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace cfgtag::obs {
+namespace {
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  FlightRecorder rec(/*capacity=*/8);
+  rec.Record(EventKind::kNidsAlert, /*correlation_id=*/7, /*a=*/100, /*b=*/2,
+             "rule-a");
+  rec.Record(EventKind::kDfaCacheFlush, 0, 1 << 20, 3, "flush");
+  const std::vector<Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kNidsAlert);
+  EXPECT_EQ(events[0].correlation_id, 7u);
+  EXPECT_EQ(events[0].a, 100);
+  EXPECT_EQ(events[0].b, 2);
+  EXPECT_STREQ(events[0].detail, "rule-a");
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].kind, EventKind::kDfaCacheFlush);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_LE(events[0].t_us, events[1].t_us);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  FlightRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(EventKind::kCustom, 0, i, 0, "e");
+  }
+  const std::vector<Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The tail survives: events 7..10 (a = 6..9), oldest first.
+  EXPECT_EQ(events[0].a, 6);
+  EXPECT_EQ(events[3].a, 9);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder rec(/*capacity=*/5);
+  EXPECT_EQ(rec.capacity(), 8u);
+}
+
+TEST(FlightRecorderTest, LongDetailIsTruncatedNotOverflowed) {
+  FlightRecorder rec(/*capacity=*/2);
+  const std::string long_detail(500, 'x');
+  rec.Record(EventKind::kCustom, 0, 0, 0, long_detail);
+  const std::vector<Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const size_t len = std::string(events[0].detail).size();
+  EXPECT_LT(len, sizeof(events[0].detail));
+  EXPECT_GT(len, 0u);
+}
+
+TEST(FlightRecorderTest, WriteJsonCarriesKindNamesAndCounts) {
+  FlightRecorder rec(/*capacity=*/8);
+  rec.Record(EventKind::kSlowShard, 3, 4096, 1, "slow stream shard");
+  std::ostringstream os;
+  rec.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("slow_shard"), std::string::npos);
+  EXPECT_NE(json.find("\"correlation_id\": 3"), std::string::npos);
+  EXPECT_NE(json.find("slow stream shard"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFdWritesOneLinePerEvent) {
+  FlightRecorder rec(/*capacity=*/8);
+  rec.Record(EventKind::kNidsAlert, 11, 42, 2, "sig-1");
+  rec.Record(EventKind::kStatusError, 0, 0, 0, "grammar: bad");
+  char path[] = "/tmp/cfgtag_events_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  rec.DumpTo(fd);
+  close(fd);
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::remove(path);
+  // A JSON line per event (plus possible header/footer lines).
+  size_t event_lines = 0;
+  for (const std::string& l : lines) {
+    if (l.find("nids_alert") != std::string::npos ||
+        l.find("status_error") != std::string::npos) {
+      ++event_lines;
+    }
+  }
+  EXPECT_EQ(event_lines, 2u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersLoseNothingWhenUnderCapacity) {
+  FlightRecorder rec(/*capacity=*/4096);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 256;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.Record(EventKind::kCustom, 0, t, i, "w");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(rec.total_recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  const std::vector<Event> events = rec.Snapshot();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Sequence numbers are unique and ascending in the snapshot.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(CorrelationTest, ScopesNestAndRestore) {
+  EXPECT_EQ(CurrentCorrelationId(), 0u);
+  const uint64_t outer_id = NextCorrelationId();
+  {
+    CorrelationScope outer(outer_id);
+    EXPECT_EQ(CurrentCorrelationId(), outer_id);
+    const uint64_t inner_id = NextCorrelationId();
+    EXPECT_NE(inner_id, outer_id);
+    {
+      CorrelationScope inner(inner_id);
+      EXPECT_EQ(CurrentCorrelationId(), inner_id);
+    }
+    EXPECT_EQ(CurrentCorrelationId(), outer_id);
+  }
+  EXPECT_EQ(CurrentCorrelationId(), 0u);
+}
+
+TEST(CorrelationTest, ScopeIsPerThread) {
+  CorrelationScope scope(NextCorrelationId());
+  uint64_t seen = 1;
+  std::thread worker([&seen] { seen = CurrentCorrelationId(); });
+  worker.join();
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(CorrelationTest, RecordEventPicksUpTheCurrentScope) {
+  FlightRecorder& rec = FlightRecorder::Default();
+  rec.Clear();
+  const uint64_t id = NextCorrelationId();
+  {
+    CorrelationScope scope(id);
+    RecordEvent(EventKind::kCustom, 1, 2, "scoped");
+  }
+  RecordEvent(EventKind::kCustom, 3, 4, "unscoped");
+  const std::vector<Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].correlation_id, id);
+  EXPECT_EQ(events[1].correlation_id, 0u);
+  rec.Clear();
+}
+
+TEST(EventKindTest, NamesAreStableIdentifiers) {
+  EXPECT_STREQ(EventKindName(EventKind::kStatusError), "status_error");
+  EXPECT_STREQ(EventKindName(EventKind::kNidsAlert), "nids_alert");
+  EXPECT_STREQ(EventKindName(EventKind::kDfaCacheFlush), "dfa_cache_flush");
+  EXPECT_STREQ(EventKindName(EventKind::kDfaCacheFallback),
+               "dfa_cache_fallback");
+  EXPECT_STREQ(EventKindName(EventKind::kSlowShard), "slow_shard");
+  EXPECT_STREQ(EventKindName(EventKind::kSessionPoolDrop),
+               "session_pool_drop");
+}
+
+}  // namespace
+}  // namespace cfgtag::obs

@@ -126,6 +126,54 @@ TEST(RegistryTest, LabelledHistogramExposition) {
             std::string::npos);
 }
 
+TEST(RegistryTest, ExpositionEscapesLabelValues) {
+  MetricsRegistry reg;
+  // Label values carried inline in metric names may contain the three
+  // characters the exposition format requires escaping: backslash, double
+  // quote, newline.
+  reg.GetCounter("cfgtag_path_total{path=\"C:\\temp\"}")->Increment();
+  reg.GetGauge("cfgtag_name_gauge{name=\"say \"hi\"\"}")->Set(1);
+  reg.GetCounter("cfgtag_nl_total{text=\"a\nb\"}")->Increment(2);
+
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("cfgtag_path_total{path=\"C:\\\\temp\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cfgtag_name_gauge{name=\"say \\\"hi\\\"\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cfgtag_nl_total{text=\"a\\nb\"} 2\n"),
+            std::string::npos);
+  // No raw newline survives inside any sample line's label block.
+  for (size_t pos = text.find('{'); pos != std::string::npos;
+       pos = text.find('{', pos + 1)) {
+    const size_t close = text.find('}', pos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(text.substr(pos, close - pos).find('\n'), std::string::npos);
+  }
+}
+
+TEST(RegistryTest, ExpositionEscapesLabelsInHistogramSeries) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("cfgtag_h_seconds{dir=\"a\\b\"}", "",
+                                  std::vector<double>{1.0});
+  h->Observe(0.5);
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("cfgtag_h_seconds_bucket{dir=\"a\\\\b\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cfgtag_h_seconds_sum{dir=\"a\\\\b\"}"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ExpositionEscapesHelpText) {
+  MetricsRegistry reg;
+  reg.GetCounter("cfgtag_help_total", "line one\nwith a \\ backslash")
+      ->Increment();
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(
+      text.find(
+          "# HELP cfgtag_help_total line one\\nwith a \\\\ backslash\n"),
+      std::string::npos);
+}
+
 TEST(RegistryTest, JsonExport) {
   MetricsRegistry reg;
   reg.GetCounter("a_total")->Increment(7);

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfgtag::obs {
@@ -66,6 +67,57 @@ TEST(TracerTest, BoundedBufferCountsDrops) {
   tracer.Clear();
   EXPECT_TRUE(tracer.Snapshot().empty());
   EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(TracerTest, RingKeepsTheMostRecentSpans) {
+  Tracer tracer(/*capacity=*/2);
+  { ScopedSpan a("a", &tracer); }
+  { ScopedSpan b("b", &tracer); }
+  { ScopedSpan c("c", &tracer); }
+  { ScopedSpan d("d", &tracer); }
+  // Oldest-first snapshot of the two survivors: c then d, not a/b.
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "c");
+  EXPECT_EQ(spans[1].name, "d");
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+}
+
+TEST(TracerTest, RingDropsBumpTheDefaultRegistryCounter) {
+  Counter* dropped = MetricsRegistry::Default().GetCounter(
+      "cfgtag_trace_spans_dropped_total");
+  const uint64_t before = dropped->Value();
+  Tracer tracer(/*capacity=*/1);
+  { ScopedSpan a("a", &tracer); }
+  { ScopedSpan b("b", &tracer); }
+  EXPECT_EQ(dropped->Value(), before + 1);
+}
+
+TEST(TracerTest, SetCapacityShrinksKeepingTheMostRecent) {
+  Tracer tracer(/*capacity=*/8);
+  { ScopedSpan a("a", &tracer); }
+  { ScopedSpan b("b", &tracer); }
+  { ScopedSpan c("c", &tracer); }
+  EXPECT_EQ(tracer.capacity(), 8u);
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.capacity(), 2u);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "b");
+  EXPECT_EQ(spans[1].name, "c");
+  // The shrunken ring keeps rotating correctly.
+  { ScopedSpan d("d", &tracer); }
+  spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "c");
+  EXPECT_EQ(spans[1].name, "d");
+}
+
+TEST(TracerTest, ZeroCapacityDropsEverythingButCounts) {
+  Tracer tracer(/*capacity=*/0);
+  { ScopedSpan a("a", &tracer); }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
 }
 
 TEST(TracerTest, ChromeTraceJsonShape) {

@@ -11,6 +11,8 @@
 
 #include "grammar/grammar.h"
 #include "grammar/grammar_parser.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "tagger/functional_model.h"
 #include "tagger/fused_model.h"
 #include "tagger/lazy_dfa.h"
@@ -282,6 +284,63 @@ TEST(LazyDfaTaggerTest, CacheMetricsAreRegistered) {
   ASSERT_TRUE(t.ok());
   (void)t->TagAll("12+34 77*1");
   EXPECT_GT(m.states->Value(), states_before);
+}
+
+// Under cache pressure every registry-side cache counter must move: a
+// starvation-sized budget forces flushes, and a tiny flush-fallback bound
+// forces the fused fallback — both visible at /metrics, not just through
+// the session accessors.
+TEST(LazyDfaTaggerTest, CachePressureMovesRegistryCounters) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter* states = reg.GetCounter("cfgtag_dfa_cache_states");
+  obs::Counter* flushes = reg.GetCounter("cfgtag_dfa_cache_flushes");
+  obs::Counter* fallbacks = reg.GetCounter("cfgtag_dfa_cache_fallbacks");
+  const uint64_t states_before = states->Value();
+  const uint64_t flushes_before = flushes->Value();
+  const uint64_t fallbacks_before = fallbacks->Value();
+
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  opt.dfa_cache_bytes = 1 << 9;
+  opt.dfa_flush_fallback = 2;
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const std::string input = "  12+34 junk 99*1   abc 5-5 12 34 xyzzy 7/8 ";
+  const auto want = Functional(g, opt, input);
+  const auto got = t->TagAll(input);
+  ExpectSameTags(want, got);
+
+  EXPECT_GT(states->Value(), states_before);
+  EXPECT_GT(flushes->Value(), flushes_before);
+  EXPECT_GT(fallbacks->Value(), fallbacks_before);
+}
+
+// Flushes and fallbacks also land in the flight recorder, so a crash dump
+// shows whether the cache was thrashing in the run-up.
+TEST(LazyDfaTaggerTest, CachePressureRecordsFlightEvents) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Default();
+  const uint64_t recorded_before = rec.total_recorded();
+
+  grammar::Grammar g = MustParse(kCalcGrammar);
+  TaggerOptions opt;
+  opt.arm_mode = ArmMode::kResync;
+  opt.dfa_cache_bytes = 1 << 9;
+  opt.dfa_flush_fallback = 2;
+  auto t = LazyDfaTagger::Create(&g, opt);
+  ASSERT_TRUE(t.ok()) << t.status();
+  (void)t->TagAll("  12+34 junk 99*1   abc 5-5 12 34 xyzzy 7/8 ");
+
+  ASSERT_GT(rec.total_recorded(), recorded_before);
+  bool saw_flush = false;
+  bool saw_fallback = false;
+  for (const obs::Event& e : rec.Snapshot()) {
+    if (e.seq <= recorded_before) continue;
+    if (e.kind == obs::EventKind::kDfaCacheFlush) saw_flush = true;
+    if (e.kind == obs::EventKind::kDfaCacheFallback) saw_fallback = true;
+  }
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_fallback);
 }
 
 }  // namespace

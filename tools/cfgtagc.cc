@@ -33,6 +33,16 @@
 //   --no-encoder        omit the index encoder
 //   --metrics-out FILE  write Prometheus-style metrics ("-" = stdout)
 //   --trace-out FILE    write a Chrome trace_event JSON of the run
+//   --stats-port N      serve /metrics, /metrics.json, /trace.json,
+//                       /events, /rules and /healthz over HTTP on
+//                       127.0.0.1:N for the run's duration (0 = pick a
+//                       free port; the bound port is printed)
+//   --attribution       per-token/per-rule hot-path attribution (the
+//                       /rules ranking and cfgtag_attr_* metrics)
+//   --flight-recorder-out FILE
+//                       dump the flight-recorder event ring to FILE on
+//                       exit — and from a SIGINT/SIGTERM handler, so an
+//                       interrupted run still leaves its last events
 //
 // A second positional argument is shorthand for --tag:
 //   cfgtagc GRAMMAR INPUT == cfgtagc GRAMMAR --tag INPUT
@@ -52,7 +62,10 @@
 #include "grammar/analysis.h"
 #include "grammar/grammar_parser.h"
 #include "grammar/lint.h"
+#include "obs/attribution.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "rtl/device.h"
 #include "rtl/serialize.h"
@@ -67,7 +80,9 @@ int Usage(const char* argv0) {
                "       [--backend functional|fused|lazy|auto]\n"
                "       [--threads N] [--bytes-per-cycle N] [--replicate N]\n"
                "       [--no-longest-match] [--no-encoder]\n"
-               "       [--metrics-out FILE] [--trace-out FILE]\n",
+               "       [--metrics-out FILE] [--trace-out FILE]\n"
+               "       [--stats-port N] [--attribution]\n"
+               "       [--flight-recorder-out FILE]\n",
                argv0);
   return 2;
 }
@@ -76,6 +91,21 @@ int Usage(const char* argv0) {
 // metrics and trace are exactly what one wants when debugging it).
 std::string g_metrics_out;
 std::string g_trace_out;
+std::string g_flight_out;
+
+// Lives for the whole process so /healthz stays up across the run; the
+// destructor joins the accept thread on exit.
+cfgtag::obs::StatsServer g_stats_server;
+
+// Prints a stage's Status failure, flight-records it (so --flight-
+// recorder-out dumps carry the failure that ended the run), and returns
+// the tool's error exit code.
+int FailStatus(const char* stage, const cfgtag::Status& status) {
+  std::fprintf(stderr, "%s error: %s\n", stage, status.ToString().c_str());
+  cfgtag::obs::RecordEvent(cfgtag::obs::EventKind::kStatusError, 0, 0,
+                           std::string(stage) + ": " + status.ToString());
+  return 1;
+}
 
 void WriteObservability() {
   if (!g_metrics_out.empty()) {
@@ -101,6 +131,16 @@ void WriteObservability() {
     } else {
       std::fprintf(stderr, "wrote trace to %s (open in chrome://tracing)\n",
                    g_trace_out.c_str());
+    }
+  }
+  if (!g_flight_out.empty()) {
+    std::ofstream out(g_flight_out, std::ios::binary);
+    cfgtag::obs::FlightRecorder::Default().WriteJson(out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", g_flight_out.c_str());
+    } else {
+      std::fprintf(stderr, "wrote flight-recorder events to %s\n",
+                   g_flight_out.c_str());
     }
   }
 }
@@ -143,6 +183,8 @@ int RunTool(int argc, char** argv) {
   bool lint = false;
   bool cycle_accurate = false;
   int threads = 1;
+  int stats_port = -1;  // -1 = no stats server; 0 = kernel-assigned
+  bool attribution = false;
   cfgtag::hwgen::HwOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -267,6 +309,22 @@ int RunTool(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       g_trace_out = v;
+    } else if (arg == "--stats-port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (std::strcmp(v, "0") == 0) {
+        stats_port = 0;
+      } else if (!ParsePositiveInt(v, &stats_port) || stats_port > 65535) {
+        std::fprintf(stderr, "--stats-port needs a port (0-65535), got "
+                     "\"%s\"\n", v);
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--attribution") {
+      attribution = true;
+    } else if (arg == "--flight-recorder-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      g_flight_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -274,6 +332,21 @@ int RunTool(int argc, char** argv) {
   }
 
   if (grammar_path.empty()) return Usage(argv[0]);
+
+  if (attribution) cfgtag::obs::AttributionTable::set_enabled(true);
+  if (!g_flight_out.empty()) {
+    // Crash-safe path: SIGINT/SIGTERM dump the ring before the process
+    // dies with the conventional signal status.
+    cfgtag::obs::FlightRecorder::InstallSignalDump(g_flight_out.c_str());
+  }
+  if (stats_port >= 0) {
+    const cfgtag::Status started = g_stats_server.Start(stats_port);
+    if (!started.ok()) return FailStatus("stats server", started);
+    std::printf("stats server on http://127.0.0.1:%d/ "
+                "(/metrics /metrics.json /trace.json /events /rules "
+                "/healthz)\n",
+                g_stats_server.port());
+  }
 
   std::string grammar_text;
   if (!ReadFile(grammar_path, &grammar_text)) {
@@ -284,11 +357,7 @@ int RunTool(int argc, char** argv) {
     cfgtag::obs::ScopedSpan span("grammar.Parse");
     return cfgtag::grammar::ParseGrammar(grammar_text);
   }();
-  if (!grammar.ok()) {
-    std::fprintf(stderr, "grammar error: %s\n",
-                 grammar.status().ToString().c_str());
-    return 1;
-  }
+  if (!grammar.ok()) return FailStatus("grammar", grammar.status());
   std::printf("grammar: %zu tokens, %zu nonterminals, %zu productions, "
               "%zu pattern bytes\n",
               grammar->NumTokens(), grammar->NumNonterminals(),
@@ -296,21 +365,13 @@ int RunTool(int argc, char** argv) {
 
   if (analysis) {
     auto a = cfgtag::grammar::Analyze(*grammar);
-    if (!a.ok()) {
-      std::fprintf(stderr, "analysis error: %s\n",
-                   a.status().ToString().c_str());
-      return 1;
-    }
+    if (!a.ok()) return FailStatus("analysis", a.status());
     std::printf("\n%s", a->ToString(*grammar).c_str());
   }
 
   if (lint) {
     auto findings = cfgtag::grammar::Lint(*grammar);
-    if (!findings.ok()) {
-      std::fprintf(stderr, "lint error: %s\n",
-                   findings.status().ToString().c_str());
-      return 1;
-    }
+    if (!findings.ok()) return FailStatus("lint", findings.status());
     if (findings->empty()) {
       std::printf("lint: no findings\n");
     }
@@ -322,11 +383,7 @@ int RunTool(int argc, char** argv) {
 
   auto tagger = cfgtag::core::CompiledTagger::Compile(
       std::move(grammar).value(), options);
-  if (!tagger.ok()) {
-    std::fprintf(stderr, "compile error: %s\n",
-                 tagger.status().ToString().c_str());
-    return 1;
-  }
+  if (!tagger.ok()) return FailStatus("compile", tagger.status());
   const auto stats = tagger->hardware().netlist.ComputeStats();
   std::printf("netlist: %zu gates, %zu registers, %d byte(s)/cycle, "
               "match latency %d cycle(s)\n",
@@ -337,11 +394,7 @@ int RunTool(int argc, char** argv) {
     for (const cfgtag::rtl::Device& device :
          {cfgtag::rtl::VirtexE2000(), cfgtag::rtl::Virtex4LX200()}) {
       auto r = tagger->Implement(device);
-      if (!r.ok()) {
-        std::fprintf(stderr, "implement error: %s\n",
-                     r.status().ToString().c_str());
-        return 1;
-      }
+      if (!r.ok()) return FailStatus("implement", r.status());
       std::printf("\n%s: %zu LUTs (%.2f/byte), %zu FFs, %.0f MHz, "
                   "%.2f Gbps\n",
                   device.name.c_str(), r->area.luts, r->area.luts_per_byte,
@@ -357,11 +410,7 @@ int RunTool(int argc, char** argv) {
 
   if (!vhdl_path.empty()) {
     auto vhdl = tagger->ExportVhdl(entity);
-    if (!vhdl.ok()) {
-      std::fprintf(stderr, "vhdl error: %s\n",
-                   vhdl.status().ToString().c_str());
-      return 1;
-    }
+    if (!vhdl.ok()) return FailStatus("vhdl", vhdl.status());
     std::ofstream out(vhdl_path, std::ios::binary);
     out << *vhdl;
     if (!out) {
@@ -400,11 +449,7 @@ int RunTool(int argc, char** argv) {
                      "(the simulator is single-stream)\n");
       }
       auto hw = tagger->TagCycleAccurate(input);
-      if (!hw.ok()) {
-        std::fprintf(stderr, "simulation error: %s\n",
-                     hw.status().ToString().c_str());
-        return 1;
-      }
+      if (!hw.ok()) return FailStatus("simulation", hw.status());
       tags = std::move(hw).value();
     } else if (threads > 1) {
       // Shard the input at newline record boundaries and tag shards in
@@ -451,11 +496,7 @@ int RunTool(int argc, char** argv) {
     }
     if (!testbench_path.empty()) {
       auto tb = tagger->ExportVhdlTestbench(entity, input);
-      if (!tb.ok()) {
-        std::fprintf(stderr, "testbench error: %s\n",
-                     tb.status().ToString().c_str());
-        return 1;
-      }
+      if (!tb.ok()) return FailStatus("testbench", tb.status());
       std::ofstream out(testbench_path, std::ios::binary);
       out << *tb;
       std::printf("wrote testbench to %s (run against the --vhdl output)\n",
@@ -464,10 +505,7 @@ int RunTool(int argc, char** argv) {
     if (!vcd_path.empty()) {
       std::ofstream vcd(vcd_path, std::ios::binary);
       auto status = tagger->DumpWaveform(input, vcd);
-      if (!status.ok()) {
-        std::fprintf(stderr, "vcd error: %s\n", status.ToString().c_str());
-        return 1;
-      }
+      if (!status.ok()) return FailStatus("vcd", status);
       std::printf("wrote waveform to %s\n", vcd_path.c_str());
     }
     // Report the engine the compile resolved to (--backend auto becomes

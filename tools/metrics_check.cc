@@ -1,0 +1,450 @@
+// metrics_check — offline validator for the two machine-readable formats
+// the observability layer emits: Prometheus text exposition 0.0.4
+// (/metrics, what an external scraper parses) and the registry's JSON dump
+// (bench_metrics.json / BENCH_*.json, what the CI perf gate parses).
+//
+//   metrics_check --prom FILE    validate a Prometheus text exposition
+//   metrics_check --json FILE    validate a registry JSON dump
+//
+// Both modes may be given together; each FILE is checked independently.
+// Exit 0 when every file validates, 1 with per-line diagnostics otherwise.
+// Dependency-free by design (the repo's no-new-deps rule): the Prometheus
+// checker is a hand-rolled line grammar, the JSON checker a
+// recursive-descent parser over the subset the registry emits (objects,
+// arrays, strings, numbers, booleans, null).
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Diag {
+  int line;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition 0.0.4.
+// ---------------------------------------------------------------------------
+
+bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+bool IsLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+// Parses a metric name at s[i], advancing i past it. Empty result = error.
+std::string ParseMetricName(const std::string& s, size_t& i) {
+  const size_t begin = i;
+  if (i < s.size() && IsMetricNameStart(s[i])) {
+    ++i;
+    while (i < s.size() && IsMetricNameChar(s[i])) ++i;
+  }
+  return s.substr(begin, i - begin);
+}
+
+// Validates a {label="value",...} block at s[i] (i points at '{'),
+// advancing past the closing '}'. Escapes allowed in values: \\ \" \n.
+bool ParseLabels(const std::string& s, size_t& i, std::string* error) {
+  ++i;  // consume '{'
+  bool first = true;
+  while (true) {
+    if (i >= s.size()) {
+      *error = "unterminated label block";
+      return false;
+    }
+    if (s[i] == '}') {
+      ++i;
+      return true;
+    }
+    if (!first) {
+      if (s[i] != ',') {
+        *error = "expected ',' or '}' in label block";
+        return false;
+      }
+      ++i;
+      // A trailing comma before '}' is legal exposition.
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+    }
+    first = false;
+    if (i >= s.size() || !IsLabelNameStart(s[i])) {
+      *error = "bad label name";
+      return false;
+    }
+    ++i;
+    while (i < s.size() && IsLabelNameChar(s[i])) ++i;
+    if (i >= s.size() || s[i] != '=') {
+      *error = "expected '=' after label name";
+      return false;
+    }
+    ++i;
+    if (i >= s.size() || s[i] != '"') {
+      *error = "label value must be double-quoted";
+      return false;
+    }
+    ++i;
+    while (true) {
+      if (i >= s.size()) {
+        *error = "unterminated label value";
+        return false;
+      }
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        break;
+      }
+      if (c == '\\') {
+        if (i + 1 >= s.size() || (s[i + 1] != '\\' && s[i + 1] != '"' &&
+                                  s[i + 1] != 'n')) {
+          *error = "bad escape in label value (allowed: \\\\ \\\" \\n)";
+          return false;
+        }
+        i += 2;
+        continue;
+      }
+      ++i;
+    }
+  }
+}
+
+// A sample value: a float, possibly signed, or +Inf/-Inf/NaN.
+bool IsSampleValue(const std::string& v) {
+  if (v.empty()) return false;
+  if (v == "+Inf" || v == "-Inf" || v == "Inf" || v == "NaN") return true;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end == v.c_str() + v.size();
+}
+
+// Validates one exposition; appends diagnostics. HELP/TYPE comments must
+// name a metric; sample lines must be `name[{labels}] value [timestamp]`.
+void CheckProm(const std::string& text, std::vector<Diag>* diags) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text", "# TYPE name kind", or a plain comment.
+      std::istringstream ls(line);
+      std::string hash, keyword, name;
+      ls >> hash >> keyword;
+      if (keyword == "HELP" || keyword == "TYPE") {
+        if (!(ls >> name) || name.empty() || !IsMetricNameStart(name[0])) {
+          diags->push_back({lineno, "# " + keyword + " without a metric name"});
+          continue;
+        }
+        for (char c : name) {
+          if (!IsMetricNameChar(c)) {
+            diags->push_back({lineno, "bad metric name in # " + keyword +
+                                          ": " + name});
+            break;
+          }
+        }
+        if (keyword == "TYPE") {
+          std::string kind;
+          ls >> kind;
+          if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+              kind != "summary" && kind != "untyped") {
+            diags->push_back({lineno, "unknown TYPE kind: " + kind});
+          }
+        }
+      }
+      continue;
+    }
+    size_t i = 0;
+    const std::string name = ParseMetricName(line, i);
+    if (name.empty()) {
+      diags->push_back({lineno, "sample line does not start with a metric "
+                                "name"});
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      std::string error;
+      if (!ParseLabels(line, i, &error)) {
+        diags->push_back({lineno, error});
+        continue;
+      }
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      diags->push_back({lineno, "expected space before sample value"});
+      continue;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    const size_t value_begin = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (!IsSampleValue(line.substr(value_begin, i - value_begin))) {
+      diags->push_back({lineno, "bad sample value: " +
+                                    line.substr(value_begin,
+                                                i - value_begin)});
+      continue;
+    }
+    // Optional millisecond timestamp.
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size()) {
+      const size_t ts_begin = i;
+      if (line[i] == '-') ++i;
+      while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i != line.size() || i == ts_begin) {
+        diags->push_back({lineno, "trailing garbage after sample value"});
+        continue;
+      }
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    diags->push_back({0, "exposition contains no samples"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (the subset the registry emits).
+// ---------------------------------------------------------------------------
+
+struct JsonParser {
+  const std::string& s;
+  size_t i = 0;
+  std::string error;
+
+  int Line() const {
+    int line = 1;
+    for (size_t k = 0; k < i && k < s.size(); ++k) {
+      if (s[k] == '\n') ++line;
+    }
+    return line;
+  }
+
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+
+  bool ParseString() {
+    if (i >= s.size() || s[i] != '"') return Fail("expected string");
+    ++i;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return Fail("dangling escape");
+        const char e = s[i + 1];
+        if (e == 'u') {
+          if (i + 5 >= s.size()) return Fail("short \\u escape");
+          for (size_t k = i + 2; k < i + 6; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(s[k]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          i += 6;
+          continue;
+        }
+        if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return Fail(std::string("bad escape \\") + e);
+        }
+        i += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      ++i;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const size_t begin = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return Fail("bad number");
+    }
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return Fail("bad fraction");
+      }
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return Fail("bad exponent");
+      }
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+    }
+    return i > begin;
+  }
+
+  bool ParseValue(int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    SkipWs();
+    if (i >= s.size()) return Fail("unexpected end of input");
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      SkipWs();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        if (!ParseString()) return Fail("object key must be a string");
+        SkipWs();
+        if (i >= s.size() || s[i] != ':') return Fail("expected ':'");
+        ++i;
+        if (!ParseValue(depth + 1)) return false;
+        SkipWs();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == '}') {
+          ++i;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++i;
+      SkipWs();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!ParseValue(depth + 1)) return false;
+        SkipWs();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == ']') {
+          ++i;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return ParseString();
+    if (c == 't') {
+      if (s.compare(i, 4, "true") != 0) return Fail("bad literal");
+      i += 4;
+      return true;
+    }
+    if (c == 'f') {
+      if (s.compare(i, 5, "false") != 0) return Fail("bad literal");
+      i += 5;
+      return true;
+    }
+    if (c == 'n') {
+      if (s.compare(i, 4, "null") != 0) return Fail("bad literal");
+      i += 4;
+      return true;
+    }
+    return ParseNumber();
+  }
+};
+
+void CheckJson(const std::string& text, std::vector<Diag>* diags) {
+  JsonParser parser{text, 0, {}};
+  if (!parser.ParseValue(0)) {
+    diags->push_back({parser.Line(), parser.error});
+    return;
+  }
+  parser.SkipWs();
+  if (parser.i != text.size()) {
+    diags->push_back({parser.Line(), "trailing garbage after JSON value"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+int CheckFile(const char* mode, const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrics_check: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<Diag> diags;
+  if (std::strcmp(mode, "--prom") == 0) {
+    CheckProm(text, &diags);
+  } else {
+    CheckJson(text, &diags);
+  }
+  if (diags.empty()) {
+    std::printf("%s: OK (%s, %zu bytes)\n", path, mode + 2, text.size());
+    return 0;
+  }
+  for (const Diag& d : diags) {
+    if (d.line > 0) {
+      std::fprintf(stderr, "%s:%d: %s\n", path, d.line, d.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", path, d.message.c_str());
+    }
+  }
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: metrics_check [--prom FILE]... [--json FILE]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prom") != 0 &&
+        std::strcmp(argv[i], "--json") != 0) {
+      return Usage();
+    }
+    if (i + 1 >= argc) return Usage();
+    rc |= CheckFile(argv[i], argv[i + 1]);
+    ++i;
+  }
+  return rc;
+}
