@@ -437,8 +437,12 @@ int main(int argc, char** argv) {
   cfgtag::bench::WriteMetricsJson("bench_metrics.json");
   // The consolidated perf baseline the CI release-bench gate parses: the
   // same registry snapshot under the tracked BENCH_4.json name (backend
-  // MB/s and speedup gauges included).
+  // MB/s and speedup gauges included). BENCH_7.json is the same snapshot
+  // re-baselined after the concurrency pass (seqlock payload in atomic
+  // words, lifecycle-locked stats server), so the two files bracket any
+  // throughput cost of the race fixes.
   cfgtag::bench::WriteMetricsJson("BENCH_4.json");
+  cfgtag::bench::WriteMetricsJson("BENCH_7.json");
   cfgtag::bench::HoldStats(stats_hold);
   return 0;
 }

@@ -43,13 +43,28 @@ class AttributionTable {
   AttributionTable(const AttributionTable&) = delete;
   AttributionTable& operator=(const AttributionTable&) = delete;
 
-  // Process-wide switch. Sessions pick the new value up on their next
-  // Reset() (i.e. the next pool checkout), not mid-stream.
+  // Process-wide switch. The enable/disable protocol:
+  //
+  //  * Engines sample enabled() exactly once per session, at Reset() (the
+  //    pool-checkout point), into a per-session attr_on_ flag — never
+  //    mid-stream. A toggle therefore changes what *future* checkouts
+  //    count; sessions already scanning finish under the value they
+  //    sampled, so their per-session arrays are merged or skipped as one
+  //    consistent unit.
+  //  * set_enabled() is a release store and enabled() an acquire load:
+  //    everything the enabling thread published before flipping the
+  //    switch (rule tables, config, pre-seeded rows in this table) is
+  //    visible to any session whose Reset() observes the new value. A
+  //    relaxed load would let a session act on `true` while the rows it
+  //    is about to merge into were not yet visible.
+  //  * Merges themselves (AddToken/AddRule/...) serialize on mu_, so a
+  //    toggle never tears a row: readers (RankedTokens, ToJson) always
+  //    see fully-published rows regardless of the switch.
   static bool enabled() {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_acquire);
   }
   static void set_enabled(bool on) {
-    enabled_.store(on, std::memory_order_relaxed);
+    enabled_.store(on, std::memory_order_release);
   }
 
   // Merge one session's (or scan's) deltas. Zero deltas are dropped.

@@ -107,8 +107,15 @@ void FlightRecorder::Record(EventKind kind, uint64_t correlation_id,
   // short of capacity_ concurrent recorders, which the ring size makes
   // unreachable in practice; even then the loser only publishes a stale
   // seq that readers reject.
-  slot.ready.store(kBusy, std::memory_order_release);
-  Event& e = slot.event;
+  //
+  // Seqlock write protocol (Boehm, "Can seqlocks get along with
+  // programming language memory models?"): the kBusy claim must become
+  // visible before any payload word changes, and the payload words before
+  // the committing seq — relaxed claim, release fence, relaxed payload
+  // stores, release commit.
+  slot.ready.store(kBusy, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  Event e;
   e.seq = seq;
   e.t_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -121,21 +128,40 @@ void FlightRecorder::Record(EventKind kind, uint64_t correlation_id,
   const size_t n = std::min(detail.size(), sizeof(e.detail) - 1);
   std::memcpy(e.detail, detail.data(), n);
   e.detail[n] = '\0';
+  uint64_t words[kEventWords] = {0};
+  std::memcpy(words, &e, sizeof(e));
+  for (size_t w = 0; w < kEventWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
   slot.ready.store(seq, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(size_t i, Event* out) const {
+  const Slot& slot = slots_[i];
+  const uint64_t before = slot.ready.load(std::memory_order_acquire);
+  if (before == 0 || before == kBusy) return false;
+  uint64_t words[kEventWords];
+  for (size_t w = 0; w < kEventWords; ++w) {
+    words[w] = slot.words[w].load(std::memory_order_relaxed);
+  }
+  // The fence orders the payload loads before the re-read of the stamp:
+  // an unchanged stamp therefore proves no writer touched the words while
+  // they were being copied.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t after = slot.ready.load(std::memory_order_relaxed);
+  if (after != before) return false;
+  std::memcpy(out, words, sizeof(Event));
+  // The seq check rejects the one remaining hole: a writer that claimed,
+  // wrote, and committed a *different* seq entirely between the two loads.
+  return out->seq == before;
 }
 
 std::vector<Event> FlightRecorder::Snapshot() const {
   std::vector<Event> out;
   out.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
-    const Slot& slot = slots_[i];
-    const uint64_t before = slot.ready.load(std::memory_order_acquire);
-    if (before == 0 || before == kBusy) continue;
-    Event copy = slot.event;
-    const uint64_t after = slot.ready.load(std::memory_order_acquire);
-    // Keep only slots whose stamp was stable across the copy.
-    if (after != before || copy.seq != before) continue;
-    out.push_back(copy);
+    Event copy;
+    if (ReadSlot(i, &copy)) out.push_back(copy);
   }
   std::sort(out.begin(), out.end(),
             [](const Event& x, const Event& y) { return x.seq < y.seq; });
@@ -169,15 +195,11 @@ void FlightRecorder::DumpTo(int fd) const {
   // than escaped — recorder details are plain identifiers by convention.
   char buf[256];
   for (size_t i = 0; i < capacity_; ++i) {
-    const Slot& slot = slots_[i];
-    const uint64_t before = slot.ready.load(std::memory_order_acquire);
-    if (before == 0 || before == kBusy) continue;
-    Event e = slot.event;
-    const uint64_t after = slot.ready.load(std::memory_order_acquire);
-    if (after != before || e.seq != before) continue;
+    Event e;
+    if (!ReadSlot(i, &e)) continue;
     char detail[sizeof(e.detail)];
     size_t n = 0;
-    for (size_t k = 0; e.detail[k] != '\0' && k < sizeof(e.detail); ++k) {
+    for (size_t k = 0; k < sizeof(e.detail) && e.detail[k] != '\0'; ++k) {
       const unsigned char c = static_cast<unsigned char>(e.detail[k]);
       if (c >= 0x20 && c != '"' && c != '\\') detail[n++] = e.detail[k];
     }

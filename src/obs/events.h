@@ -40,11 +40,14 @@ struct Event {
 
 // Crash-safe flight recorder: a fixed-capacity lock-free ring of the last
 // N structured events. Record() is wait-free for writers (one fetch_add
-// plus plain stores into an owned slot); readers snapshot without blocking
-// writers and simply skip slots that are mid-write. The ring overwrites
-// oldest-first, so after any crash the tail holds the seconds leading up
-// to it — DumpTo(fd) is async-signal-safe and is what the SIGINT/SIGTERM
-// hook calls.
+// plus relaxed atomic word stores into an owned slot); readers snapshot
+// without blocking writers and simply skip slots that are mid-write. Each
+// slot is a seqlock: the payload lives in atomic words (never plain
+// memory), so a reader racing a writer reads stale or mixed *values*,
+// never a formal data race, and the before/after stamp check rejects any
+// mixed copy. The ring overwrites oldest-first, so after any crash the
+// tail holds the seconds leading up to it — DumpTo(fd) is
+// async-signal-safe and is what the SIGINT/SIGTERM hook calls.
 class FlightRecorder {
  public:
   // Capacity is rounded up to a power of two; default keeps the ring a few
@@ -89,12 +92,23 @@ class FlightRecorder {
   static FlightRecorder& Default();
 
  private:
+  // The event payload is stored as whole atomic words (an Event image laid
+  // down with memcpy) rather than an Event member: every byte a reader can
+  // observe mid-write is then reached only through an atomic access, which
+  // is what makes the seqlock formally race-free (and TSan-clean) instead
+  // of merely "torn copies get rejected".
+  static constexpr size_t kEventWords = (sizeof(Event) + 7) / 8;
   struct Slot {
     // 0 = empty, kBusy = mid-write, otherwise the committed Event::seq.
     std::atomic<uint64_t> ready{0};
-    Event event;
+    std::atomic<uint64_t> words[kEventWords];
   };
   static constexpr uint64_t kBusy = ~0ULL;
+
+  // Seqlock read of slot i into *out. Returns false for empty, mid-write,
+  // or overwritten-during-copy slots. Async-signal-safe (lock-free atomic
+  // loads and memcpy only).
+  bool ReadSlot(size_t i, Event* out) const;
 
   size_t capacity_;  // power of two
   Slot* slots_;

@@ -91,7 +91,12 @@ void WriteAll(int fd, const char* data, size_t n) {
 }  // namespace
 
 Status StatsServer::Start(int port) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (running()) return InternalError("stats server already running");
+  // A previous run that was never Stop()ped to completion (it cannot
+  // happen through the public API, but keep the invariant local): the
+  // thread must be joined before being reassigned.
+  if (thread_.joinable()) thread_.join();
   if (port < 0 || port > 65535) {
     return InvalidArgumentError("stats port out of range: " +
                                 std::to_string(port));
@@ -131,17 +136,21 @@ Status StatsServer::Start(int port) {
 }
 
 void StatsServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  running_.store(false, std::memory_order_release);
   // shutdown() wakes the blocking accept(); the fd itself is closed only
-  // after the accept thread has exited, so the descriptor cannot be reused
-  // by another thread while accept() still references it.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  // after the accept thread has exited, so the descriptor number cannot
+  // be recycled by a concurrent open() while accept() still references
+  // it. The lifecycle mutex makes this a single join path: a second
+  // concurrent Stop() blocks until the first finished and then sees a
+  // non-joinable thread and listen_fd_ == -1, making every step —
+  // shutdown, join, close — happen exactly once per Start().
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
 }
 
 void StatsServer::Serve() {

@@ -2,6 +2,7 @@
 #define CFGTAG_OBS_STATS_SERVER_H_
 
 #include <atomic>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -33,10 +34,15 @@ class StatsServer {
   StatsServer& operator=(const StatsServer&) = delete;
 
   // Binds 127.0.0.1:port (port 0 = kernel-assigned, see port()) and starts
-  // the accept thread. Fails if already running or the bind fails.
+  // the accept thread. Fails if already running or the bind fails. A
+  // stopped server can be started again (same or different port).
   Status Start(int port);
 
-  // Shuts the listener down and joins the accept thread. Idempotent.
+  // Shuts the listener down, joins the accept thread, and closes the
+  // listen fd — in that order, exactly once. Idempotent, and safe to call
+  // from several threads concurrently (Start/Stop serialize on an
+  // internal lifecycle mutex; only the call that observes the thread
+  // joinable joins it).
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -52,6 +58,11 @@ class StatsServer {
   void Serve();
   void HandleConnection(int fd);
 
+  // Serializes Start()/Stop() (and the destructor's Stop()): without it,
+  // two concurrent Stop() calls could both join thread_ (UB) or close the
+  // listen fd twice — racing a close() against an unrelated open() that
+  // reused the descriptor number. The accept thread never takes it.
+  std::mutex lifecycle_mu_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

@@ -118,6 +118,30 @@ class BasicSessionPool {
     max_idle_ = std::max<size_t>(1, n);
   }
 
+  // One-shot trim: drops idle sessions until at most `keep` remain, right
+  // now, counting them in sessions_dropped(). Unlike set_max_idle this is
+  // not a standing cap — the pool may grow past `keep` again afterwards.
+  // Safe concurrently with Acquire/Return; the freed sessions are
+  // destroyed outside the pool lock.
+  void TrimIdle(size_t keep) {
+    std::vector<std::unique_ptr<Session>> victims;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (idle_.size() > keep) {
+        victims.push_back(std::move(idle_.back()));
+        idle_.pop_back();
+      }
+      PoolMetrics().idle->Set(static_cast<double>(idle_.size()));
+    }
+    if (!victims.empty()) {
+      dropped_.fetch_add(victims.size(), std::memory_order_relaxed);
+      PoolMetrics().dropped->Increment(victims.size());
+      obs::RecordEvent(obs::EventKind::kSessionPoolDrop,
+                       static_cast<int64_t>(victims.size()),
+                       static_cast<int64_t>(keep), "session pool TrimIdle");
+    }
+  }
+
   size_t IdleCount() const {
     std::lock_guard<std::mutex> lock(mu_);
     return idle_.size();

@@ -16,8 +16,15 @@
 
 namespace {
 
+// Unique per test case: ctest runs the discovered cases of this binary as
+// independent processes, possibly in parallel (-j), so a fixed temp path
+// would race between them (one case's RunTool clobbering another's
+// grammar/input/capture file mid-read).
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "/cfgtagc_cli_" + name;
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info ? info->name() : "unknown";
+  return testing::TempDir() + "/cfgtagc_cli_" + test + "_" + name;
 }
 
 void WriteFile(const std::string& path, const std::string& content) {
@@ -173,7 +180,7 @@ TEST_F(CfgtagcCliTest, StatsAttributionAndFlightRecorderFlags) {
 }
 
 TEST_F(CfgtagcCliTest, RejectsBadStatsPorts) {
-  for (const char* bad : {"65536", "-2", "abc"}) {
+  for (const char* bad : {"65536", "-2", "abc", "1.5", "12abc", ""}) {
     EXPECT_EQ(RunTool(grammar_ + " --stats-port \"" + bad + "\" --tag " +
                           input_,
                       out_),
@@ -182,6 +189,35 @@ TEST_F(CfgtagcCliTest, RejectsBadStatsPorts) {
     EXPECT_NE(Slurp(out_).find("--stats-port"), std::string::npos)
         << Slurp(out_);
   }
+}
+
+TEST_F(CfgtagcCliTest, RejectsUnwritableFlightRecorderPath) {
+  // The dump path is validated up front like --threads/--stats-port: a
+  // path that can only fail at exit (or inside the signal handler) would
+  // silently lose the recording.
+  const std::string bad = TempPath("no_such_dir") + "/sub/fr.json";
+  EXPECT_EQ(RunTool(grammar_ + " --flight-recorder-out " + bad + " --tag " +
+                        input_,
+                    out_),
+            2)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("--flight-recorder-out needs a writable path"),
+            std::string::npos)
+      << Slurp(out_);
+  // An empty value is a usage error too.
+  EXPECT_EQ(RunTool(grammar_ + " --flight-recorder-out \"\" --tag " + input_,
+                    out_),
+            2)
+      << Slurp(out_);
+  // The probe must not clobber an existing dump: probing opens for append.
+  const std::string existing = TempPath("fr_existing.json");
+  WriteFile(existing, "precious");
+  EXPECT_EQ(RunTool(grammar_ + " --flight-recorder-out " + existing +
+                        " --backend turbo",  // fails after validation
+                    out_),
+            2);
+  EXPECT_EQ(Slurp(existing), "precious");
+  std::remove(existing.c_str());
 }
 
 TEST_F(CfgtagcCliTest, FlightRecorderDumpCarriesStatusFailures) {

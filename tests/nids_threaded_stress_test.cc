@@ -1,0 +1,260 @@
+// Threaded stress oracle for the whole cross-thread surface: the 4-way
+// backend differential (functional / fused / lazy-DFA / starved lazy-DFA,
+// all through core::CompiledTagger inside a ContextFilter) runs *through*
+// nids::ScanEngine worker pools while
+//
+//   * a live obs::StatsServer is scraped continuously (/metrics exercises
+//     the histogram CAS paths, /events the flight-recorder seqlock
+//     readers, /rules the attribution table under its mutex),
+//   * obs::AttributionTable::set_enabled flips mid-scan (sessions sample
+//     the switch at pool-checkout Reset(), so alerts must not change),
+//   * the FlightRecorder is hammered with events and snapshotted
+//     concurrently (the lazy starved-cache backend also records
+//     dfa_cache_flush/fallback events from inside the scan workers), and
+//   * pooled sessions churn through BasicSessionPool retention.
+//
+// The oracle: every parallel result is byte-identical to the same
+// filter's sequential Scan() computed before the storm, and all backends
+// agree with the functional reference. Sizes are smoke-scaled for CI
+// (TSan included); set CFGTAG_STRESS_ITERS to dig deeper locally.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "grammar/grammar_parser.h"
+#include "nids/context_filter.h"
+#include "nids/scan_engine.h"
+#include "obs/attribution.h"
+#include "obs/events.h"
+#include "obs/stats_server.h"
+
+namespace cfgtag::nids {
+namespace {
+
+constexpr char kProtocol[] = R"grm(
+PATH [a-zA-Z0-9/._-]+
+WORD [a-zA-Z0-9/._-]+
+%%
+msg:  "REQ" path "HDR" hval "END";
+path: PATH;
+hval: WORD;
+%%
+)grm";
+
+std::vector<Rule> WebRules() {
+  return {
+      {"TRAVERSAL", "../", "PATH", 3},
+      {"PASSWD", "/etc/passwd", "PATH", 3},
+      {"GLOBAL", "forbidden", "", 1},
+  };
+}
+
+ContextFilter MakeFilter(tagger::TaggerBackend backend,
+                         size_t dfa_cache_bytes) {
+  auto g = grammar::ParseGrammar(kProtocol);
+  EXPECT_TRUE(g.ok()) << g.status();
+  hwgen::HwOptions opt;
+  opt.tagger.arm_mode = tagger::ArmMode::kResync;
+  opt.tagger.backend = backend;
+  if (dfa_cache_bytes != 0) opt.tagger.dfa_cache_bytes = dfa_cache_bytes;
+  auto filter = ContextFilter::Create(std::move(g).value(), WebRules(), opt);
+  EXPECT_TRUE(filter.ok()) << filter.status();
+  return std::move(filter).value();
+}
+
+std::string Traffic(int messages, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (int i = 0; i < messages; ++i) {
+    switch (rng.NextIndex(4)) {
+      case 0:
+        out += "REQ /a/../../etc/passwd HDR curl END\n";
+        break;
+      case 1:
+        out += "REQ /index.html HDR decoy-/etc/passwd-x END\n";
+        break;
+      case 2:
+        out += "REQ /ok HDR very-forbidden-agent END\n";
+        break;
+      default:
+        out += "REQ /static/" + rng.NextString(8, "abcdefgh") +
+               ".html HDR ua END\n";
+    }
+  }
+  return out;
+}
+
+// Minimal blocking HTTP/1.0 GET against 127.0.0.1:port; empty on failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+int StressIters() {
+  const char* env = std::getenv("CFGTAG_STRESS_ITERS");
+  if (env != nullptr && *env != '\0') {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;  // smoke scale: CI runs this under TSan too
+}
+
+TEST(ThreadedStressOracleTest, BackendsByteIdenticalUnderLiveObservation) {
+  struct Backend {
+    const char* name;
+    ContextFilter filter;
+    std::vector<std::vector<Alert>> batch_expected;
+    std::vector<Alert> stream_expected;
+  };
+  std::vector<Backend> backends;
+  backends.push_back(
+      {"functional", MakeFilter(tagger::TaggerBackend::kFunctional, 0),
+       {}, {}});
+  backends.push_back(
+      {"fused", MakeFilter(tagger::TaggerBackend::kFused, 0), {}, {}});
+  backends.push_back(
+      {"lazy", MakeFilter(tagger::TaggerBackend::kLazyDfa, 0), {}, {}});
+  // Starvation-sized transition cache: every worker constantly flushes
+  // (dfa_cache_flush flight events from inside scan threads) and
+  // eventually takes the sticky fused fallback.
+  backends.push_back(
+      {"lazy-starved", MakeFilter(tagger::TaggerBackend::kLazyDfa, 1 << 10),
+       {}, {}});
+
+  std::vector<std::string> storage;
+  for (uint64_t s = 0; s < 12; ++s) storage.push_back(Traffic(24, s));
+  storage.push_back("");  // empty stream rides along
+  const std::vector<std::string_view> streams(storage.begin(),
+                                              storage.end());
+  const std::string big_stream = Traffic(400, 777);
+
+  // Sequential oracle, computed before the storm with attribution off.
+  obs::AttributionTable::set_enabled(false);
+  for (Backend& b : backends) {
+    for (const std::string_view s : streams) {
+      b.batch_expected.push_back(b.filter.Scan(s));
+    }
+    b.stream_expected = b.filter.Scan(big_stream);
+  }
+  ASSERT_FALSE(backends[0].stream_expected.empty());
+  for (size_t i = 1; i < backends.size(); ++i) {
+    EXPECT_EQ(backends[i].batch_expected, backends[0].batch_expected)
+        << backends[i].name << " sequential batch diverged from functional";
+    EXPECT_EQ(backends[i].stream_expected, backends[0].stream_expected)
+        << backends[i].name << " sequential stream diverged from functional";
+  }
+
+  obs::StatsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> toggles{0};
+
+  // Continuous scrapers: every observability endpoint, round-robin.
+  std::vector<std::thread> observers;
+  for (int i = 0; i < 2; ++i) {
+    observers.emplace_back([&, i] {
+      const char* endpoints[] = {"/metrics", "/events",       "/rules",
+                                 "/healthz", "/metrics.json", "/trace.json"};
+      size_t k = static_cast<size_t>(i);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string r = HttpGet(port, endpoints[k++ % 6]);
+        if (!r.empty()) scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Mid-scan togglers: attribution on/off plus flight-recorder write +
+  // snapshot pressure from outside the scan workers.
+  observers.emplace_back([&] {
+    bool on = true;
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::AttributionTable::set_enabled(on);
+      on = !on;
+      obs::RecordEvent(obs::EventKind::kCustom,
+                       static_cast<int64_t>(toggles.load()), 0,
+                       "stress toggle");
+      (void)obs::FlightRecorder::Default().Snapshot();
+      toggles.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const int iters = StressIters();
+  for (Backend& b : backends) {
+    ScanEngineOptions opt;
+    opt.num_threads = 4;
+    opt.min_shard_bytes = 1024;  // force real sharding on the big stream
+    const ScanEngine engine(&b.filter, opt);
+    for (int it = 0; it < iters; ++it) {
+      const auto results = engine.ScanBatch(streams);
+      ASSERT_EQ(results.size(), streams.size()) << b.name;
+      for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_EQ(results[i].alerts, b.batch_expected[i])
+            << b.name << " iter " << it << " stream " << i;
+      }
+      const StreamResult sharded = engine.ScanStream(big_stream);
+      ASSERT_EQ(sharded.alerts, b.stream_expected)
+          << b.name << " iter " << it << " sharded stream";
+      ASSERT_EQ(sharded.stats.bytes, big_stream.size()) << b.name;
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : observers) t.join();
+  server.Stop();
+  obs::AttributionTable::set_enabled(false);
+
+  // The storm actually observed something while scans ran.
+  EXPECT_GT(scrapes.load(), 0u);
+  EXPECT_GT(toggles.load(), 0u);
+  // And the observability surfaces are still coherent afterwards.
+  const std::vector<obs::Event> events =
+      obs::FlightRecorder::Default().Snapshot();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace cfgtag::nids

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -122,6 +123,84 @@ TEST(FlightRecorderTest, ConcurrentWritersLoseNothingWhenUnderCapacity) {
   for (size_t i = 1; i < events.size(); ++i) {
     EXPECT_LT(events[i - 1].seq, events[i].seq);
   }
+}
+
+// Seqlock regression hammer: a small ring forces writers to overwrite
+// slots that readers are copying, so every read races a write. Each event
+// is self-describing (detail = "w<a>-<b>", correlation_id = 1000 + a), so
+// a torn copy that slipped past the seqlock validation shows up as an
+// internally inconsistent event. Before the payload moved into atomic
+// words, this was the formal data race TSan flagged in Snapshot().
+TEST(FlightRecorderTest, SeqlockHammerNeverYieldsTornEvents) {
+  FlightRecorder rec(/*capacity=*/64);  // small ring: constant overwrites
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> validated{0};
+
+  auto check = [&](const Event& e) {
+    char want[sizeof(e.detail)];
+    std::snprintf(want, sizeof(want), "w%lld-%lld",
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    const bool consistent =
+        e.kind == EventKind::kCustom && e.a >= 0 && e.a < kWriters &&
+        e.b >= 0 && e.b < kPerWriter &&
+        e.correlation_id == 1000u + static_cast<uint64_t>(e.a) &&
+        std::string(e.detail) == want;
+    if (!consistent) torn.fetch_add(1, std::memory_order_relaxed);
+    validated.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<Event> events = rec.Snapshot();
+        uint64_t prev_seq = 0;
+        for (const Event& e : events) {
+          EXPECT_GT(e.seq, prev_seq);  // unique, ascending
+          prev_seq = e.seq;
+          check(e);
+        }
+      }
+    });
+  }
+  // The async-signal-safe reader races the same writers through its own
+  // ReadSlot path.
+  readers.emplace_back([&] {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    ASSERT_GE(devnull, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      rec.DumpTo(devnull);
+    }
+    ::close(devnull);
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&rec, t] {
+      char detail[32];
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::snprintf(detail, sizeof(detail), "w%d-%d", t, i);
+        rec.Record(EventKind::kCustom, 1000u + static_cast<uint64_t>(t), t,
+                   i, detail);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(validated.load(), 0u);
+  EXPECT_EQ(rec.total_recorded(),
+            static_cast<uint64_t>(kWriters * kPerWriter));
+  // The quiesced ring holds exactly the last `capacity` events, all valid.
+  const std::vector<Event> final_events = rec.Snapshot();
+  EXPECT_EQ(final_events.size(), rec.capacity());
+  for (const Event& e : final_events) check(e);
+  EXPECT_EQ(torn.load(), 0u);
 }
 
 TEST(CorrelationTest, ScopesNestAndRestore) {

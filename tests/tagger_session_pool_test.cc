@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -174,6 +175,99 @@ TEST(SessionPoolTest, ConcurrentRunsShareThePool) {
   EXPECT_LE(pool.sessions_created(), static_cast<uint64_t>(kThreads) + 1);
   EXPECT_EQ(pool.sessions_created() + pool.sessions_reused(),
             static_cast<uint64_t>(kThreads) * kRunsPerThread + 1);
+}
+
+TEST(SessionPoolTest, TrimIdleDropsAndCounts) {
+  grammar::Grammar g = MustParse("%%\ns: \"ab\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+  {
+    std::vector<SessionPool::Handle> handles;
+    for (int i = 0; i < 6; ++i) handles.push_back(pool.Acquire(&*t));
+  }
+  ASSERT_EQ(pool.IdleCount(), 6u);
+  pool.TrimIdle(2);
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.sessions_dropped(), 4u);
+  pool.TrimIdle(4);  // keep above current idle: no-op
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.sessions_dropped(), 4u);
+  pool.TrimIdle(0);
+  EXPECT_EQ(pool.IdleCount(), 0u);
+  // Every created session is now accounted as dropped.
+  EXPECT_EQ(pool.sessions_dropped(), pool.sessions_created());
+}
+
+// Contention oracle: hammer Acquire/Release from N threads while another
+// thread keeps retuning retention (set_max_idle, TrimIdle). The pool's
+// counters must reconcile against a single-threaded bookkeeping oracle:
+//
+//   created + reused == total acquires   (every checkout is exactly one)
+//   created == dropped + IdleCount       (at quiescence: every session
+//                                         ever built is either freed and
+//                                         counted, or sitting idle)
+//
+// Any double-release, lost return, or drop that skipped the counter breaks
+// one of the two identities.
+TEST(SessionPoolTest, ContentionCountersReconcileAgainstOracle) {
+  grammar::Grammar g = MustParse("NUM [0-9]+\n%%\ns: \"<n>\" NUM \"</n>\";\n%%\n");
+  auto t = FunctionalTagger::Create(&g, {});
+  ASSERT_TRUE(t.ok());
+  SessionPool& pool = t->session_pool();
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 300;
+  std::atomic<bool> stop_tuning{false};
+  std::atomic<uint64_t> acquires{0};
+
+  std::thread tuner([&] {
+    size_t n = 1;
+    while (!stop_tuning.load(std::memory_order_acquire)) {
+      pool.set_max_idle(1 + (n % 8));
+      pool.TrimIdle(n % 4);
+      (void)pool.IdleCount();
+      (void)pool.HighWater();
+      ++n;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Mix plain checkouts, nested checkouts (forces pool growth), and
+        // full tagging runs through the pool's hot path.
+        SessionPool::Handle a = pool.Acquire(&*t);
+        acquires.fetch_add(1, std::memory_order_relaxed);
+        if (i % 3 == 0) {
+          SessionPool::Handle b = pool.Acquire(&*t);
+          acquires.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 5 == w % 5) {
+          (void)t->TagAll("<n>42</n>");  // acquires internally
+          acquires.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop_tuning.store(true, std::memory_order_release);
+  tuner.join();
+
+  // Identity 1: every acquire was served by exactly one create-or-reuse.
+  EXPECT_EQ(pool.sessions_created() + pool.sessions_reused(),
+            acquires.load());
+  // Identity 2 (quiescence): built == freed + still-idle.
+  EXPECT_EQ(pool.sessions_created(),
+            pool.sessions_dropped() + pool.IdleCount());
+  EXPECT_GE(pool.HighWater(), 1u);
+  EXPECT_LE(pool.HighWater(), static_cast<size_t>(2 * kThreads));
+  // Drain everything: the idle remainder converts to drops, closing the
+  // books completely.
+  pool.TrimIdle(0);
+  EXPECT_EQ(pool.IdleCount(), 0u);
+  EXPECT_EQ(pool.sessions_created(), pool.sessions_dropped());
 }
 
 }  // namespace

@@ -323,7 +323,19 @@ int RunTool(int argc, char** argv) {
       attribution = true;
     } else if (arg == "--flight-recorder-out") {
       const char* v = next();
-      if (!v) return Usage(argv[0]);
+      if (!v || *v == '\0') return Usage(argv[0]);
+      // Validate the path up front, exactly like --threads/--stats-port
+      // validate their values: a dump that would only fail at exit (or in
+      // the signal handler) is a silently lost flight recording. Probe by
+      // opening for append — creates the file if absent, never truncates
+      // an existing one.
+      std::ofstream probe(v, std::ios::app | std::ios::binary);
+      if (!probe) {
+        std::fprintf(stderr,
+                     "--flight-recorder-out needs a writable path, "
+                     "cannot open \"%s\"\n", v);
+        return Usage(argv[0]);
+      }
       g_flight_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
