@@ -22,6 +22,7 @@
 #include "tagger/lexer.h"
 #include "tagger/ll_parser.h"
 #include "tagger/naive_matcher.h"
+#include "tagger/simd/dispatch.h"
 #include "xmlrpc/message_gen.h"
 
 namespace cfgtag::bench {
@@ -307,6 +308,97 @@ void RecordBackendComparison(bool smoke) {
       ->Set(lexer_mbps);
 }
 
+// Scalar-vs-SIMD dispatch comparison on a delimiter-heavy stream — the
+// workload the vector kernels exist for. The generator emulates
+// heavily padded XML-RPC (whitespace between almost every token pair,
+// in runs of 256-1024 bytes — the shape of indentation-padded or
+// keepalive-padded feeds), so idle delimiter skipping and chunked
+// classification dominate the byte count. Both compiled
+// backends tag the stream under forced-scalar and under the best vector
+// tier the host offers, equivalence-checked first; MB/s land in
+// BENCH_8.json as cfgtag_bench_simd_mbps{backend=...,dispatch=...} and the
+// ratio as cfgtag_bench_simd_speedup{backend=...}.
+void RecordSimdComparison(bool smoke) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static const std::string* const kWsHeavy = [] {
+    xmlrpc::MessageGenOptions opt;
+    opt.whitespace_prob = 0.97;
+    opt.ws_run_min = 256;
+    opt.ws_run_max = 1024;
+    xmlrpc::MessageGenerator gen(opt, /*seed=*/44);
+    return new std::string(
+        gen.GenerateStream(/*count=*/0, /*min_bytes=*/1 << 20));
+  }();
+  const std::string_view input =
+      smoke ? std::string_view(*kWsHeavy).substr(0, 128 << 10)
+            : std::string_view(*kWsHeavy);
+  const int iters = smoke ? 1 : 3;
+
+  const tagger::simd::Isa best = tagger::simd::BestAvailable();
+  std::printf(
+      "\nSIMD dispatch comparison (%zu KB delimiter-heavy, resync mode, "
+      "best tier %s)\n",
+      input.size() >> 10, tagger::simd::IsaName(best));
+  std::printf("%8s | %12s %12s | %8s\n", "backend", "scalar MB/s",
+              "simd MB/s", "speedup");
+
+  const grammar::Grammar g = DuplicatedXmlRpc(1);
+  tagger::TaggerOptions topt;
+  topt.arm_mode = tagger::ArmMode::kResync;
+  auto fused = ValueOrDie(tagger::FusedTagger::Create(&g, topt), "fused");
+  auto lazy = ValueOrDie(tagger::LazyDfaTagger::Create(&g, topt), "lazy");
+
+  auto time_engine = [&](const auto& engine) {
+    size_t tags = 0;
+    const tagger::TagSink sink = [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    };
+    engine.Run(input, sink);  // warm-up (and, for the lazy DFA, cache fill)
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) engine.Run(input, sink);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(tags);
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count() / iters;
+    return input.size() / 1e6 / (secs > 0 ? secs : 1e-9);
+  };
+
+  auto run_backend = [&](const char* name, const auto& engine) {
+    // Byte-identical tags under both dispatches before timing anything.
+    tagger::simd::ForceIsa(tagger::simd::Isa::kScalar);
+    const auto want = engine.TagAll(input);
+    tagger::simd::ForceIsa(best);
+    if (engine.TagAll(input) != want) {
+      std::fprintf(stderr, "FATAL %s scalar/simd tag mismatch\n", name);
+      std::abort();
+    }
+    tagger::simd::ForceIsa(tagger::simd::Isa::kScalar);
+    const double scalar_mbps = time_engine(engine);
+    tagger::simd::ForceIsa(best);
+    const double simd_mbps = time_engine(engine);
+    const double speedup = simd_mbps / scalar_mbps;
+    std::printf("%8s | %12.1f %12.1f | %7.2fx\n", name, scalar_mbps,
+                simd_mbps, speedup);
+    const std::string backend_label = std::string("backend=\"") + name + "\"";
+    reg.GetGauge("cfgtag_bench_simd_mbps{" + backend_label +
+                     ",dispatch=\"scalar\"}",
+                 "Delimiter-heavy tagging MB/s under forced-scalar dispatch")
+        ->Set(scalar_mbps);
+    reg.GetGauge("cfgtag_bench_simd_mbps{" + backend_label +
+                     ",dispatch=\"simd\"}",
+                 "Delimiter-heavy tagging MB/s under the best vector tier")
+        ->Set(simd_mbps);
+    reg.GetGauge("cfgtag_bench_simd_speedup{" + backend_label + "}",
+                 "Vectorized over forced-scalar throughput ratio on the "
+                 "delimiter-heavy workload")
+        ->Set(speedup);
+  };
+  run_backend("fused", fused);
+  run_backend("lazy_dfa", lazy);
+  tagger::simd::ClearForcedIsa();
+}
+
 // Acceptance gauge for the attribution hot path: the fused engine tags the
 // same resync stream with per-token attribution off, then on, and the
 // slowdown lands in bench_metrics.json as cfgtag_bench_attr_overhead_pct
@@ -433,16 +525,19 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   cfgtag::bench::RecordBackendComparison(smoke);
+  cfgtag::bench::RecordSimdComparison(smoke);
   cfgtag::bench::RecordAttributionOverhead(smoke);
   cfgtag::bench::WriteMetricsJson("bench_metrics.json");
   // The consolidated perf baseline the CI release-bench gate parses: the
   // same registry snapshot under the tracked BENCH_4.json name (backend
   // MB/s and speedup gauges included). BENCH_7.json is the same snapshot
   // re-baselined after the concurrency pass (seqlock payload in atomic
-  // words, lifecycle-locked stats server), so the two files bracket any
-  // throughput cost of the race fixes.
+  // words, lifecycle-locked stats server), and BENCH_8.json after the SIMD
+  // kernel layer (scalar-vs-vector dispatch gauges included), so the files
+  // bracket each pass's throughput effect.
   cfgtag::bench::WriteMetricsJson("BENCH_4.json");
   cfgtag::bench::WriteMetricsJson("BENCH_7.json");
+  cfgtag::bench::WriteMetricsJson("BENCH_8.json");
   cfgtag::bench::HoldStats(stats_hold);
   return 0;
 }

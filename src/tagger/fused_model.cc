@@ -5,10 +5,16 @@
 #include "grammar/analysis.h"
 #include "obs/attribution.h"
 #include "regex/position_automaton.h"
+#include "tagger/simd/dispatch.h"
 
 namespace cfgtag::tagger {
 
 namespace {
+
+// Bytes classified per chunked-Feed block: small enough that the class-id
+// scratch stays L1-resident alongside the fused state, large enough to
+// amortize the vector classify's setup over the state loop.
+constexpr size_t kClassifyBlock = 512;
 
 inline size_t MetaWords(size_t words) { return (words + 63) / 64; }
 
@@ -180,7 +186,34 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
     t.arm_offset_[tok + 1] = static_cast<uint32_t>(t.arm_pattern_.size());
   }
 
+  // Armed-byte prefilter tables: a class can arm iff it is not a delimiter
+  // and its bytes hit some start token's first positions. When the machine
+  // is fully idle in scan mode, bytes of non-arming classes change nothing
+  // but the position and the delimiter flag, so whole runs of them are
+  // skipped with a vector scan over the arming byte set.
+  t.class_can_arm_.assign(num_classes, 0);
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    if (t.class_is_delim_[cls]) continue;
+    const uint64_t* cm = t.class_mask_.data() + cls * nw;
+    for (const WordBits& wb : t.start_first_) {
+      if (cm[wb.word] & wb.bits) {
+        t.class_can_arm_[cls] = 1;
+        break;
+      }
+    }
+  }
+  regex::CharClass arm_set;
+  for (int b = 0; b < 256; ++b) {
+    if (t.class_can_arm_[t.classifier_.ClassOf(static_cast<unsigned char>(
+            b))]) {
+      arm_set.Set(static_cast<unsigned char>(b));
+    }
+  }
+
   t.delim_scanner_ = RunScanner::ForSet(options.delimiters);
+  t.arm_scanner_ = RunScanner::ForSet(arm_set);
+  t.class_tables_ =
+      simd::BuildClassTables(t.classifier_.class_map(), num_classes);
   t.session_pool_ = std::make_shared<FusedSessionPool>();
   return t;
 }
@@ -266,10 +299,16 @@ void FusedSession::Reset() {
 
 void FusedSession::ProcessByte(unsigned char c, bool has_next,
                                unsigned char next_c, const TagSink& sink) {
+  const ByteClassifier& classifier = tagger_->classifier_;
+  ProcessClass(classifier.ClassOf(c), has_next,
+               has_next ? classifier.ClassOf(next_c) : uint8_t{0}, sink);
+}
+
+void FusedSession::ProcessClass(uint8_t cls, bool has_next, uint8_t next_cls,
+                                const TagSink& sink) {
   const FusedTagger& t = *tagger_;
   const size_t nw = t.num_words_;
   const ArmMode mode = t.options_.EffectiveArmMode();
-  const uint8_t cls = t.classifier_.ClassOf(c);
   const bool delim = t.class_is_delim_[cls] != 0;
   if (attr_on_) attr_dirty_ = true;
 
@@ -394,8 +433,7 @@ void FusedSession::ProcessByte(unsigned char c, bool has_next,
   if (any) {
     const uint64_t* ext =
         (t.options_.longest_match && has_next)
-            ? t.ext_mask_.data() +
-                  static_cast<size_t>(t.classifier_.ClassOf(next_c)) * nw
+            ? t.ext_mask_.data() + static_cast<size_t>(next_cls) * nw
             : nullptr;
     size_t skip_until = 0;
     for (size_t mi = 0; mi < next_meta_.size(); ++mi) {
@@ -528,6 +566,7 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
   const FusedTagger& t = *tagger_;
   const ArmMode mode = t.options_.EffectiveArmMode();
   const RunScanner& delim = t.delim_scanner_;
+  const RunScanner& arm = t.arm_scanner_;
   const SkipMetrics& skips = SkipMetrics::Get();
 
   if (has_pending_) {
@@ -543,19 +582,23 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
       // Idle fast paths: with an all-zero fused state, bytes that cannot
       // inject change nothing but the position and the delimiter flag, so
       // whole runs are skipped without stepping — and the run boundary is
-      // found with a multi-byte SWAR/memchr scan, not a per-byte test.
+      // found with a multi-byte vector/SWAR/memchr scan, not a per-byte
+      // test.
       if (delim.Test(static_cast<unsigned char>(data[i]))) {
         // Delimiter run: no injection on delimiters, arms survive.
         const size_t j = i + 1 + delim.FindFirstNotIn(data + i + 1, n - i - 1);
-        skips.delimiter->Increment(j - i);
+        skips.Of(SkipMetrics::kDelimiter, delim.strategy())
+            ->Increment(j - i);
         pos_ += j - i;
         prev_was_delim_ = true;
         i = j;
         continue;
       }
       if (!armed_any_ && mode == ArmMode::kAnchored) {
-        // Dead stream: anchored arming can never re-inject.
-        skips.anchored->Increment(n - i);
+        // Dead stream: anchored arming can never re-inject. Positional, no
+        // scan runs — strategy "none".
+        skips.Of(SkipMetrics::kAnchored, SkipStrategy::kNone)
+            ->Increment(n - i);
         pos_ += n - i;
         prev_was_delim_ = delim.Test(static_cast<unsigned char>(data[n - 1]));
         return;
@@ -564,18 +607,59 @@ void FusedSession::Feed(std::string_view chunk, const TagSink& sink) {
         // Mid-garbage in resync mode: start injection waits for the next
         // delimiter, so non-delimiter bytes are inert.
         const size_t j = i + 1 + delim.FindFirstIn(data + i + 1, n - i - 1);
-        skips.resync->Increment(j - i);
+        skips.Of(SkipMetrics::kResync, delim.strategy())->Increment(j - i);
         pos_ += j - i;
         prev_was_delim_ = false;
         i = j;
         continue;
       }
+      if (!armed_any_ && mode == ArmMode::kScan &&
+          !arm.Test(static_cast<unsigned char>(data[i]))) {
+        // Armed-byte prefilter: fully idle in scan mode, bytes that cannot
+        // start any token (the arming set is the non-delimiter bytes
+        // intersecting some start token's first positions) only advance
+        // the position and the delimiter flag. Delimiters never arm, so
+        // the skipped run may mix garbage and delimiters; the flag is
+        // recovered from the last skipped byte.
+        const size_t j = i + 1 + arm.FindFirstIn(data + i + 1, n - i - 1);
+        skips.Of(SkipMetrics::kArmed, arm.strategy())->Increment(j - i);
+        pos_ += j - i;
+        prev_was_delim_ = delim.Test(static_cast<unsigned char>(data[j - 1]));
+        i = j;
+        continue;
+      }
     }
-    if (i + 1 >= n) break;
-    ProcessByte(static_cast<unsigned char>(data[i]), /*has_next=*/true,
-                static_cast<unsigned char>(data[i + 1]), sink);
-    if (stopped_) return;
-    ++i;
+    const size_t avail = n - i;
+    if (avail < 2) break;  // only the lagging look-ahead byte remains
+    // Chunked translate-then-step: classify a block of raw bytes into a
+    // dense class-id stream with one vectorized call, then run the state
+    // loop over class ids only. The block loop hands control back to the
+    // idle skips above exactly when one would fire (machine fully idle AND
+    // the upcoming byte is skippable), so dead stretches are never
+    // re-classified byte by byte, and live stretches never bounce back
+    // out.
+    const size_t block = std::min(avail, kClassifyBlock);
+    if (cls_buf_.size() < block) cls_buf_.assign(kClassifyBlock, 0);
+    simd::Active().classify(t.class_tables_, data + i, block,
+                            cls_buf_.data());
+    const uint8_t* cls = cls_buf_.data();
+    size_t j = 0;
+    while (j + 1 < block) {
+      ProcessClass(cls[j], /*has_next=*/true, cls[j + 1], sink);
+      if (stopped_) return;
+      ++j;
+      if (!any_live_) {
+        const uint8_t nc = cls[j];
+        if (t.class_is_delim_[nc] != 0) break;
+        if (!armed_any_ &&
+            (mode == ArmMode::kAnchored ||
+             (mode == ArmMode::kResync && !prev_was_delim_) ||
+             (mode == ArmMode::kScan && t.class_can_arm_[nc] == 0))) {
+          break;
+        }
+      }
+    }
+    i += j;
   }
   if (i < n) {
     pending_ = static_cast<unsigned char>(data[i]);

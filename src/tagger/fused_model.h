@@ -67,6 +67,13 @@ class FusedSession {
   void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
                    const TagSink& sink);
 
+  // The per-byte step after classification: everything ProcessByte does,
+  // taking the byte's class id (and the look-ahead byte's) directly.
+  // Feed's chunked pipeline classifies a whole block up front and calls
+  // this against the dense class-id stream.
+  void ProcessClass(uint8_t cls, bool has_next, uint8_t next_cls,
+                    const TagSink& sink);
+
   // Merges the per-token attribution scratch into
   // obs::AttributionTable::Default() and zeroes it. Called from Finish()
   // and Reset() so pooled sessions merge on release/recheckout; a no-op
@@ -95,6 +102,10 @@ class FusedSession {
   // injection), with its own occupancy meta. Unmarked words are zero.
   std::vector<uint64_t> armed_first_, armed_meta_;
   std::vector<int32_t> emitted_;  // scratch: tokens emitted this byte
+  // Reusable class-id scratch for Feed's chunked pipeline: each input
+  // block is translated byte -> class id in one vectorized classify call,
+  // and the state loop consumes the dense uint8_t stream.
+  std::vector<uint8_t> cls_buf_;
   bool armed_any_ = false;
   bool any_live_ = false;
   bool prev_was_delim_ = false;
@@ -166,9 +177,19 @@ class FusedTagger {
 
   const ByteClassifier& classifier() const { return classifier_; }
   bool ClassIsDelim(uint8_t cls) const { return class_is_delim_[cls] != 0; }
+  // Whether a byte of class `cls` can inject start positions in scan mode:
+  // non-delimiter and intersecting some start token's first positions.
+  // Bytes of classes that cannot arm are inert when the machine is fully
+  // idle, which is what the armed-byte prefilter skips over.
+  bool ClassCanArm(uint8_t cls) const { return class_can_arm_[cls] != 0; }
   // Multi-byte scanner over the delimiter set (the idle fast-skip engine,
   // shared with the lazy-DFA backend).
   const RunScanner& delimiter_scanner() const { return delim_scanner_; }
+  // Multi-byte scanner over the bytes that CAN arm (the scan-mode idle
+  // prefilter: skip to the next byte able to start any token).
+  const RunScanner& arm_scanner() const { return arm_scanner_; }
+  // Vectorized byte -> class-id translation tables.
+  const simd::ClassTables& class_tables() const { return class_tables_; }
 
  private:
   friend class FusedSession;
@@ -194,7 +215,12 @@ class FusedTagger {
   // folds the delimiter test into the same lookup.
   ByteClassifier classifier_;
   std::vector<uint8_t> class_is_delim_;
+  // class_can_arm_[cls]: the class is not a delimiter and its bytes hit
+  // some start token's first positions (see ClassCanArm()).
+  std::vector<uint8_t> class_can_arm_;
   RunScanner delim_scanner_;
+  RunScanner arm_scanner_;
+  simd::ClassTables class_tables_;
 
   // Per-class global masks, row-major [cls * num_words_ + w]:
   // class_mask_: positions whose character class contains the class;

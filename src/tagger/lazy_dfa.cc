@@ -341,6 +341,7 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
   const ByteClassifier& classes = f.classifier();
   const ArmMode mode = f.options().EffectiveArmMode();
   const RunScanner& delim = f.delimiter_scanner();
+  const RunScanner& arm = f.arm_scanner();
   const SkipMetrics& skips = SkipMetrics::Get();
   if (attr_on_) attr_dirty_ = true;
 
@@ -362,7 +363,8 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
         // preserves arms whatever the input, so jump to the run's end.
         const size_t j = i + delim.FindFirstNotIn(data + i, n - i);
         if (j > i + 1) {
-          skips.delimiter->Increment(j - 1 - i);
+          skips.Of(SkipMetrics::kDelimiter, delim.strategy())
+              ->Increment(j - 1 - i);
           consumed_ += j - 1 - i;
           i = j - 1;
         }
@@ -370,7 +372,8 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
         // Dead stream: anchored arming can never re-inject; only the last
         // byte is fed (keeping the pending machinery consistent).
         if (n - i > 1) {
-          skips.anchored->Increment(n - 1 - i);
+          skips.Of(SkipMetrics::kAnchored, SkipStrategy::kNone)
+              ->Increment(n - 1 - i);
           consumed_ += n - 1 - i;
           i = n - 1;
         }
@@ -381,7 +384,25 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
         // delimiter, so non-delimiter bytes are inert.
         const size_t j = i + delim.FindFirstIn(data + i, n - i);
         if (j > i + 1) {
-          skips.resync->Increment(j - 1 - i);
+          skips.Of(SkipMetrics::kResync, delim.strategy())
+              ->Increment(j - 1 - i);
+          consumed_ += j - 1 - i;
+          i = j - 1;
+        }
+      } else if (!armed && mode == ArmMode::kScan &&
+                 !f.ClassCanArm(static_cast<uint8_t>(pending)) &&
+                 !arm.Test(static_cast<unsigned char>(data[i]))) {
+        // Armed-byte prefilter, DFA rendition: fully idle in scan mode,
+        // bytes that cannot start any token are inert, so jump to the
+        // last such byte and take one real transition there. The run may
+        // mix garbage and delimiters (delimiters never arm); the
+        // intermediate states differ only in pending class and delimiter
+        // flag, neither of which scan mode's injection reads, so the tags
+        // are exact.
+        const size_t j = i + arm.FindFirstIn(data + i, n - i);
+        if (j > i + 1) {
+          skips.Of(SkipMetrics::kArmed, arm.strategy())
+              ->Increment(j - 1 - i);
           consumed_ += j - 1 - i;
           i = j - 1;
         }

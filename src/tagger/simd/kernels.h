@@ -1,0 +1,23 @@
+#ifndef CFGTAG_TAGGER_SIMD_KERNELS_H_
+#define CFGTAG_TAGGER_SIMD_KERNELS_H_
+
+#include "tagger/simd/dispatch.h"
+
+// Internal: the per-tier kernel tables. Declared extern here (and included
+// by every definition TU) so the namespace-scope const objects get external
+// linkage. Only the tiers the target architecture compiles are defined.
+
+namespace cfgtag::tagger::simd {
+
+extern const Kernels kScalarKernels;
+#if defined(__x86_64__) || defined(__i386__)
+extern const Kernels kSse2Kernels;
+extern const Kernels kAvx2Kernels;
+#endif
+#if defined(__aarch64__)
+extern const Kernels kNeonKernels;
+#endif
+
+}  // namespace cfgtag::tagger::simd
+
+#endif  // CFGTAG_TAGGER_SIMD_KERNELS_H_

@@ -1,0 +1,112 @@
+// Scalar kernel tier: the portable fallback every vector tier also calls
+// for sub-vector buffers and loop tails. Strategy is picked per call from
+// the set's population — memchr for one member, branch-free SWAR (8 input
+// bytes per 64-bit word, exact per-lane zero test) for <= 8 members on
+// little-endian hosts, a table loop otherwise.
+
+#include <cstring>
+
+#include "tagger/simd/kernels.h"
+
+namespace cfgtag::tagger::simd {
+
+namespace {
+
+constexpr uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+constexpr uint64_t kHigh = 0x8080808080808080ULL;
+
+// 0x80 in exactly the lanes of `v` that are zero. Unlike the classic
+// (v - 0x01..) & ~v & 0x80.. haszero trick, this form is exact per lane
+// (no borrow propagation across lanes), which find-first semantics need.
+inline uint64_t ZeroLanes(uint64_t v) {
+  return ~(((v & kLow7) + kLow7) | v | kLow7);
+}
+
+inline uint64_t LoadWord(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+constexpr bool LittleEndian() {
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+  return __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__;
+#else
+  return false;
+#endif
+}
+
+size_t ScalarFindFirstIn(const ByteSet& s, const char* data, size_t n) {
+  if (s.num_values == 0) return n;
+  if (s.num_values == 1) {
+    const void* hit = std::memchr(data, s.single, n);
+    return hit == nullptr
+               ? n
+               : static_cast<size_t>(static_cast<const char*>(hit) - data);
+  }
+  size_t i = 0;
+  if (LittleEndian() && s.num_values <= 8) {
+    while (i + 8 <= n) {
+      const uint64_t w = LoadWord(data + i);
+      uint64_t in = 0;
+      for (int k = 0; k < s.num_values; ++k) {
+        in |= ZeroLanes(w ^ s.broadcast[k]);
+      }
+      if (in) {
+        return i + (static_cast<size_t>(__builtin_ctzll(in)) >> 3);
+      }
+      i += 8;
+    }
+  }
+  while (i < n && !s.in_set[static_cast<unsigned char>(data[i])]) ++i;
+  return i;
+}
+
+size_t ScalarFindFirstNotIn(const ByteSet& s, const char* data, size_t n) {
+  size_t i = 0;
+  if (LittleEndian() && s.num_values >= 1 && s.num_values <= 8) {
+    while (i + 8 <= n) {
+      const uint64_t w = LoadWord(data + i);
+      uint64_t in = 0;
+      for (int k = 0; k < s.num_values; ++k) {
+        in |= ZeroLanes(w ^ s.broadcast[k]);
+      }
+      const uint64_t out = ~in & kHigh;
+      if (out) {
+        return i + (static_cast<size_t>(__builtin_ctzll(out)) >> 3);
+      }
+      i += 8;
+    }
+  }
+  while (i < n && s.in_set[static_cast<unsigned char>(data[i])]) ++i;
+  return i;
+}
+
+void ScalarClassify(const ClassTables& t, const char* data, size_t n,
+                    uint8_t* out) {
+  if (t.num_planes == 0) {
+    std::memset(out, 0, n);
+    return;
+  }
+  const uint8_t* map = t.map;
+  size_t i = 0;
+  // Unrolled by 8 to break the one-load-per-iteration dependence chain.
+  for (; i + 8 <= n; i += 8) {
+    out[i + 0] = map[static_cast<unsigned char>(data[i + 0])];
+    out[i + 1] = map[static_cast<unsigned char>(data[i + 1])];
+    out[i + 2] = map[static_cast<unsigned char>(data[i + 2])];
+    out[i + 3] = map[static_cast<unsigned char>(data[i + 3])];
+    out[i + 4] = map[static_cast<unsigned char>(data[i + 4])];
+    out[i + 5] = map[static_cast<unsigned char>(data[i + 5])];
+    out[i + 6] = map[static_cast<unsigned char>(data[i + 6])];
+    out[i + 7] = map[static_cast<unsigned char>(data[i + 7])];
+  }
+  for (; i < n; ++i) out[i] = map[static_cast<unsigned char>(data[i])];
+}
+
+}  // namespace
+
+const Kernels kScalarKernels = {Isa::kScalar, &ScalarFindFirstIn,
+                                &ScalarFindFirstNotIn, &ScalarClassify};
+
+}  // namespace cfgtag::tagger::simd

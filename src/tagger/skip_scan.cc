@@ -1,30 +1,27 @@
 #include "tagger/skip_scan.h"
 
 #include <cstring>
+#include <string>
 
 namespace cfgtag::tagger {
 
+const char* SkipStrategyName(SkipStrategy s) {
+  switch (s) {
+    case SkipStrategy::kNone:
+      return "none";
+    case SkipStrategy::kMemchr:
+      return "memchr";
+    case SkipStrategy::kSwar:
+      return "swar";
+    case SkipStrategy::kTable:
+      return "table";
+    case SkipStrategy::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
 namespace {
-
-constexpr uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
-constexpr uint64_t kHigh = 0x8080808080808080ULL;
-
-// 0x80 in exactly the lanes of `v` that are zero. Unlike the classic
-// (v - 0x01..) & ~v & 0x80.. haszero trick, this form is exact per lane
-// (no borrow propagation across lanes), which find-first semantics need.
-inline uint64_t ZeroLanes(uint64_t v) {
-  return ~(((v & kLow7) + kLow7) | v | kLow7);
-}
-
-inline uint64_t Broadcast(unsigned char c) {
-  return 0x0101010101010101ULL * static_cast<uint64_t>(c);
-}
-
-inline uint64_t LoadWord(const char* p) {
-  uint64_t w;
-  std::memcpy(&w, p, sizeof(w));
-  return w;
-}
 
 constexpr bool LittleEndian() {
 #if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
@@ -37,82 +34,44 @@ constexpr bool LittleEndian() {
 }  // namespace
 
 RunScanner::RunScanner() {
-  std::memset(in_set_, 0, sizeof(in_set_));
-  std::memset(broadcast_, 0, sizeof(broadcast_));
+  static const bool kEmpty[256] = {};
+  set_ = simd::BuildByteSet(kEmpty);
 }
 
 RunScanner RunScanner::ForSet(const regex::CharClass& set) {
-  RunScanner s;
+  bool members[256];
   for (int b = 0; b < 256; ++b) {
-    if (!set.Test(static_cast<unsigned char>(b))) continue;
-    s.in_set_[b] = 1;
-    if (s.num_values_ < kMaxSwarValues) {
-      s.broadcast_[s.num_values_] = Broadcast(static_cast<unsigned char>(b));
-      if (s.num_values_ == 0) s.single_ = static_cast<unsigned char>(b);
-    }
-    ++s.num_values_;
+    members[b] = set.Test(static_cast<unsigned char>(b));
   }
-  s.swar_ = LittleEndian() && s.num_values_ >= 1 &&
-            s.num_values_ <= kMaxSwarValues;
+  RunScanner s;
+  s.set_ = simd::BuildByteSet(members);
   return s;
 }
 
-size_t RunScanner::FindFirstNotIn(const char* data, size_t n) const {
-  size_t i = 0;
-  if (swar_) {
-    while (i + 8 <= n) {
-      const uint64_t w = LoadWord(data + i);
-      uint64_t in = 0;
-      for (int k = 0; k < num_values_; ++k) {
-        in |= ZeroLanes(w ^ broadcast_[k]);
-      }
-      const uint64_t out = ~in & kHigh;
-      if (out) {
-        return i + (static_cast<size_t>(__builtin_ctzll(out)) >> 3);
-      }
-      i += 8;
-    }
-  }
-  while (i < n && in_set_[static_cast<unsigned char>(data[i])]) ++i;
-  return i;
-}
-
-size_t RunScanner::FindFirstIn(const char* data, size_t n) const {
-  if (num_values_ == 0) return n;
-  if (num_values_ == 1) {
-    const void* hit = std::memchr(data, single_, n);
-    return hit == nullptr
-               ? n
-               : static_cast<size_t>(static_cast<const char*>(hit) - data);
-  }
-  size_t i = 0;
-  if (swar_) {
-    while (i + 8 <= n) {
-      const uint64_t w = LoadWord(data + i);
-      uint64_t in = 0;
-      for (int k = 0; k < num_values_; ++k) {
-        in |= ZeroLanes(w ^ broadcast_[k]);
-      }
-      if (in) {
-        return i + (static_cast<size_t>(__builtin_ctzll(in)) >> 3);
-      }
-      i += 8;
-    }
-  }
-  while (i < n && !in_set_[static_cast<unsigned char>(data[i])]) ++i;
-  return i;
+SkipStrategy RunScanner::strategy() const {
+  if (set_.num_values == 0) return SkipStrategy::kNone;
+  if (set_.num_values == 1) return SkipStrategy::kMemchr;
+  if (simd::Active().isa != simd::Isa::kScalar) return SkipStrategy::kSimd;
+  if (LittleEndian() && set_.num_values <= 8) return SkipStrategy::kSwar;
+  return SkipStrategy::kTable;
 }
 
 const SkipMetrics& SkipMetrics::Get() {
   static const SkipMetrics kMetrics = [] {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
-    auto counter = [&reg](const char* kind) {
-      return reg.GetCounter(
-          std::string("cfgtag_skip_bytes_total{kind=\"") + kind + "\"}",
-          "Bytes advanced by an idle fast-skip instead of stepping");
-    };
-    return SkipMetrics{counter("delimiter"), counter("anchored"),
-                       counter("resync")};
+    static const char* const kKindNames[SkipMetrics::kNumKinds] = {
+        "delimiter", "anchored", "resync", "armed"};
+    SkipMetrics m;
+    for (int k = 0; k < SkipMetrics::kNumKinds; ++k) {
+      for (int s = 0; s < kNumSkipStrategies; ++s) {
+        m.counters[k][s] = reg.GetCounter(
+            std::string("cfgtag_skip_bytes_total{kind=\"") + kKindNames[k] +
+                "\",strategy=\"" +
+                SkipStrategyName(static_cast<SkipStrategy>(s)) + "\"}",
+            "Bytes advanced by an idle fast-skip instead of stepping");
+      }
+    }
+    return m;
   }();
   return kMetrics;
 }

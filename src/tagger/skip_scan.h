@@ -6,24 +6,37 @@
 
 #include "obs/metrics.h"
 #include "regex/char_class.h"
+#include "tagger/simd/dispatch.h"
 
 namespace cfgtag::tagger {
+
+// Which engine a RunScanner call runs through — exported as the `strategy`
+// label on cfgtag_skip_bytes_total so a deployment can confirm the vector
+// kernels are live.
+enum class SkipStrategy : uint8_t {
+  kNone = 0,  // nothing scanned (empty set, or a purely positional skip)
+  kMemchr,    // single-member set: libc memchr
+  kSwar,      // <= 8 members, scalar dispatch: 8-lane SWAR word loop
+  kTable,     // scalar dispatch, large set: table loop
+  kSimd,      // vector dispatch: shuffle membership, 16/32 bytes per step
+};
+
+inline constexpr int kNumSkipStrategies = 5;
+
+const char* SkipStrategyName(SkipStrategy s);
 
 // Multi-byte run scanner over a fixed byte set — the engine behind the
 // idle fast-skips shared by the fused and lazy-DFA backends. Both "skip
 // while in the set" (delimiter runs) and "skip until the set" (resync
-// garbage runs) reduce to finding the first byte on the other side of a
-// membership test, so the scanner exposes exactly those two primitives.
+// garbage, armed-byte prefilter) reduce to finding the first byte on the
+// other side of a membership test, so the scanner exposes exactly those
+// two primitives.
 //
-// Strategy is picked at build time from the set's population:
-//   * 1 member        — std::memchr for find-first-in, SWAR for the rest;
-//   * <= 8 members    — branch-free SWAR: 8 input bytes per 64-bit word,
-//                       one exact zero-lane test per member value
-//                       (whitespace, the default delimiter set, has 6);
-//   * anything larger — table-driven byte loop (still one load per byte,
-//                       no per-byte branch beyond the test itself).
-// The SWAR paths assume little-endian lane order and fall back to the
-// table on big-endian targets.
+// Calls dispatch through simd::Active(): under vector dispatch, arbitrary
+// byte sets — not just the <= 8-member SWAR sets — skip 16/32 bytes per
+// step via the exact truffle shuffle kernels; under scalar dispatch the
+// strategy falls back per set population (memchr / SWAR / table, see
+// SkipStrategy). Every tier returns identical indices.
 class RunScanner {
  public:
   // An empty scanner: nothing is in the set.
@@ -33,32 +46,46 @@ class RunScanner {
 
   // Index of the first byte of data[0, n) NOT in the set; n if every byte
   // is a member.
-  size_t FindFirstNotIn(const char* data, size_t n) const;
+  size_t FindFirstNotIn(const char* data, size_t n) const {
+    return simd::Active().find_first_not_in(set_, data, n);
+  }
 
   // Index of the first byte of data[0, n) in the set; n if none is.
-  size_t FindFirstIn(const char* data, size_t n) const;
+  size_t FindFirstIn(const char* data, size_t n) const {
+    return simd::Active().find_first_in(set_, data, n);
+  }
 
-  bool Test(unsigned char c) const { return in_set_[c] != 0; }
+  bool Test(unsigned char c) const { return set_.in_set[c] != 0; }
+
+  int num_values() const { return set_.num_values; }
+
+  // The strategy the *current* dispatch would use (metrics labelling; the
+  // kernels re-decide per call, so a dispatch override mid-stream is safe).
+  SkipStrategy strategy() const;
 
  private:
-  static constexpr int kMaxSwarValues = 8;
-
-  uint8_t in_set_[256];
-  // Broadcast patterns (value repeated in every lane) for the SWAR path.
-  uint64_t broadcast_[kMaxSwarValues];
-  int num_values_ = 0;
-  bool swar_ = false;
-  unsigned char single_ = 0;  // the member byte when num_values_ == 1
+  simd::ByteSet set_;
 };
 
 // Process-wide accounting for the idle fast-skips (bytes that advanced the
-// stream without stepping the machine), labelled by which skip fired.
-// Shared between FusedSession and LazyDfaSession so a deployment sees one
-// family regardless of backend.
+// stream without stepping the machine), labelled by which skip fired
+// (kind) and which scan engine found the run boundary (strategy). Shared
+// between FusedSession and LazyDfaSession so a deployment sees one family
+// regardless of backend.
 struct SkipMetrics {
-  obs::Counter* delimiter;  // delimiter runs with no live state
-  obs::Counter* anchored;   // dead anchored-mode stream tails
-  obs::Counter* resync;     // unarmed non-delimiter runs in resync mode
+  enum Kind : int {
+    kDelimiter = 0,  // delimiter runs with no live state
+    kAnchored,       // dead anchored-mode stream tails (positional, no scan)
+    kResync,         // unarmed non-delimiter runs in resync mode
+    kArmed,          // scan-mode idle runs of bytes that cannot arm anything
+    kNumKinds,
+  };
+
+  obs::Counter* counters[kNumKinds][kNumSkipStrategies];
+
+  obs::Counter* Of(Kind kind, SkipStrategy strategy) const {
+    return counters[kind][static_cast<int>(strategy)];
+  }
 
   static const SkipMetrics& Get();
 };

@@ -17,7 +17,10 @@ MessageGenerator::MessageGenerator(MessageGenOptions options, uint64_t seed)
 void MessageGenerator::EmitWs(std::string* out) {
   if (!rng_.NextBool(options_.whitespace_prob)) return;
   static constexpr char kWs[] = {' ', '\n', '\t'};
-  const size_t n = 1 + rng_.NextIndex(3);
+  const size_t n =
+      static_cast<size_t>(options_.ws_run_min) +
+      rng_.NextIndex(
+          static_cast<size_t>(options_.ws_run_max - options_.ws_run_min) + 1);
   for (size_t i = 0; i < n; ++i) out->push_back(kWs[rng_.NextIndex(3)]);
 }
 

@@ -20,6 +20,11 @@ struct MessageGenOptions {
   int max_params = 3;         // parameters per call
   int max_members = 3;        // members per struct / values per array
   double whitespace_prob = 0.4;  // chance of whitespace between tokens
+  // Whitespace run length bounds (uniform in [min, max]). The defaults
+  // match the historical 1-3 behavior; raise them for delimiter-heavy
+  // pretty-printed streams (the SIMD skip-scan benchmark workload).
+  int ws_run_min = 1;
+  int ws_run_max = 3;
   // Adversarial mode: string values deliberately contain service names, so
   // a context-free matcher reports them as service requests (the
   // false-positive experiment of the intro).

@@ -2,9 +2,10 @@
 // small grammars and random byte streams, the fused and lazy-DFA backends
 // must be tag-for-tag identical to the functional reference — for every
 // arm mode, with and without the longest-match look-ahead, chunked or
-// whole-buffer, and for the lazy DFA also under a starvation-sized
-// transition cache (constant flushing, then the fused fallback) — and
-// CompiledTagger::Tag must agree with itself across backends.
+// whole-buffer, under both scalar and vectorized SIMD dispatch, and for
+// the lazy DFA also under a starvation-sized transition cache (constant
+// flushing, then the fused fallback) — and CompiledTagger::Tag must agree
+// with itself across backends.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,7 @@
 #include "tagger/functional_model.h"
 #include "tagger/fused_model.h"
 #include "tagger/lazy_dfa.h"
+#include "tagger/simd/dispatch.h"
 
 namespace cfgtag {
 namespace {
@@ -121,6 +123,17 @@ std::string RandomStream(const Grammar& g, Rng& rng) {
   return out;
 }
 
+// The kernel dispatches to sweep every backend comparison over: forced
+// scalar plus the best vector tier the host offers (just scalar when the
+// host has no vector tier).
+std::vector<tagger::simd::Isa> DispatchIsas() {
+  std::vector<tagger::simd::Isa> isas = {tagger::simd::Isa::kScalar};
+  if (tagger::simd::BestAvailable() != tagger::simd::Isa::kScalar) {
+    isas.push_back(tagger::simd::BestAvailable());
+  }
+  return isas;
+}
+
 template <typename Tagger>
 std::vector<Tag> Chunked(const Tagger& t, std::string_view input,
                          size_t chunk) {
@@ -173,19 +186,26 @@ TEST(DifferentialFuzzTest, FusedMatchesFunctionalEverywhere) {
     for (int s = 0; s < 8; ++s) {
       const std::string input = RandomStream(g, rng);
       const std::vector<Tag> want = functional->TagAll(input);
-      ExpectSameTags(want, fused->TagAll(input), "fused whole-buffer",
-                     input);
-      ExpectSameTags(want, lazy->TagAll(input), "lazy whole-buffer", input);
-      ExpectSameTags(want, lazy_tiny->TagAll(input),
-                     "lazy tiny-cache whole-buffer", input);
       const size_t chunk = 1 + rng.NextIndex(7);
-      ExpectSameTags(want, Chunked(*fused, input, chunk),
-                     "fused chunk=" + std::to_string(chunk), input);
-      ExpectSameTags(want, Chunked(*lazy, input, chunk),
-                     "lazy chunk=" + std::to_string(chunk), input);
-      ExpectSameTags(want, Chunked(*lazy_tiny, input, chunk),
-                     "lazy tiny-cache chunk=" + std::to_string(chunk),
-                     input);
+      for (const tagger::simd::Isa isa : DispatchIsas()) {
+        tagger::simd::ForceIsa(isa);
+        const std::string d =
+            std::string(" dispatch=") + tagger::simd::IsaName(isa);
+        ExpectSameTags(want, fused->TagAll(input), "fused whole-buffer" + d,
+                       input);
+        ExpectSameTags(want, lazy->TagAll(input), "lazy whole-buffer" + d,
+                       input);
+        ExpectSameTags(want, lazy_tiny->TagAll(input),
+                       "lazy tiny-cache whole-buffer" + d, input);
+        ExpectSameTags(want, Chunked(*fused, input, chunk),
+                       "fused chunk=" + std::to_string(chunk) + d, input);
+        ExpectSameTags(want, Chunked(*lazy, input, chunk),
+                       "lazy chunk=" + std::to_string(chunk) + d, input);
+        ExpectSameTags(want, Chunked(*lazy_tiny, input, chunk),
+                       "lazy tiny-cache chunk=" + std::to_string(chunk) + d,
+                       input);
+      }
+      tagger::simd::ClearForcedIsa();
     }
   }
 }
