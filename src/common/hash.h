@@ -1,0 +1,41 @@
+#ifndef CFGTAG_COMMON_HASH_H_
+#define CFGTAG_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace cfgtag {
+
+// The 64-bit mix primitive shared by the lazy-DFA configuration hash, the
+// canonical grammar hash, and the artifact checksum. Changing it is a
+// compatibility break for saved artifacts (both the checksum and the baked
+// DFA state hashes are stored) — bump kArtifactFormatVersion if you must.
+inline uint64_t HashMix64(uint64_t h, uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 29;
+  h = (h ^ v) * 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 32);
+}
+
+// Streams arbitrary bytes through HashMix64 one 64-bit word at a time
+// (final partial word zero-padded, length folded in at the end).
+inline uint64_t HashBytes64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = HashMix64(h, w);
+  }
+  if (i < size) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    h = HashMix64(h, w);
+  }
+  return HashMix64(h, static_cast<uint64_t>(size));
+}
+
+}  // namespace cfgtag
+
+#endif  // CFGTAG_COMMON_HASH_H_

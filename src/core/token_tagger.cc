@@ -4,9 +4,13 @@
 #include <cctype>
 #include <ostream>
 
+#include "grammar/canonical.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/optimize.h"
+#include "tagger/artifact/cache.h"
+#include "tagger/artifact/loader.h"
+#include "tagger/artifact/writer.h"
 #include "rtl/simulator.h"
 #include "tagger/session_pool.h"
 #include "rtl/vcd_writer.h"
@@ -102,6 +106,116 @@ StatusOr<CompiledTagger> CompiledTagger::Compile(
   reg.GetGauge("cfgtag_compile_pattern_bytes",
                "Pattern bytes (Glushkov positions) of the last compile")
       ->Set(static_cast<double>(out.hardware_.pattern_bytes));
+  return out;
+}
+
+Status CompiledTagger::RequireHardware(const char* what) const {
+  if (software_only_) {
+    return FailedPreconditionError(
+        std::string(what) +
+        ": tagger was loaded from an artifact (software engine only); "
+        "recompile the grammar for netlist operations");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> CompiledTagger::SerializeWithHashes(
+    uint64_t grammar_hash, uint64_t options_hash) const {
+  namespace art = tagger::artifact;
+  art::SerializeRequest req;
+  req.grammar_hash = grammar_hash;
+  req.options_hash = options_hash;
+  req.aot_state_budget = options_.tagger.aot_state_budget;
+  const tagger::FusedTagger* fused;
+  if (lazy_ != nullptr) {
+    req.backend = art::kArtifactLazyDfa;
+    fused = &lazy_->fused();
+  } else if (fused_ != nullptr) {
+    req.backend = art::kArtifactFused;
+    fused = fused_.get();
+  } else {
+    return FailedPreconditionError(
+        "Serialize: the functional backend keeps no flat tables; compile "
+        "with backend kFused, kLazyDfa or kAuto");
+  }
+  return art::SerializeTagger(*fused, req);
+}
+
+StatusOr<std::string> CompiledTagger::Serialize() const {
+  return SerializeWithHashes(grammar::CanonicalHash(grammar()),
+                             tagger::artifact::OptionsHash(options_.tagger));
+}
+
+// Builds a software-only CompiledTagger around a loaded artifact and
+// records the artifact gauges.
+StatusOr<CompiledTagger> CompiledTagger::AdoptLoaded(
+    tagger::artifact::LoadedTagger lt) {
+  const auto& am = tagger::artifact::ArtifactMetrics::Get();
+  am.bytes->Set(static_cast<double>(lt.artifact_bytes));
+  am.aot_states->Set(static_cast<double>(lt.aot_states));
+  CompiledTagger out;
+  out.software_only_ = true;
+  out.loaded_grammar_ = lt.grammar;
+  out.options_.tagger = lt.options;
+  out.fused_ = std::move(lt.fused);
+  out.lazy_ = std::move(lt.lazy);
+  return out;
+}
+
+StatusOr<CompiledTagger> CompiledTagger::Deserialize(std::string_view bytes) {
+  const auto& am = tagger::artifact::ArtifactMetrics::Get();
+  obs::ScopedTimer timer(am.load_seconds);
+  CFGTAG_ASSIGN_OR_RETURN(auto loaded,
+                          tagger::artifact::LoadFromMemory(bytes));
+  return AdoptLoaded(std::move(loaded));
+}
+
+StatusOr<CompiledTagger> CompiledTagger::LoadArtifact(
+    const std::string& path) {
+  const auto& am = tagger::artifact::ArtifactMetrics::Get();
+  obs::ScopedTimer timer(am.load_seconds);
+  CFGTAG_ASSIGN_OR_RETURN(auto loaded, tagger::artifact::LoadFromFile(path));
+  return AdoptLoaded(std::move(loaded));
+}
+
+StatusOr<CompiledTagger> CompiledTagger::CompileCached(
+    grammar::Grammar grammar, const hwgen::HwOptions& options,
+    const std::string& cache_dir) {
+  namespace art = tagger::artifact;
+  const auto& am = art::ArtifactMetrics::Get();
+  // The key is the *requested* configuration: grammar content (order
+  // normalized) plus the options fields that shape the tables.
+  const uint64_t ghash = grammar::CanonicalHash(grammar);
+  const uint64_t ohash = art::OptionsHash(options.tagger);
+  const std::string path = art::CachePath(cache_dir, ghash, ohash);
+  {
+    auto loaded = art::LoadFromFile(path);
+    if (loaded.ok() && loaded.value().grammar_hash == ghash &&
+        loaded.value().options_hash == ohash) {
+      am.cache_hits->Increment();
+      obs::ScopedTimer timer(am.load_seconds);
+      return AdoptLoaded(std::move(loaded).value());
+    }
+    // Missing, corrupt, or stale-key entry: fall through to a compile
+    // (the store below overwrites a bad entry atomically).
+  }
+  am.cache_misses->Increment();
+  hwgen::HwOptions opts = options;
+  if (opts.tagger.backend == tagger::TaggerBackend::kAuto &&
+      opts.tagger.aot_state_budget > 0) {
+    // With a baked transition table in the artifact, cold starts run warm
+    // — the auto heuristic's cache-build cost argument no longer applies,
+    // so kAuto prefers the precomputed DFA.
+    opts.tagger.backend = tagger::TaggerBackend::kLazyDfa;
+  }
+  CFGTAG_ASSIGN_OR_RETURN(CompiledTagger out,
+                          Compile(std::move(grammar), opts));
+  auto bytes = out.SerializeWithHashes(ghash, ohash);
+  if (bytes.ok()) {
+    // Best effort: a failed store (read-only dir, disk full) degrades to
+    // an uncached compile, never to an error.
+    (void)art::AtomicWriteFile(path, bytes.value());
+  }
   return out;
 }
 
@@ -218,6 +332,7 @@ void CompiledTagger::Tag(std::string_view input,
 
 StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(
     std::string_view input) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("TagCycleAccurate"));
   obs::ScopedSpan span("core.TagCycleAccurate");
   CFGTAG_ASSIGN_OR_RETURN(auto sim,
                           rtl::Simulator::Create(&hardware_.netlist));
@@ -288,6 +403,7 @@ StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(
 
 StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagViaIndexBus(
     std::string_view input) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("TagViaIndexBus"));
   if (hardware_.index_valid == rtl::kInvalidNode) {
     return FailedPreconditionError("tagger was compiled without the encoder");
   }
@@ -330,6 +446,7 @@ StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagViaIndexBus(
 
 StatusOr<ImplementationReport> CompiledTagger::Implement(
     const rtl::Device& device, bool optimize) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("Implement"));
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   obs::ScopedSpan span("core.Implement");
   obs::ScopedTimer timer(reg.GetHistogram(
@@ -386,11 +503,13 @@ StatusOr<ImplementationReport> CompiledTagger::Implement(
 
 StatusOr<std::string> CompiledTagger::ExportVhdl(
     const std::string& entity_name) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("ExportVhdl"));
   return rtl::VhdlEmitter::Emit(hardware_.netlist, entity_name);
 }
 
 StatusOr<std::string> CompiledTagger::ExportVhdlTestbench(
     const std::string& entity_name, std::string_view input) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("ExportVhdlTestbench"));
   const std::string padded = Padded(input, kFlushPadding + 1);
   const size_t scan_end = input.size() + kFlushPadding;
   const size_t lanes = static_cast<size_t>(hardware_.lanes);
@@ -447,6 +566,7 @@ StatusOr<std::string> CompiledTagger::ExportVhdlTestbench(
 
 Status CompiledTagger::DumpWaveform(std::string_view input,
                                     std::ostream& os) const {
+  CFGTAG_RETURN_IF_ERROR(RequireHardware("DumpWaveform"));
   CFGTAG_ASSIGN_OR_RETURN(auto sim,
                           rtl::Simulator::Create(&hardware_.netlist));
   rtl::VcdWriter vcd(&os, &hardware_.netlist);

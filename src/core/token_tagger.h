@@ -18,6 +18,10 @@
 #include "tagger/lazy_dfa.h"
 #include "tagger/tag.h"
 
+namespace cfgtag::tagger::artifact {
+struct LoadedTagger;
+}  // namespace cfgtag::tagger::artifact
+
 namespace cfgtag::core {
 
 // Area of an implementation, in the units of the paper's Table 1.
@@ -51,10 +55,45 @@ class CompiledTagger {
   static StatusOr<CompiledTagger> Compile(grammar::Grammar grammar,
                                           const hwgen::HwOptions& options = {});
 
+  // --- Artifacts ---------------------------------------------------------
+  // Zero-copy compiled-tagger artifacts (see docs/artifact_cache.md): the
+  // software engine's tables serialized into one flat, checksummed,
+  // mmap-able file, loadable without recompiling the grammar.
+
+  // Serializes the software tagger — fused or lazy-DFA backend only; the
+  // functional backend keeps no flat tables and returns an error. For the
+  // lazy backend the artifact also carries an ahead-of-time determinized
+  // transition table (options.tagger.aot_state_budget states).
+  StatusOr<std::string> Serialize() const;
+
+  // Rebuilds a tagger from artifact bytes (one aligned copy) or straight
+  // from a file (mmap'd; the zero-copy path). The result is software-only:
+  // has_hardware() is false and the netlist/report methods return errors.
+  static StatusOr<CompiledTagger> Deserialize(std::string_view bytes);
+  static StatusOr<CompiledTagger> LoadArtifact(const std::string& path);
+
+  // Content-addressed compile cache under `cache_dir`, keyed by
+  // (grammar::CanonicalHash, artifact::OptionsHash) — pure content, so
+  // textually reordered but equivalent grammars share an entry. A hit
+  // loads the artifact (no hwgen, no regex compilation of the tables); a
+  // miss compiles, stores the artifact atomically, and returns the full
+  // tagger. A kAuto backend request is resolved to the lazy DFA whenever
+  // AOT is enabled, so cached cold starts run out of the baked table.
+  static StatusOr<CompiledTagger> CompileCached(grammar::Grammar grammar,
+                                                const hwgen::HwOptions& options,
+                                                const std::string& cache_dir);
+
+  // False when this tagger was loaded from an artifact: only the software
+  // engine exists — hardware(), model() and the netlist-backed methods
+  // (TagCycleAccurate, Implement, ExportVhdl, ...) are unavailable.
+  bool has_hardware() const { return !software_only_; }
+
   CompiledTagger(CompiledTagger&&) = default;
   CompiledTagger& operator=(CompiledTagger&&) = default;
 
-  const grammar::Grammar& grammar() const { return *grammar_; }
+  const grammar::Grammar& grammar() const {
+    return grammar_ ? *grammar_ : *loaded_grammar_;
+  }
   const hwgen::GeneratedTagger& hardware() const { return hardware_; }
   const tagger::FunctionalTagger& model() const { return *model_; }
   // The fused bit-parallel engine; built only when the resolved backend is
@@ -120,7 +159,18 @@ class CompiledTagger {
  private:
   CompiledTagger() = default;
 
+  // Serialize with caller-chosen header hashes (the compile cache stamps
+  // the lookup key rather than recomputing it from resolved options).
+  StatusOr<std::string> SerializeWithHashes(uint64_t grammar_hash,
+                                            uint64_t options_hash) const;
+  static StatusOr<CompiledTagger> AdoptLoaded(tagger::artifact::LoadedTagger);
+  Status RequireHardware(const char* what) const;
+
   std::unique_ptr<grammar::Grammar> grammar_;  // stable address
+  // Artifact-loaded taggers observe the grammar owned by the engine's
+  // backing instead (grammar_ stays null; see grammar()).
+  const grammar::Grammar* loaded_grammar_ = nullptr;
+  bool software_only_ = false;
   hwgen::HwOptions options_;
   hwgen::GeneratedTagger hardware_;
   std::unique_ptr<tagger::FunctionalTagger> model_;

@@ -1,0 +1,95 @@
+#include "grammar/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace cfgtag::grammar {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendStr(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+}  // namespace
+
+std::string CanonicalSerialization(const Grammar& g) {
+  const auto& tokens = g.tokens();
+  const auto& nts = g.nonterminals();
+
+  // Sort permutations of both id spaces; map[old] = canonical id.
+  std::vector<uint32_t> tok_order(tokens.size());
+  std::iota(tok_order.begin(), tok_order.end(), 0);
+  std::sort(tok_order.begin(), tok_order.end(), [&](uint32_t a, uint32_t b) {
+    const TokenDef& ta = tokens[a];
+    const TokenDef& tb = tokens[b];
+    return std::tie(ta.name, ta.pattern, ta.is_literal, ta.literal_text) <
+           std::tie(tb.name, tb.pattern, tb.is_literal, tb.literal_text);
+  });
+  std::vector<uint32_t> tok_map(tokens.size());
+  for (uint32_t i = 0; i < tok_order.size(); ++i) tok_map[tok_order[i]] = i;
+
+  std::vector<uint32_t> nt_order(nts.size());
+  std::iota(nt_order.begin(), nt_order.end(), 0);
+  std::sort(nt_order.begin(), nt_order.end(),
+            [&](uint32_t a, uint32_t b) { return nts[a] < nts[b]; });
+  std::vector<uint32_t> nt_map(nts.size());
+  for (uint32_t i = 0; i < nt_order.size(); ++i) nt_map[nt_order[i]] = i;
+
+  std::string out;
+  out.append("CFGTAGGR", 8);
+  AppendU32(&out, static_cast<uint32_t>(tokens.size()));
+  for (uint32_t idx : tok_order) {
+    const TokenDef& t = tokens[idx];
+    AppendStr(&out, t.name);
+    AppendStr(&out, t.pattern);
+    AppendU32(&out, t.is_literal ? 1 : 0);
+    AppendStr(&out, t.literal_text);
+  }
+  AppendU32(&out, static_cast<uint32_t>(nts.size()));
+  for (uint32_t idx : nt_order) AppendStr(&out, nts[idx]);
+
+  // Productions serialized with remapped ids, then sorted as byte strings
+  // — production order in the source never matters to the tagger (only
+  // Analyze()'s start/Follow sets, which are order-insensitive sets).
+  std::vector<std::string> prods;
+  prods.reserve(g.productions().size());
+  for (const Production& p : g.productions()) {
+    std::string ps;
+    AppendU32(&ps, p.lhs >= 0 ? nt_map[static_cast<uint32_t>(p.lhs)] : ~0u);
+    AppendU32(&ps, static_cast<uint32_t>(p.rhs.size()));
+    for (const Symbol& s : p.rhs) {
+      AppendU32(&ps, s.IsTerminal() ? 0 : 1);
+      const auto& map = s.IsTerminal() ? tok_map : nt_map;
+      AppendU32(&ps, s.index >= 0 && static_cast<size_t>(s.index) < map.size()
+                         ? map[static_cast<uint32_t>(s.index)]
+                         : ~0u);
+    }
+    prods.push_back(std::move(ps));
+  }
+  std::sort(prods.begin(), prods.end());
+  AppendU32(&out, static_cast<uint32_t>(prods.size()));
+  for (const std::string& ps : prods) out.append(ps);
+
+  AppendU32(&out, g.start() >= 0 && static_cast<size_t>(g.start()) < nt_map.size()
+                      ? nt_map[static_cast<uint32_t>(g.start())]
+                      : ~0u);
+  return out;
+}
+
+uint64_t CanonicalHash(const Grammar& g) {
+  const std::string bytes = CanonicalSerialization(g);
+  return HashBytes64(bytes.data(), bytes.size(), 0x43464754414747ULL);
+}
+
+}  // namespace cfgtag::grammar

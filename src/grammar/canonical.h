@@ -1,0 +1,30 @@
+#ifndef CFGTAG_GRAMMAR_CANONICAL_H_
+#define CFGTAG_GRAMMAR_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag::grammar {
+
+// Order-normalized byte serialization of a grammar: tokens are sorted by
+// (name, pattern, is_literal, literal_text), nonterminals by name, and
+// productions — with their symbol indices remapped into the sorted id
+// spaces — lexicographically, so two grammars that differ only in the
+// order rules and tokens were written serialize identically. All fields
+// are length-prefixed; the result is a pure function of grammar *content*.
+//
+// This is the artifact cache's identity notion (docs/artifact_cache.md):
+// CanonicalHash(g) keys the compile cache, so reordering a grammar file
+// still hits. Note the id spaces of the *original* grammars may differ —
+// a cache hit hands back the artifact's token numbering, names unchanged.
+std::string CanonicalSerialization(const Grammar& g);
+
+// 64-bit hash of CanonicalSerialization(g) (common/hash.h primitives).
+uint64_t CanonicalHash(const Grammar& g);
+
+}  // namespace cfgtag::grammar
+
+#endif  // CFGTAG_GRAMMAR_CANONICAL_H_

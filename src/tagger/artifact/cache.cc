@@ -1,0 +1,77 @@
+#include "tagger/artifact/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cfgtag::tagger::artifact {
+namespace {
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string CachePath(const std::string& dir, uint64_t grammar_hash,
+                      uint64_t options_hash) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += Hex16(grammar_hash);
+  path += '-';
+  path += Hex16(options_hash);
+  path += ".cfgtag";
+  return path;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  // Temp file in the same directory so the rename stays within one
+  // filesystem (rename across devices is a copy, not atomic).
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return InternalError("artifact: cannot create " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return InternalError("artifact: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("artifact: cannot rename into " + path);
+  }
+  return Status::Ok();
+}
+
+const ArtifactMetrics& ArtifactMetrics::Get() {
+  static const ArtifactMetrics* m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    auto* out = new ArtifactMetrics;
+    out->cache_hits =
+        reg.GetCounter("cfgtag_artifact_cache_hits_total",
+                       "Compile-cache lookups served from an artifact");
+    out->cache_misses =
+        reg.GetCounter("cfgtag_artifact_cache_misses_total",
+                       "Compile-cache lookups that fell back to a compile");
+    out->load_seconds =
+        reg.GetHistogram("cfgtag_artifact_load_seconds",
+                         "Wall time to map and validate an artifact");
+    out->bytes = reg.GetGauge("cfgtag_artifact_bytes",
+                              "Size of the last loaded artifact");
+    out->aot_states = reg.GetGauge(
+        "cfgtag_artifact_aot_states",
+        "Baked DFA states in the last loaded artifact (0 = no AOT)");
+    return out;
+  }();
+  return *m;
+}
+
+}  // namespace cfgtag::tagger::artifact

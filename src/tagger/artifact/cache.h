@@ -1,0 +1,42 @@
+#ifndef CFGTAG_TAGGER_ARTIFACT_CACHE_H_
+#define CFGTAG_TAGGER_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cfgtag::tagger::artifact {
+
+// Content-addressed compile cache: one artifact file per (canonical
+// grammar hash, options hash) pair under a user-chosen directory. The key
+// is pure content — grammar::CanonicalHash is invariant under token /
+// production reordering, so textually shuffled but equivalent grammars
+// share an entry (note: a hit returns the *cached* grammar's token-id
+// order; see docs/artifact_cache.md).
+
+// "<dir>/<grammar_hash>-<options_hash>.cfgtag" with zero-padded hex hashes.
+std::string CachePath(const std::string& dir, uint64_t grammar_hash,
+                      uint64_t options_hash);
+
+// Writes atomically: a unique temp file in `dir` then rename(2), so a
+// concurrent reader either sees a complete artifact or none, and a crash
+// never leaves a half-written entry under the final name.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+// Process-wide artifact metrics (cfgtag_artifact_* family).
+struct ArtifactMetrics {
+  obs::Counter* cache_hits;       // cfgtag_artifact_cache_hits_total
+  obs::Counter* cache_misses;     // cfgtag_artifact_cache_misses_total
+  obs::Histogram* load_seconds;   // cfgtag_artifact_load_seconds
+  obs::Gauge* bytes;              // cfgtag_artifact_bytes
+  obs::Gauge* aot_states;         // cfgtag_artifact_aot_states
+
+  static const ArtifactMetrics& Get();
+};
+
+}  // namespace cfgtag::tagger::artifact
+
+#endif  // CFGTAG_TAGGER_ARTIFACT_CACHE_H_

@@ -1,0 +1,36 @@
+#include "tagger/artifact/format.h"
+
+#include <cstring>
+
+namespace cfgtag::tagger::artifact {
+
+uint64_t ArtifactChecksum(const void* data, size_t size) {
+  // Hash the prefix before the checksum field, a zero word in its place,
+  // then the rest — equivalent to hashing a copy with the field zeroed,
+  // without making the copy.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const size_t field = offsetof(ArtifactHeader, checksum);
+  uint64_t h = kChecksumSeed;
+  // The pre-field region (24 bytes) and the zeroed field are both 8-byte
+  // multiples, so the word stream matches HashBytes64's chunking exactly.
+  for (size_t i = 0; i < field; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = HashMix64(h, w);
+  }
+  h = HashMix64(h, 0);
+  size_t i = field + 8;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = HashMix64(h, w);
+  }
+  if (i < size) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    h = HashMix64(h, w);
+  }
+  return HashMix64(h, static_cast<uint64_t>(size));
+}
+
+}  // namespace cfgtag::tagger::artifact

@@ -1,0 +1,53 @@
+#ifndef CFGTAG_TAGGER_ARTIFACT_LOADER_H_
+#define CFGTAG_TAGGER_ARTIFACT_LOADER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "grammar/grammar.h"
+#include "tagger/artifact/format.h"
+#include "tagger/fused_model.h"
+#include "tagger/lazy_dfa.h"
+
+namespace cfgtag::tagger::artifact {
+
+// A tagger reconstructed from an artifact. Exactly one of `fused` / `lazy`
+// is set, per the backend the artifact was serialized for. The tagger's
+// backing keeps both the mapped bytes and the rebuilt grammar alive, so
+// the engines can be moved out and used on their own; `grammar` is an
+// observer into that backing.
+struct LoadedTagger {
+  TaggerOptions options;  // reconstructed; backend = the artifact's engine
+  uint64_t grammar_hash = 0;
+  uint64_t options_hash = 0;
+  size_t artifact_bytes = 0;
+  uint32_t aot_states = 0;
+  const grammar::Grammar* grammar = nullptr;
+  std::unique_ptr<FusedTagger> fused;
+  std::unique_ptr<LazyDfaTagger> lazy;
+};
+
+// Validates and binds an artifact already in memory. The bytes are copied
+// once into 8-aligned owned storage (a string_view carries no alignment
+// guarantee); every table view then points into that copy.
+StatusOr<LoadedTagger> LoadFromMemory(std::string_view bytes);
+
+// mmap(2)s the file read-only and binds the tagger's tables straight into
+// the mapping — the zero-copy path: no table is deserialized, allocated,
+// or touched until the engine reads it, and the page cache shares one copy
+// across processes. Falls back to a plain read when mmap is unavailable.
+//
+// Every load fully validates the header (magic, version, endianness,
+// size, checksum) and the section directory (kinds, element sizes,
+// alignment, overflow-checked bounds), then cross-checks the tables
+// against each other, so a truncated, corrupt, or crafted file is
+// rejected with a typed error — InvalidArgument for malformed structure,
+// OutOfRange for out-of-bounds offsets — never loaded.
+StatusOr<LoadedTagger> LoadFromFile(const std::string& path);
+
+}  // namespace cfgtag::tagger::artifact
+
+#endif  // CFGTAG_TAGGER_ARTIFACT_LOADER_H_

@@ -42,4 +42,21 @@ ByteClassifier ByteClassifier::Build(
   return out;
 }
 
+ByteClassifier ByteClassifier::FromMap(const uint8_t map[256],
+                                       uint16_t num_classes) {
+  ByteClassifier out;
+  for (int c = 0; c < 256; ++c) out.class_of_[c] = map[c];
+  out.num_classes_ = num_classes;
+  out.representative_.assign(num_classes, 0);
+  std::vector<bool> seen(num_classes, false);
+  for (int c = 0; c < 256; ++c) {
+    const uint8_t cls = out.class_of_[c];
+    if (!seen[cls]) {
+      seen[cls] = true;
+      out.representative_[cls] = static_cast<unsigned char>(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace cfgtag::tagger

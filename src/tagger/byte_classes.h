@@ -28,6 +28,12 @@ class ByteClassifier {
   // Builds the coarsest partition refining every class in `classes`.
   static ByteClassifier Build(const std::vector<regex::CharClass>& classes);
 
+  // Rebuilds a classifier from a stored byte -> class map (the artifact
+  // load path). Every id in [0, num_classes) must appear in `map`;
+  // representatives are recomputed as the smallest member byte, matching
+  // Build()'s first-encounter assignment.
+  static ByteClassifier FromMap(const uint8_t map[256], uint16_t num_classes);
+
   uint16_t NumClasses() const { return num_classes_; }
   uint8_t ClassOf(unsigned char c) const { return class_of_[c]; }
 

@@ -1,0 +1,75 @@
+#ifndef CFGTAG_TAGGER_DFA_STATE_H_
+#define CFGTAG_TAGGER_DFA_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "tagger/fused_model.h"
+
+namespace cfgtag::tagger {
+
+// An interned lazy-DFA configuration, shared between the runtime session
+// cache (src/tagger/lazy_dfa.cc) and the ahead-of-time determinizer that
+// bakes states into saved artifacts (src/tagger/artifact/). Snapshot words
+// live in the owning pool at [snap_begin, snap_begin + num_state +
+// num_armed): state words first, both runs in ascending word order with
+// nonzero bits — the canonical form FusedSession::SnapshotConfig produces,
+// making equality a field-wise compare.
+//
+// The layout is fixed-width, padding explicit, and serialized verbatim
+// into artifacts; any change is an artifact format break.
+struct DfaStateInfo {
+  uint64_t hash = 0;
+  uint32_t snap_begin = 0;
+  uint32_t num_state = 0;
+  uint32_t num_armed = 0;
+  int16_t pending_cls = -1;  // byte class of the pending byte; -1 = none
+  uint8_t prev_delim = 0;
+  uint8_t pad = 0;
+};
+static_assert(sizeof(DfaStateInfo) == 24, "DfaStateInfo is serialized");
+
+// A cached transition: successor state plus the tags the step emits, as
+// token ids into the owning emission pool (the end offset is the stream
+// position at replay time, so only the ids are interned). next = -1 means
+// not yet built (runtime) or outside the AOT budget (baked tables).
+struct DfaTrans {
+  int32_t next = -1;
+  uint32_t emit_begin = 0;
+  uint32_t emit_count = 0;
+};
+static_assert(sizeof(DfaTrans) == 12, "DfaTrans is serialized");
+
+// Configuration hash over the canonical sparse runs. Baked AOT states
+// store this value, and the runtime probes them with hashes computed by
+// this same function — the two must never diverge (artifact format break).
+inline uint64_t HashDfaConfig(const WordBits* state, size_t num_state,
+                              const WordBits* armed, size_t num_armed,
+                              bool prev_delim, int16_t pending_cls) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  h = HashMix64(h, (static_cast<uint64_t>(num_state) << 32) ^
+                       static_cast<uint64_t>(num_armed));
+  for (size_t i = 0; i < num_state; ++i) {
+    h = HashMix64(h, state[i].bits);
+    h = HashMix64(h, state[i].word);
+  }
+  for (size_t i = 0; i < num_armed; ++i) {
+    h = HashMix64(h, ~armed[i].bits);
+    h = HashMix64(h, armed[i].word);
+  }
+  h = HashMix64(h, (static_cast<uint64_t>(prev_delim) << 16) ^
+                       static_cast<uint64_t>(static_cast<uint16_t>(pending_cls)));
+  return h;
+}
+
+inline bool SameWordRun(const WordBits* a, const WordBits* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i].word != b[i].word || a[i].bits != b[i].bits) return false;
+  }
+  return true;
+}
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_DFA_STATE_H_

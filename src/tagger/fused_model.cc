@@ -31,6 +31,12 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   const size_t num_tokens = grammar->NumTokens();
   t.num_tokens_ = num_tokens;
 
+  // All tables are built into a heap Storage block; the tagger's views are
+  // bound to it at the end (the artifact loader binds the same views into
+  // an mmap'd file instead).
+  auto store = std::make_shared<Storage>();
+  Storage& s = *store;
+
   // Per-token position automata are only needed at build time; everything
   // the per-byte step reads is baked into the fused tables below.
   std::vector<regex::PositionAutomaton> automata;
@@ -41,18 +47,18 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
 
   // Word-aligned fused layout (the FunctionalTagger word_offset_ scheme):
   // token t owns words [word_offset_[t], word_offset_[t+1]) exclusively.
-  t.word_offset_.assign(num_tokens + 1, 0);
+  s.word_offset.assign(num_tokens + 1, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
-    t.word_offset_[tok + 1] =
-        t.word_offset_[tok] + static_cast<uint32_t>(automata[tok].NumWords());
+    s.word_offset[tok + 1] =
+        s.word_offset[tok] + static_cast<uint32_t>(automata[tok].NumWords());
     t.total_positions_ += automata[tok].NumPositions();
   }
-  t.num_words_ = t.word_offset_[num_tokens];
+  t.num_words_ = s.word_offset[num_tokens];
   t.meta_words_ = MetaWords(t.num_words_);
-  t.word_token_.assign(t.num_words_, 0);
+  s.word_token.assign(t.num_words_, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
-    for (uint32_t w = t.word_offset_[tok]; w < t.word_offset_[tok + 1]; ++w) {
-      t.word_token_[w] = static_cast<int32_t>(tok);
+    for (uint32_t w = s.word_offset[tok]; w < s.word_offset[tok + 1]; ++w) {
+      s.word_token[w] = static_cast<int32_t>(tok);
     }
   }
 
@@ -67,9 +73,9 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   }
   t.classifier_ = ByteClassifier::Build(classes);
   const size_t num_classes = t.classifier_.NumClasses();
-  t.class_is_delim_.assign(num_classes, 0);
+  s.class_is_delim.assign(num_classes, 0);
   for (size_t cls = 0; cls < num_classes; ++cls) {
-    t.class_is_delim_[cls] =
+    s.class_is_delim[cls] =
         options.delimiters.Test(
             t.classifier_.Representative(static_cast<uint16_t>(cls)))
             ? 1
@@ -78,41 +84,41 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
 
   const size_t nw = t.num_words_;
   auto set_global_bit = [&](std::vector<uint64_t>& v, size_t tok, uint32_t q) {
-    const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
+    const size_t gb = static_cast<size_t>(s.word_offset[tok]) * 64 + q;
     v[gb >> 6] |= 1ULL << (gb & 63);
   };
 
   // Per-class position masks and the global accept mask.
-  t.class_mask_.assign(num_classes * nw, 0);
-  t.accept_mask_.assign(nw, 0);
+  s.class_mask.assign(num_classes * nw, 0);
+  s.accept_mask.assign(nw, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
     const regex::PositionAutomaton& pa = automata[tok];
     for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
       for (size_t cls = 0; cls < num_classes; ++cls) {
         if (pa.positions[q].Test(
                 t.classifier_.Representative(static_cast<uint16_t>(cls)))) {
-          const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
-          t.class_mask_[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
+          const size_t gb = static_cast<size_t>(s.word_offset[tok]) * 64 + q;
+          s.class_mask[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
         }
       }
-      if (pa.is_last[q]) set_global_bit(t.accept_mask_, tok, q);
+      if (pa.is_last[q]) set_global_bit(s.accept_mask, tok, q);
     }
   }
 
   // Follow rows, token-width wide, flattened. Global bit index of token
   // t's local position q is word_offset_[t]*64 + q (the layout is
   // word-aligned), so row_offset_ is indexed densely by global bit.
-  t.row_offset_.assign(nw * 64, 0);
+  s.row_offset.assign(nw * 64, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
     const regex::PositionAutomaton& pa = automata[tok];
-    const size_t width = t.word_offset_[tok + 1] - t.word_offset_[tok];
+    const size_t width = s.word_offset[tok + 1] - s.word_offset[tok];
     for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
-      const size_t gb = static_cast<size_t>(t.word_offset_[tok]) * 64 + q;
-      t.row_offset_[gb] = static_cast<uint32_t>(t.row_data_.size());
-      const size_t base = t.row_data_.size();
-      t.row_data_.resize(base + width, 0);
+      const size_t gb = static_cast<size_t>(s.word_offset[tok]) * 64 + q;
+      s.row_offset[gb] = static_cast<uint32_t>(s.row_data.size());
+      const size_t base = s.row_data.size();
+      s.row_data.resize(base + width, 0);
       for (uint32_t succ : pa.follow[q]) {
-        t.row_data_[base + succ / 64] |= 1ULL << (succ % 64);
+        s.row_data[base + succ / 64] |= 1ULL << (succ % 64);
       }
     }
   }
@@ -121,17 +127,17 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   // ext_mask_[cls] iff some follow(p) position consumes a byte of cls —
   // so the Fig. 7 suppression test per token collapses to
   // (state & accept & ext[next_cls]) != 0 over the token's words.
-  t.ext_mask_.assign(num_classes * nw, 0);
+  s.ext_mask.assign(num_classes * nw, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
     const regex::PositionAutomaton& pa = automata[tok];
-    const uint32_t ws = t.word_offset_[tok];
-    const size_t width = t.word_offset_[tok + 1] - ws;
+    const uint32_t ws = s.word_offset[tok];
+    const size_t width = s.word_offset[tok + 1] - ws;
     for (uint32_t q = 0; q < pa.NumPositions(); ++q) {
       if (!pa.is_last[q]) continue;
       const size_t gb = static_cast<size_t>(ws) * 64 + q;
-      const uint64_t* row = t.row_data_.data() + t.row_offset_[gb];
+      const uint64_t* row = s.row_data.data() + s.row_offset[gb];
       for (size_t cls = 0; cls < num_classes; ++cls) {
-        const uint64_t* cm = t.class_mask_.data() + cls * nw + ws;
+        const uint64_t* cm = s.class_mask.data() + cls * nw + ws;
         bool extends = false;
         for (size_t v = 0; v < width; ++v) {
           if (row[v] & cm[v]) {
@@ -139,7 +145,7 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
             break;
           }
         }
-        if (extends) t.ext_mask_[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
+        if (extends) s.ext_mask[cls * nw + (gb >> 6)] |= 1ULL << (gb & 63);
       }
     }
   }
@@ -149,8 +155,8 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   // arm_pattern_[t] unions t's Follow set's.
   auto append_first = [&](std::vector<WordBits>* out, int32_t tok) {
     const regex::PositionAutomaton& pa = automata[tok];
-    const uint32_t ws = t.word_offset_[tok];
-    const size_t width = t.word_offset_[tok + 1] - ws;
+    const uint32_t ws = s.word_offset[tok];
+    const size_t width = s.word_offset[tok + 1] - ws;
     std::vector<uint64_t> local(width, 0);
     for (uint32_t q : pa.first) local[q / 64] |= 1ULL << (q % 64);
     for (size_t v = 0; v < width; ++v) {
@@ -172,18 +178,18 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
     }
   };
 
-  for (int32_t s : analysis.start_tokens) {
-    append_first(&t.start_first_, s);
+  for (int32_t start_tok : analysis.start_tokens) {
+    append_first(&s.start_first, start_tok);
   }
-  t.arm_offset_.assign(num_tokens + 1, 0);
+  s.arm_offset.assign(num_tokens + 1, 0);
   for (size_t tok = 0; tok < num_tokens; ++tok) {
     std::vector<WordBits> pattern;
     for (int32_t f : analysis.follow_tok[tok]) {
       if (f != grammar::Analysis::kEndMarker) append_first(&pattern, f);
     }
-    t.arm_pattern_.insert(t.arm_pattern_.end(), pattern.begin(),
+    s.arm_pattern.insert(s.arm_pattern.end(), pattern.begin(),
                           pattern.end());
-    t.arm_offset_[tok + 1] = static_cast<uint32_t>(t.arm_pattern_.size());
+    s.arm_offset[tok + 1] = static_cast<uint32_t>(s.arm_pattern.size());
   }
 
   // Armed-byte prefilter tables: a class can arm iff it is not a delimiter
@@ -191,20 +197,20 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   // is fully idle in scan mode, bytes of non-arming classes change nothing
   // but the position and the delimiter flag, so whole runs of them are
   // skipped with a vector scan over the arming byte set.
-  t.class_can_arm_.assign(num_classes, 0);
+  s.class_can_arm.assign(num_classes, 0);
   for (size_t cls = 0; cls < num_classes; ++cls) {
-    if (t.class_is_delim_[cls]) continue;
-    const uint64_t* cm = t.class_mask_.data() + cls * nw;
-    for (const WordBits& wb : t.start_first_) {
+    if (s.class_is_delim[cls]) continue;
+    const uint64_t* cm = s.class_mask.data() + cls * nw;
+    for (const WordBits& wb : s.start_first) {
       if (cm[wb.word] & wb.bits) {
-        t.class_can_arm_[cls] = 1;
+        s.class_can_arm[cls] = 1;
         break;
       }
     }
   }
   regex::CharClass arm_set;
   for (int b = 0; b < 256; ++b) {
-    if (t.class_can_arm_[t.classifier_.ClassOf(static_cast<unsigned char>(
+    if (s.class_can_arm[t.classifier_.ClassOf(static_cast<unsigned char>(
             b))]) {
       arm_set.Set(static_cast<unsigned char>(b));
     }
@@ -215,7 +221,27 @@ StatusOr<FusedTagger> FusedTagger::Create(const grammar::Grammar* grammar,
   t.class_tables_ =
       simd::BuildClassTables(t.classifier_.class_map(), num_classes);
   t.session_pool_ = std::make_shared<FusedSessionPool>();
+  t.BindStorage(s);
+  t.backing_ = std::move(store);
   return t;
+}
+
+void FusedTagger::BindStorage(const Storage& s) {
+  auto bind = [](auto& view, const auto& vec) {
+    view = {vec.data(), vec.size()};
+  };
+  bind(word_offset_, s.word_offset);
+  bind(word_token_, s.word_token);
+  bind(class_is_delim_, s.class_is_delim);
+  bind(class_can_arm_, s.class_can_arm);
+  bind(class_mask_, s.class_mask);
+  bind(ext_mask_, s.ext_mask);
+  bind(accept_mask_, s.accept_mask);
+  bind(row_offset_, s.row_offset);
+  bind(row_data_, s.row_data);
+  bind(start_first_, s.start_first);
+  bind(arm_pattern_, s.arm_pattern);
+  bind(arm_offset_, s.arm_offset);
 }
 
 void FusedTagger::Run(std::string_view input, const TagSink& sink) const {

@@ -11,6 +11,7 @@
 #include "tagger/byte_classes.h"
 #include "tagger/session_pool.h"
 #include "tagger/skip_scan.h"
+#include "tagger/table_view.h"
 #include "tagger/tag.h"
 
 namespace cfgtag::tagger {
@@ -18,6 +19,12 @@ namespace cfgtag::tagger {
 class FusedTagger;
 class FusedSessionPool;
 class LazyDfaSession;
+
+namespace artifact {
+class Loader;
+class Writer;
+class AotBuilder;
+}  // namespace artifact
 
 // One (word, bits) entry of a sparse bitmap pattern — the unit of the
 // fused tagger's injection patterns and of the lazy-DFA backend's interned
@@ -61,8 +68,10 @@ class FusedSession {
  private:
   // The lazy-DFA backend drives a scratch FusedSession directly: it loads
   // an interned configuration, takes one ProcessByte step, and snapshots
-  // the result (see src/tagger/lazy_dfa.cc).
+  // the result (see src/tagger/lazy_dfa.cc). The AOT determinizer does the
+  // same at artifact-build time (src/tagger/artifact/aot.cc).
   friend class LazyDfaSession;
+  friend class artifact::AotBuilder;
 
   void ProcessByte(unsigned char c, bool has_next, unsigned char next_c,
                    const TagSink& sink);
@@ -194,9 +203,38 @@ class FusedTagger {
  private:
   friend class FusedSession;
   friend class LazyDfaSession;
+  // The artifact writer snapshots these tables into a flat file; the loader
+  // builds a FusedTagger whose table views point into the mmap'd file
+  // instead of heap Storage (src/tagger/artifact/).
+  friend class artifact::Loader;
+  friend class artifact::Writer;
+  friend class artifact::AotBuilder;
 
   FusedTagger(const grammar::Grammar* grammar, TaggerOptions options)
       : grammar_(grammar), options_(options) {}
+
+  // Heap home of the tables Create() builds. The table-view members below
+  // point either into one of these (compile path) or straight into an
+  // mmap'd artifact (load path); backing_ keeps whichever alive. Hot-path
+  // code only ever sees the views, so both paths run identical code.
+  struct Storage {
+    std::vector<uint32_t> word_offset;
+    std::vector<int32_t> word_token;
+    std::vector<uint8_t> class_is_delim;
+    std::vector<uint8_t> class_can_arm;
+    std::vector<uint64_t> class_mask;
+    std::vector<uint64_t> ext_mask;
+    std::vector<uint64_t> accept_mask;
+    std::vector<uint32_t> row_offset;
+    std::vector<uint64_t> row_data;
+    std::vector<WordBits> start_first;
+    std::vector<WordBits> arm_pattern;
+    std::vector<uint32_t> arm_offset;
+  };
+
+  // Points every table view at the vectors of `s` (which must already be
+  // owned by backing_).
+  void BindStorage(const Storage& s);
 
   const grammar::Grammar* grammar_;
   TaggerOptions options_;
@@ -207,17 +245,17 @@ class FusedTagger {
   size_t total_positions_ = 0;
 
   // word_offset_[t] = first fused-state word of token t; back() = total.
-  std::vector<uint32_t> word_offset_;
+  TableView<uint32_t> word_offset_;
   // word_token_[w] = the token owning word w (words are never shared).
-  std::vector<int32_t> word_token_;
+  TableView<int32_t> word_token_;
 
   // Byte-class machinery. class_of_[byte] -> class id; class_is_delim_
   // folds the delimiter test into the same lookup.
   ByteClassifier classifier_;
-  std::vector<uint8_t> class_is_delim_;
+  TableView<uint8_t> class_is_delim_;
   // class_can_arm_[cls]: the class is not a delimiter and its bytes hit
   // some start token's first positions (see ClassCanArm()).
-  std::vector<uint8_t> class_can_arm_;
+  TableView<uint8_t> class_can_arm_;
   RunScanner delim_scanner_;
   RunScanner arm_scanner_;
   simd::ClassTables class_tables_;
@@ -227,25 +265,29 @@ class FusedTagger {
   // ext_mask_: *accepting* positions with a successor consuming the class
   // (the Fig. 7 look-ahead as a mask: a match is suppressed iff
   // state & accept & ext[class(next byte)] is nonzero in its token words).
-  std::vector<uint64_t> class_mask_;
-  std::vector<uint64_t> ext_mask_;
+  TableView<uint64_t> class_mask_;
+  TableView<uint64_t> ext_mask_;
 
   // Global accept mask (all tokens' last positions).
-  std::vector<uint64_t> accept_mask_;
+  TableView<uint64_t> accept_mask_;
 
   // Follow rows: row_offset_[global_bit] indexes into row_data_; the row
   // spans the owning token's words (width word_offset_[t+1] -
   // word_offset_[t], usually 1), holding the bitmap of follow(position).
-  std::vector<uint32_t> row_offset_;
-  std::vector<uint64_t> row_data_;
+  TableView<uint32_t> row_offset_;
+  TableView<uint64_t> row_data_;
 
   // Sparse OR patterns. start_first_: the first positions of all start
   // tokens (scan/resync injection). arm_pattern_[arm_offset_[t] ..
   // arm_offset_[t+1]): the first positions of every token in t's Follow
   // set — arming a whole Follow set is |follow words| ORs.
-  std::vector<WordBits> start_first_;
-  std::vector<WordBits> arm_pattern_;
-  std::vector<uint32_t> arm_offset_;
+  TableView<WordBits> start_first_;
+  TableView<WordBits> arm_pattern_;
+  TableView<uint32_t> arm_offset_;
+
+  // Owns whatever memory the views point into: a Storage block on the
+  // compile path, the mapped (or copied) artifact bytes on the load path.
+  std::shared_ptr<const void> backing_;
 
   // Shared (internally synchronized) so copies stay cheap; sessions
   // rebind to whichever tagger acquires them.

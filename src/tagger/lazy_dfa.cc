@@ -10,41 +10,13 @@ namespace cfgtag::tagger {
 namespace {
 
 // Approximate per-state index cost (one unordered_multimap node plus
-// bucket share) folded into the cache budget accounting.
+// bucket share) folded into the cache budget accounting. Also charged per
+// overlay transition (same node shape).
 constexpr size_t kIndexNodeBytes = 48;
 
-inline uint64_t MixHash(uint64_t h, uint64_t v) {
-  v *= 0x9e3779b97f4a7c15ULL;
-  v ^= v >> 29;
-  h = (h ^ v) * 0xff51afd7ed558ccdULL;
-  return h ^ (h >> 32);
-}
-
-uint64_t HashConfig(const std::vector<WordBits>& state,
-                    const std::vector<WordBits>& armed, bool prev_delim,
-                    int16_t pending_cls) {
-  uint64_t h = 0x243f6a8885a308d3ULL;
-  h = MixHash(h, (static_cast<uint64_t>(state.size()) << 32) ^
-                     static_cast<uint64_t>(armed.size()));
-  for (const WordBits& wb : state) {
-    h = MixHash(h, wb.bits);
-    h = MixHash(h, wb.word);
-  }
-  for (const WordBits& wb : armed) {
-    h = MixHash(h, ~wb.bits);
-    h = MixHash(h, wb.word);
-  }
-  h = MixHash(h, (static_cast<uint64_t>(prev_delim) << 16) ^
-                     static_cast<uint64_t>(static_cast<uint16_t>(pending_cls)));
-  return h;
-}
-
-bool SameRun(const WordBits* a, const WordBits* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    if (a[i].word != b[i].word || a[i].bits != b[i].bits) return false;
-  }
-  return true;
-}
+// The configuration hash/equality primitives live in tagger/dfa_state.h,
+// shared with the AOT determinizer so baked and runtime states always
+// agree.
 
 }  // namespace
 
@@ -65,8 +37,10 @@ const DfaCacheMetrics& DfaCacheMetrics::Get() {
 
 // --------------------------------------------------------- LazyDfaTagger
 
-LazyDfaTagger::LazyDfaTagger(FusedTagger fused)
+LazyDfaTagger::LazyDfaTagger(FusedTagger fused,
+                             std::shared_ptr<const AotDfaTable> aot)
     : fused_(std::move(fused)),
+      aot_(std::move(aot)),
       session_pool_(std::make_shared<LazyDfaSessionPool>()) {}
 
 StatusOr<LazyDfaTagger> LazyDfaTagger::Create(const grammar::Grammar* grammar,
@@ -76,8 +50,9 @@ StatusOr<LazyDfaTagger> LazyDfaTagger::Create(const grammar::Grammar* grammar,
   return Wrap(std::move(fused));
 }
 
-LazyDfaTagger LazyDfaTagger::Wrap(FusedTagger fused) {
-  return LazyDfaTagger(std::move(fused));
+LazyDfaTagger LazyDfaTagger::Wrap(FusedTagger fused,
+                                  std::shared_ptr<const AotDfaTable> aot) {
+  return LazyDfaTagger(std::move(fused), std::move(aot));
 }
 
 void LazyDfaTagger::Run(std::string_view input, const TagSink& sink) const {
@@ -113,6 +88,8 @@ void LazyDfaSession::Rebind(const LazyDfaTagger* tagger) {
     scratch_.Rebind(&tagger_->fused());
     ClearCache();
     num_classes_ = tagger_->fused().NumByteClasses();
+    aot_ = tagger_->aot();
+    num_aot_ = aot_ ? static_cast<int32_t>(aot_->states.size()) : 0;
     flushes_ = 0;
     fallback_ = false;
   }
@@ -122,6 +99,7 @@ void LazyDfaSession::Rebind(const LazyDfaTagger* tagger) {
 void LazyDfaSession::ClearCache() {
   states_.clear();
   trans_.clear();
+  overlay_.clear();
   snap_pool_.clear();
   emit_pool_.clear();
   index_.clear();
@@ -153,7 +131,7 @@ void LazyDfaSession::Reset() {
   tmp_state_.clear();
   tmp_armed_.clear();
   if (f.options().EffectiveArmMode() != ArmMode::kScan) {
-    tmp_armed_ = f.start_first_;
+    tmp_armed_.assign(f.start_first_.begin(), f.start_first_.end());
     std::sort(tmp_armed_.begin(), tmp_armed_.end(),
               [](const WordBits& a, const WordBits& b) {
                 return a.word < b.word;
@@ -166,45 +144,63 @@ void LazyDfaSession::Reset() {
 int32_t LazyDfaSession::InternState(const std::vector<WordBits>& state,
                                     const std::vector<WordBits>& armed,
                                     bool prev_delim, int16_t pending_cls) {
-  const uint64_t h = HashConfig(state, armed, prev_delim, pending_cls);
-  auto range = index_.equal_range(h);
-  for (auto it = range.first; it != range.second; ++it) {
-    const StateInfo& cand = states_[it->second];
-    if (cand.pending_cls == pending_cls && cand.prev_delim == prev_delim &&
-        cand.num_state == state.size() && cand.num_armed == armed.size() &&
-        SameRun(snap_pool_.data() + cand.snap_begin, state.data(),
-                state.size()) &&
-        SameRun(snap_pool_.data() + cand.snap_begin + cand.num_state,
-                armed.data(), armed.size())) {
-      return it->second;
+  const uint8_t pd = prev_delim ? 1 : 0;
+  const uint64_t h = HashDfaConfig(state.data(), state.size(), armed.data(),
+                                   armed.size(), prev_delim, pending_cls);
+  // Baked states first: they can never be evicted, so a hit here costs the
+  // session nothing and keeps its transitions shared.
+  if (aot_ != nullptr) {
+    auto range = aot_->index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      const DfaStateInfo& cand = aot_->states[static_cast<size_t>(it->second)];
+      if (cand.pending_cls == pending_cls && cand.prev_delim == pd &&
+          cand.num_state == state.size() && cand.num_armed == armed.size() &&
+          SameWordRun(aot_->snap_pool.data() + cand.snap_begin, state.data(),
+                      state.size()) &&
+          SameWordRun(aot_->snap_pool.data() + cand.snap_begin + cand.num_state,
+                      armed.data(), armed.size())) {
+        return it->second;
+      }
     }
   }
-  StateInfo info;
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    const DfaStateInfo& cand = states_[static_cast<size_t>(it->second)];
+    if (cand.pending_cls == pending_cls && cand.prev_delim == pd &&
+        cand.num_state == state.size() && cand.num_armed == armed.size() &&
+        SameWordRun(snap_pool_.data() + cand.snap_begin, state.data(),
+                    state.size()) &&
+        SameWordRun(snap_pool_.data() + cand.snap_begin + cand.num_state,
+                    armed.data(), armed.size())) {
+      return num_aot_ + it->second;
+    }
+  }
+  DfaStateInfo info;
   info.hash = h;
   info.snap_begin = static_cast<uint32_t>(snap_pool_.size());
   info.num_state = static_cast<uint32_t>(state.size());
   info.num_armed = static_cast<uint32_t>(armed.size());
   info.pending_cls = pending_cls;
-  info.prev_delim = prev_delim;
+  info.prev_delim = pd;
   snap_pool_.insert(snap_pool_.end(), state.begin(), state.end());
   snap_pool_.insert(snap_pool_.end(), armed.begin(), armed.end());
-  const int32_t id = static_cast<int32_t>(states_.size());
+  const int32_t local = static_cast<int32_t>(states_.size());
   states_.push_back(info);
   trans_.resize(trans_.size() + num_classes_);
-  index_.emplace(h, id);
-  cache_bytes_ += sizeof(StateInfo) + num_classes_ * sizeof(Trans) +
+  index_.emplace(h, local);
+  cache_bytes_ += sizeof(DfaStateInfo) + num_classes_ * sizeof(DfaTrans) +
                   (state.size() + armed.size()) * sizeof(WordBits) +
                   kIndexNodeBytes;
   DfaCacheMetrics::Get().states->Increment();
-  return id;
+  return num_aot_ + local;
 }
 
 void LazyDfaSession::MaterializeScratch() {
   const FusedTagger& f = tagger_->fused();
-  const StateInfo info = states_[static_cast<size_t>(state_)];
-  scratch_.LoadConfig(snap_pool_.data() + info.snap_begin, info.num_state,
-                      snap_pool_.data() + info.snap_begin + info.num_state,
-                      info.num_armed, info.prev_delim);
+  const DfaStateInfo info = Info(state_);
+  const WordBits* snap = Snap(info, state_);
+  scratch_.LoadConfig(snap, info.num_state, snap + info.num_state,
+                      info.num_armed, info.prev_delim != 0);
   scratch_.pos_ = consumed_;
   scratch_.stopped_ = stopped_;
   if (info.pending_cls >= 0) {
@@ -265,26 +261,33 @@ void LazyDfaSession::Flush() {
     EnterFallback();
     return;
   }
+  if (state_ < num_aot_) {
+    // The current state is baked: it (and every baked row) survives the
+    // flush by construction — only the session's private cache drops.
+    ClearCache();
+    return;
+  }
   // Copy the current configuration out of the pools, drop everything,
   // re-intern it as the sole survivor.
-  const StateInfo info = states_[static_cast<size_t>(state_)];
+  const DfaStateInfo info = Info(state_);
   tmp_state_.assign(snap_pool_.begin() + info.snap_begin,
                     snap_pool_.begin() + info.snap_begin + info.num_state);
   tmp_armed_.assign(
       snap_pool_.begin() + info.snap_begin + info.num_state,
       snap_pool_.begin() + info.snap_begin + info.num_state + info.num_armed);
   ClearCache();
-  state_ = InternState(tmp_state_, tmp_armed_, info.prev_delim,
+  state_ = InternState(tmp_state_, tmp_armed_, info.prev_delim != 0,
                        info.pending_cls);
 }
 
-LazyDfaSession::Trans LazyDfaSession::BuildTransition(uint8_t cls) {
+DfaTrans LazyDfaSession::BuildTransition(uint8_t cls) {
   if (cache_bytes_ > tagger_->options().dfa_cache_bytes) {
     Flush();
-    if (fallback_) return Trans{};
+    if (fallback_) return DfaTrans{};
   }
   const FusedTagger& f = tagger_->fused();
-  const StateInfo info = states_[static_cast<size_t>(state_)];
+  const DfaStateInfo info = Info(state_);
+  const WordBits* snap = Snap(info, state_);
   tmp_state_.clear();
   tmp_armed_.clear();
   tmp_emit_.clear();
@@ -293,18 +296,15 @@ LazyDfaSession::Trans LazyDfaSession::BuildTransition(uint8_t cls) {
   if (info.pending_cls < 0) {
     // Absorb: the input byte becomes the pending look-ahead; the machine
     // configuration is untouched and nothing emits.
-    tmp_state_.assign(snap_pool_.begin() + info.snap_begin,
-                      snap_pool_.begin() + info.snap_begin + info.num_state);
-    tmp_armed_.assign(
-        snap_pool_.begin() + info.snap_begin + info.num_state,
-        snap_pool_.begin() + info.snap_begin + info.num_state + info.num_armed);
-    next_prev_delim = info.prev_delim;
+    tmp_state_.assign(snap, snap + info.num_state);
+    tmp_armed_.assign(snap + info.num_state,
+                      snap + info.num_state + info.num_armed);
+    next_prev_delim = info.prev_delim != 0;
   } else {
     // One real fused step on the class representatives — exact for every
     // byte of the class, since the engine only reads byte classes.
-    scratch_.LoadConfig(snap_pool_.data() + info.snap_begin, info.num_state,
-                        snap_pool_.data() + info.snap_begin + info.num_state,
-                        info.num_armed, info.prev_delim);
+    scratch_.LoadConfig(snap, info.num_state, snap + info.num_state,
+                        info.num_armed, info.prev_delim != 0);
     scratch_.pos_ = 0;
     scratch_.ProcessByte(
         f.classifier().Representative(static_cast<uint16_t>(info.pending_cls)),
@@ -318,13 +318,20 @@ LazyDfaSession::Trans LazyDfaSession::BuildTransition(uint8_t cls) {
   }
   next_id = InternState(tmp_state_, tmp_armed_, next_prev_delim,
                         static_cast<int16_t>(cls));
-  Trans tr;
+  DfaTrans tr;
   tr.next = next_id;
   tr.emit_begin = static_cast<uint32_t>(emit_pool_.size());
   tr.emit_count = static_cast<uint32_t>(tmp_emit_.size());
   emit_pool_.insert(emit_pool_.end(), tmp_emit_.begin(), tmp_emit_.end());
   cache_bytes_ += tmp_emit_.size() * sizeof(int32_t);
-  trans_[static_cast<size_t>(state_) * num_classes_ + cls] = tr;
+  if (state_ < num_aot_) {
+    // Baked rows are shared and immutable; runtime-built overflow out of a
+    // baked state lives in the session's private overlay.
+    overlay_[static_cast<uint64_t>(state_) * num_classes_ + cls] = tr;
+    cache_bytes_ += kIndexNodeBytes + sizeof(DfaTrans);
+  } else {
+    trans_[static_cast<size_t>(state_ - num_aot_) * num_classes_ + cls] = tr;
+  }
   return tr;
 }
 
@@ -348,7 +355,7 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
   size_t i = 0;
   while (i < n) {
     // Copy what the skip checks need before any build can grow states_.
-    const StateInfo& cur = states_[static_cast<size_t>(state_)];
+    const DfaStateInfo cur = Info(state_);
     const int16_t pending = cur.pending_cls;
     if (cur.num_state == 0 && pending >= 0) {
       // Idle fast paths, the DFA rendition: a dead configuration cycles
@@ -409,10 +416,27 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
       }
     }
     const uint8_t cls = classes.ClassOf(static_cast<unsigned char>(data[i]));
-    Trans tr = trans_[static_cast<size_t>(state_) * num_classes_ + cls];
+    // Fetch the transition from whichever region owns the current state:
+    // baked row, then the session overlay for baked-row misses, then the
+    // session's own rows. The emission pool follows the row's origin.
+    DfaTrans tr;
+    const int32_t* emit_base = emit_pool_.data();
+    if (state_ < num_aot_) {
+      tr = aot_->trans[static_cast<size_t>(state_) * num_classes_ + cls];
+      if (tr.next >= 0) {
+        emit_base = aot_->emit_pool.data();
+      } else if (!overlay_.empty()) {
+        const auto it = overlay_.find(
+            static_cast<uint64_t>(state_) * num_classes_ + cls);
+        if (it != overlay_.end()) tr = it->second;
+      }
+    } else {
+      tr = trans_[static_cast<size_t>(state_ - num_aot_) * num_classes_ + cls];
+    }
     if (tr.next < 0) {
       if (attr_on_) ++attr_dfa_misses_;
       tr = BuildTransition(cls);
+      emit_base = emit_pool_.data();  // insertions may have reallocated
       if (fallback_) {
         // The scratch session holds the exact current configuration and
         // stream position; the rest of the stream runs pure fused.
@@ -424,7 +448,7 @@ void LazyDfaSession::Feed(std::string_view chunk, const TagSink& sink) {
       ++attr_dfa_hits_;
     }
     if (tr.emit_count != 0) {
-      const int32_t* toks = emit_pool_.data() + tr.emit_begin;
+      const int32_t* toks = emit_base + tr.emit_begin;
       for (uint32_t k = 0; k < tr.emit_count; ++k) {
         Tag tag;
         tag.token = toks[k];
@@ -451,8 +475,7 @@ void LazyDfaSession::Finish(const TagSink& sink) {
     FlushAttribution();
     return;
   }
-  if (!stopped_ &&
-      states_[static_cast<size_t>(state_)].pending_cls >= 0) {
+  if (!stopped_ && Info(state_).pending_cls >= 0) {
     // One real fused step with no look-ahead; not worth caching (once per
     // stream), and the class representative is again exact. The scratch
     // step does not count attribution, so the wrapper tallies the final

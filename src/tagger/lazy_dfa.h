@@ -10,14 +10,46 @@
 #include "common/status.h"
 #include "grammar/grammar.h"
 #include "obs/metrics.h"
+#include "tagger/dfa_state.h"
 #include "tagger/fused_model.h"
 #include "tagger/session_pool.h"
+#include "tagger/table_view.h"
 #include "tagger/tag.h"
 
 namespace cfgtag::tagger {
 
 class LazyDfaTagger;
 class LazyDfaSessionPool;
+
+// An ahead-of-time determinized transition table, baked into an artifact
+// at serialize time and shared read-only by every session of the tagger
+// that loaded it. Baked state ids are [0, states.size()); sessions place
+// their own lazily interned states above that range and never mutate the
+// baked rows, so one table serves any number of threads. Transitions the
+// AOT walk left unbuilt (outside the state budget) have next = -1 and are
+// built at run time into the session's private overlay.
+struct AotDfaTable {
+  TableView<DfaStateInfo> states;
+  TableView<DfaTrans> trans;  // row-major [state * num_classes + cls]
+  TableView<WordBits> snap_pool;
+  TableView<int32_t> emit_pool;
+  size_t num_classes = 0;
+
+  // hash -> baked state id, rebuilt once at load from the stored hashes
+  // (cheap relative to the compile it replaces; the artifact stays pure
+  // position-independent data).
+  std::unordered_multimap<uint64_t, int32_t> index;
+
+  // Keeps the mapped (or copied) artifact bytes alive.
+  std::shared_ptr<const void> backing;
+
+  void BuildIndex() {
+    index.clear();
+    for (size_t i = 0; i < states.size(); ++i) {
+      index.emplace(states[i].hash, static_cast<int32_t>(i));
+    }
+  }
+};
 
 // Process-wide accounting for the lazy-DFA transition cache, shared by all
 // sessions: states interned, RE2-style cache flushes, and sessions that
@@ -79,34 +111,27 @@ class LazyDfaSession {
 
   const LazyDfaTagger* tagger() const { return tagger_; }
 
-  // Cache introspection (tests and metrics surfacing).
+  // Cache introspection (tests and metrics surfacing). cache_states()
+  // counts only the session's own interned states, not the shared baked
+  // table (aot_states() reports that).
   size_t cache_states() const { return states_.size(); }
+  size_t aot_states() const { return static_cast<size_t>(num_aot_); }
   size_t cache_bytes() const { return cache_bytes_; }
   uint64_t cache_flushes() const { return flushes_; }
   bool fallback_active() const { return fallback_; }
 
  private:
-  // A cached transition: successor state plus the tags the step emits,
-  // as token ids into emit_pool_ (the end offset is the stream position
-  // at replay time, so only the ids are interned).
-  struct Trans {
-    int32_t next = -1;
-    uint32_t emit_begin = 0;
-    uint32_t emit_count = 0;
-  };
-
-  // An interned configuration. Snapshot words live in snap_pool_ at
-  // [snap_begin, snap_begin + num_state + num_armed): state words first,
-  // both runs in ascending word order with nonzero bits (the canonical
-  // form SnapshotConfig produces, making equality a field-wise compare).
-  struct StateInfo {
-    uint64_t hash = 0;
-    uint32_t snap_begin = 0;
-    uint32_t num_state = 0;
-    uint32_t num_armed = 0;
-    int16_t pending_cls = -1;  // byte class of the pending byte; -1 = none
-    bool prev_delim = false;
-  };
+  // Resolves a state id across the two regions: baked AOT states occupy
+  // [0, num_aot_), session-interned states live above.
+  const DfaStateInfo& Info(int32_t id) const {
+    return id < num_aot_ ? aot_->states[static_cast<size_t>(id)]
+                         : states_[static_cast<size_t>(id - num_aot_)];
+  }
+  // First snapshot word of `info`, resolved into the owning pool.
+  const WordBits* Snap(const DfaStateInfo& info, int32_t id) const {
+    return (id < num_aot_ ? aot_->snap_pool.data() : snap_pool_.data()) +
+           info.snap_begin;
+  }
 
   int32_t InternState(const std::vector<WordBits>& state,
                       const std::vector<WordBits>& armed, bool prev_delim,
@@ -114,7 +139,7 @@ class LazyDfaSession {
   // Builds (and caches) the transition out of the current state on input
   // class `cls`, flushing first if the cache is over budget. May enter
   // fallback mode — the caller must check fallback_active() after a build.
-  Trans BuildTransition(uint8_t cls);
+  DfaTrans BuildTransition(uint8_t cls);
   void Flush();
   void EnterFallback();
   // Loads the current interned configuration into scratch_, restoring the
@@ -132,8 +157,17 @@ class LazyDfaSession {
   const LazyDfaTagger* tagger_;
   FusedSession scratch_;
 
-  std::vector<StateInfo> states_;
-  std::vector<Trans> trans_;  // row-major [state * num_classes + cls]
+  // The shared baked table (may be null) and the size of its id region.
+  const AotDfaTable* aot_ = nullptr;
+  int32_t num_aot_ = 0;
+
+  // Session-private cache. states_[k] has global id num_aot_ + k; trans_
+  // holds only the session states' rows. Runtime-built transitions out of
+  // *baked* states go into overlay_ (keyed by state * num_classes + cls)
+  // — the baked rows themselves are immutable and shared across threads.
+  std::vector<DfaStateInfo> states_;
+  std::vector<DfaTrans> trans_;  // row-major [(id - num_aot_) * num_classes + cls]
+  std::unordered_map<uint64_t, DfaTrans> overlay_;
   std::vector<WordBits> snap_pool_;
   std::vector<int32_t> emit_pool_;
   std::unordered_multimap<uint64_t, int32_t> index_;
@@ -170,8 +204,11 @@ class LazyDfaTagger {
                                         const TaggerOptions& options);
 
   // Wraps an already-built fused engine (the kAuto path compiles the
-  // fused tables once, then decides which backend fronts them).
-  static LazyDfaTagger Wrap(FusedTagger fused);
+  // fused tables once, then decides which backend fronts them). With a
+  // non-null `aot`, sessions start warm out of the baked transition table
+  // (the artifact load path).
+  static LazyDfaTagger Wrap(FusedTagger fused,
+                            std::shared_ptr<const AotDfaTable> aot = nullptr);
 
   // Scans `input`, calling `sink` for every detected token in stream
   // order (token-id order within a byte).
@@ -190,6 +227,9 @@ class LazyDfaTagger {
   const grammar::Grammar& grammar() const { return fused_.grammar(); }
   const TaggerOptions& options() const { return fused_.options(); }
 
+  // The baked AOT transition table, or null when compiled in-process.
+  const AotDfaTable* aot() const { return aot_.get(); }
+
   // The `--backend auto` heuristic: prefer the lazy DFA when the
   // byte-class x state-word product is small enough that the reachable
   // configuration set plausibly fits the transition cache; wide grammars
@@ -203,9 +243,10 @@ class LazyDfaTagger {
   }
 
  private:
-  explicit LazyDfaTagger(FusedTagger fused);
+  LazyDfaTagger(FusedTagger fused, std::shared_ptr<const AotDfaTable> aot);
 
   FusedTagger fused_;
+  std::shared_ptr<const AotDfaTable> aot_;
   std::shared_ptr<LazyDfaSessionPool> session_pool_;
 };
 

@@ -1,0 +1,35 @@
+#ifndef CFGTAG_TAGGER_TABLE_VIEW_H_
+#define CFGTAG_TAGGER_TABLE_VIEW_H_
+
+#include <cstddef>
+
+namespace cfgtag::tagger {
+
+// Non-owning view of a contiguous read-only table. The compiled-tagger hot
+// paths index these exactly like the std::vectors they replaced; what
+// changed is ownership: the bytes live either in a heap Storage block built
+// by Create() or inside an mmap'd artifact, both kept alive by the owning
+// tagger's shared backing handle. Views are trivially copyable, so tagger
+// copies stay cheap and never duplicate the tables.
+template <typename T>
+class TableView {
+ public:
+  TableView() = default;
+  TableView(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cfgtag::tagger
+
+#endif  // CFGTAG_TAGGER_TABLE_VIEW_H_

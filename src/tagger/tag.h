@@ -107,6 +107,13 @@ struct TaggerOptions {
   size_t dfa_cache_bytes = 16u << 20;
   uint32_t dfa_flush_fallback = 4;
 
+  // Artifact serialization only (lazy-DFA backend): cap on the machine
+  // configurations the ahead-of-time determinizer interns into the saved
+  // transition table. The reachable (configuration x byte class) product
+  // is walked breadth-first until the cap; whatever is left over is built
+  // lazily at run time exactly as before. 0 disables AOT entirely.
+  uint32_t aot_state_budget = 4096;
+
   // The effective arming mode: `anchored == false` (legacy scan request)
   // overrides the default-constructed arm_mode.
   ArmMode EffectiveArmMode() const {

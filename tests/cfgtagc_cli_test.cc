@@ -220,6 +220,151 @@ TEST_F(CfgtagcCliTest, RejectsUnwritableFlightRecorderPath) {
   std::remove(existing.c_str());
 }
 
+TEST_F(CfgtagcCliTest, SaveThenLoadArtifactTagsIdentically) {
+  const std::string art = TempPath("tagger.cfgtag");
+  std::remove(art.c_str());
+  ASSERT_EQ(RunTool(grammar_ + " --backend lazy --save-artifact " + art +
+                        " --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  const std::string direct = Slurp(out_);
+  EXPECT_NE(direct.find("wrote "), std::string::npos) << direct;
+  EXPECT_NE(direct.find("-byte artifact to "), std::string::npos) << direct;
+
+  // With --load-artifact the grammar positional becomes the input to tag.
+  ASSERT_EQ(RunTool("--load-artifact " + art + " " + input_, out_), 0)
+      << Slurp(out_);
+  const std::string loaded = Slurp(out_);
+  EXPECT_NE(loaded.find("from artifact"), std::string::npos) << loaded;
+  EXPECT_NE(loaded.find("software engine loaded from artifact (no netlist)"),
+            std::string::npos)
+      << loaded;
+  const auto tags_of = [](const std::string& s) {
+    const size_t at = s.find(" tags from ");
+    return s.substr(s.find(":", at));
+  };
+  EXPECT_EQ(tags_of(direct), tags_of(loaded));
+  std::remove(art.c_str());
+}
+
+TEST_F(CfgtagcCliTest, CacheDirMissesThenHits) {
+  const std::string dir = TempPath("cache");
+  const std::string cmd = "mkdir -p '" + dir + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  ASSERT_EQ(RunTool(grammar_ + " --backend auto --cache-dir " + dir +
+                        " --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  const std::string miss = Slurp(out_);
+  // The miss compiled for real (netlist stats printed), and kAuto with AOT
+  // enabled resolved to the lazy DFA.
+  EXPECT_NE(miss.find("lazy-dfa engine"), std::string::npos) << miss;
+  EXPECT_EQ(miss.find("loaded from artifact"), std::string::npos) << miss;
+
+  ASSERT_EQ(RunTool(grammar_ + " --backend auto --cache-dir " + dir +
+                        " --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+  const std::string hit = Slurp(out_);
+  EXPECT_NE(hit.find("software engine loaded from artifact (no netlist)"),
+            std::string::npos)
+      << hit;
+  const auto tags_of = [](const std::string& s) {
+    const size_t at = s.find(" tags from ");
+    return s.substr(s.find(":", at));
+  };
+  EXPECT_EQ(tags_of(miss), tags_of(hit));
+
+  const std::string rm = "rm -rf '" + dir + "'";
+  ASSERT_EQ(std::system(rm.c_str()), 0);
+}
+
+TEST_F(CfgtagcCliTest, RejectsUnusableArtifactPaths) {
+  // --save-artifact into a missing directory: probed up front, exit 2.
+  const std::string bad_out = TempPath("no_such_dir") + "/sub/t.cfgtag";
+  EXPECT_EQ(RunTool(grammar_ + " --save-artifact " + bad_out + " --tag " +
+                        input_,
+                    out_),
+            2)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("--save-artifact needs a writable path"),
+            std::string::npos)
+      << Slurp(out_);
+
+  // --load-artifact with a missing file: probed up front, exit 2.
+  const std::string missing = TempPath("missing.cfgtag");
+  std::remove(missing.c_str());
+  EXPECT_EQ(RunTool("--load-artifact " + missing + " " + input_, out_), 2)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("--load-artifact needs a readable artifact"),
+            std::string::npos)
+      << Slurp(out_);
+
+  // --cache-dir that does not exist: probed up front, exit 2.
+  const std::string bad_dir = TempPath("no_such_cache_dir");
+  EXPECT_EQ(RunTool(grammar_ + " --cache-dir " + bad_dir + " --tag " + input_,
+                    out_),
+            2)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("--cache-dir needs a writable directory"),
+            std::string::npos)
+      << Slurp(out_);
+
+  // Empty values are usage errors for all three.
+  EXPECT_EQ(RunTool(grammar_ + " --save-artifact \"\" --tag " + input_, out_),
+            2);
+  EXPECT_EQ(RunTool(grammar_ + " --load-artifact \"\" " + input_, out_), 2);
+  EXPECT_EQ(RunTool(grammar_ + " --cache-dir \"\" --tag " + input_, out_), 2);
+}
+
+TEST_F(CfgtagcCliTest, LoadArtifactRejectsHardwareAndAnalysisOutputs) {
+  const std::string art = TempPath("tagger.cfgtag");
+  std::remove(art.c_str());
+  ASSERT_EQ(RunTool(grammar_ + " --backend fused --save-artifact " + art +
+                        " --tag " + input_,
+                    out_),
+            0)
+      << Slurp(out_);
+
+  // The functional backend keeps no flat tables: --save-artifact with it
+  // is a status error (exit 1), reported before any tagging output.
+  EXPECT_EQ(RunTool(grammar_ + " --save-artifact " + TempPath("f.cfgtag") +
+                        " --tag " + input_,
+                    out_),
+            1);
+  EXPECT_NE(Slurp(out_).find("no flat tables"), std::string::npos)
+      << Slurp(out_);
+
+  // Artifacts carry no netlist: every hardware output is a usage error.
+  EXPECT_EQ(RunTool("--load-artifact " + art + " --report " + input_, out_),
+            2);
+  EXPECT_NE(Slurp(out_).find("software engine only"), std::string::npos)
+      << Slurp(out_);
+  EXPECT_EQ(RunTool("--load-artifact " + art + " --vhdl " +
+                        TempPath("t.vhd") + " " + input_,
+                    out_),
+            2);
+
+  // Analysis and lint need the grammar source.
+  EXPECT_EQ(RunTool("--load-artifact " + art + " --analysis " + input_, out_),
+            2);
+  EXPECT_NE(Slurp(out_).find("need the grammar source"), std::string::npos)
+      << Slurp(out_);
+
+  // A corrupt artifact fails with a status error (exit 1, not a crash).
+  const std::string corrupt = TempPath("corrupt.cfgtag");
+  WriteFile(corrupt, "CFGTAGAF but not really an artifact");
+  EXPECT_EQ(RunTool("--load-artifact " + corrupt + " " + input_, out_), 1)
+      << Slurp(out_);
+  EXPECT_NE(Slurp(out_).find("artifact"), std::string::npos) << Slurp(out_);
+  std::remove(corrupt.c_str());
+  std::remove(art.c_str());
+}
+
 TEST_F(CfgtagcCliTest, FlightRecorderDumpCarriesStatusFailures) {
   const std::string bad_grammar = TempPath("bad_grammar.y");
   const std::string fr = TempPath("fr_fail.json");

@@ -1,0 +1,156 @@
+// The canonical grammar serialization is the artifact cache's identity
+// notion: two grammars that differ only in the order tokens, nonterminals
+// or productions were written must serialize — and therefore hash —
+// identically, while any *content* change must move the hash. These are
+// the regression tests behind the cache-key claim in
+// docs/artifact_cache.md.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grammar/canonical.h"
+#include "grammar/grammar.h"
+
+namespace cfgtag {
+namespace {
+
+using grammar::CanonicalHash;
+using grammar::CanonicalSerialization;
+using grammar::Grammar;
+using grammar::Symbol;
+
+// The Fig. 14 expression grammar, assembled with its pieces in the order
+// given by `perm` (a permutation of {0,1,2} over token-add order) and with
+// nonterminals/productions optionally reversed. All variants describe the
+// same grammar *content* with different internal ids.
+Grammar BuildGrammar(const std::vector<int>& token_order, bool reverse_nts,
+                     bool reverse_prods) {
+  Grammar g;
+  int32_t ids[3] = {-1, -1, -1};
+  for (int which : token_order) {
+    switch (which) {
+      case 0:
+        ids[0] = *g.AddToken("NUM", "[0-9]+");
+        break;
+      case 1:
+        ids[1] = *g.AddToken("WORD", "[a-z]+");
+        break;
+      default:
+        ids[2] = *g.AddLiteralToken("begin");
+        break;
+    }
+  }
+  int32_t s, item;
+  if (reverse_nts) {
+    item = g.AddNonterminal("item");
+    s = g.AddNonterminal("s");
+  } else {
+    s = g.AddNonterminal("s");
+    item = g.AddNonterminal("item");
+  }
+  std::vector<std::vector<Symbol>> s_prods = {
+      {Symbol::Terminal(ids[2]), Symbol::Nonterminal(item)},
+      {Symbol::Nonterminal(item), Symbol::Nonterminal(s)},
+  };
+  std::vector<std::vector<Symbol>> item_prods = {
+      {Symbol::Terminal(ids[0])},
+      {Symbol::Terminal(ids[1])},
+  };
+  if (reverse_prods) {
+    std::swap(s_prods[0], s_prods[1]);
+    std::swap(item_prods[0], item_prods[1]);
+  }
+  // Interleave the two nonterminals' rules when reversing, so production
+  // *record* order differs too, not just per-nonterminal alternative order.
+  if (reverse_prods) {
+    g.AddProduction(item, std::move(item_prods[0]));
+    g.AddProduction(s, std::move(s_prods[0]));
+    g.AddProduction(item, std::move(item_prods[1]));
+    g.AddProduction(s, std::move(s_prods[1]));
+  } else {
+    g.AddProduction(s, std::move(s_prods[0]));
+    g.AddProduction(s, std::move(s_prods[1]));
+    g.AddProduction(item, std::move(item_prods[0]));
+    g.AddProduction(item, std::move(item_prods[1]));
+  }
+  g.SetStart(s);
+  return g;
+}
+
+TEST(GrammarCanonicalTest, ReorderedEquivalentGrammarsHashEqual) {
+  const Grammar base = BuildGrammar({0, 1, 2}, false, false);
+  const std::string want = CanonicalSerialization(base);
+  const uint64_t want_hash = CanonicalHash(base);
+  EXPECT_FALSE(want.empty());
+
+  const std::vector<std::vector<int>> token_orders = {
+      {0, 1, 2}, {2, 1, 0}, {1, 2, 0}};
+  for (const auto& order : token_orders) {
+    for (bool rev_nts : {false, true}) {
+      for (bool rev_prods : {false, true}) {
+        const Grammar v = BuildGrammar(order, rev_nts, rev_prods);
+        EXPECT_EQ(CanonicalSerialization(v), want)
+            << "token order " << order[0] << order[1] << order[2]
+            << " rev_nts=" << rev_nts << " rev_prods=" << rev_prods;
+        EXPECT_EQ(CanonicalHash(v), want_hash);
+      }
+    }
+  }
+}
+
+TEST(GrammarCanonicalTest, CloneHashesEqual) {
+  const Grammar g = BuildGrammar({1, 0, 2}, true, true);
+  EXPECT_EQ(CanonicalHash(g), CanonicalHash(g.Clone()));
+}
+
+TEST(GrammarCanonicalTest, ContentChangesMoveTheHash) {
+  const uint64_t base = CanonicalHash(BuildGrammar({0, 1, 2}, false, false));
+
+  // A changed pattern.
+  {
+    Grammar g = BuildGrammar({0, 1, 2}, false, false);
+    Grammar h;
+    (void)h.AddToken("NUM", "[0-9][0-9]*");  // same language, different text
+    (void)h.AddToken("WORD", "[a-z]+");
+    (void)h.AddLiteralToken("begin");
+    // Content hashing is textual, not semantic: the hash must move.
+    EXPECT_NE(CanonicalHash(g), CanonicalHash(h));
+  }
+
+  // An extra token.
+  {
+    Grammar g = BuildGrammar({0, 1, 2}, false, false);
+    (void)g.AddToken("HEX", "[a-f0-9]+");
+    EXPECT_NE(CanonicalHash(g), base);
+  }
+
+  // A renamed token (same pattern).
+  {
+    Grammar g;
+    (void)g.AddToken("NUMBER", "[0-9]+");
+    Grammar h;
+    (void)h.AddToken("NUM", "[0-9]+");
+    EXPECT_NE(CanonicalHash(g), CanonicalHash(h));
+  }
+
+  // An extra production alternative.
+  {
+    Grammar g = BuildGrammar({0, 1, 2}, false, false);
+    const uint64_t before = CanonicalHash(g);
+    g.AddProduction(g.FindNonterminal("s"),
+                    {Symbol::Terminal(g.FindToken("NUM"))});
+    EXPECT_NE(CanonicalHash(g), before);
+  }
+
+  // A different start symbol.
+  {
+    Grammar g = BuildGrammar({0, 1, 2}, false, false);
+    g.SetStart(g.FindNonterminal("item"));
+    EXPECT_NE(CanonicalHash(g), base);
+  }
+}
+
+}  // namespace
+}  // namespace cfgtag

@@ -5,7 +5,9 @@
 // whole-buffer, under both scalar and vectorized SIMD dispatch, and for
 // the lazy DFA also under a starvation-sized transition cache (constant
 // flushing, then the fused fallback) — and CompiledTagger::Tag must agree
-// with itself across backends.
+// with itself across backends. The artifact leg closes the loop through
+// the serializer: serialize → Deserialize → tag must be byte-identical to
+// the compiler that produced the artifact, whole-buffer and chunked.
 
 #include <gtest/gtest.h>
 
@@ -206,6 +208,52 @@ TEST(DifferentialFuzzTest, FusedMatchesFunctionalEverywhere) {
                        input);
       }
       tagger::simd::ClearForcedIsa();
+    }
+  }
+}
+
+// serialize → Deserialize → tag: a tagger rebuilt from its own artifact
+// bytes must be tag-for-tag identical to the tagger that wrote them, for
+// both flat-table backends, with and without an AOT table, whole-buffer
+// and chunked through the loaded engine's sessions.
+TEST(DifferentialFuzzTest, ArtifactRoundTripMatchesDirectCompile) {
+  Rng rng(20260809);
+  const ArmMode kModes[] = {ArmMode::kAnchored, ArmMode::kScan,
+                            ArmMode::kResync};
+  const tagger::TaggerBackend kBackends[] = {tagger::TaggerBackend::kFused,
+                                             tagger::TaggerBackend::kLazyDfa};
+  for (int iter = 0; iter < 16; ++iter) {
+    Grammar g = RandomGrammar(rng);
+    hwgen::HwOptions options;
+    options.tagger.arm_mode = kModes[iter % 3];
+    options.tagger.longest_match = (iter % 2) == 0;
+    options.tagger.backend = kBackends[iter % 2];
+    // Odd iterations strip the AOT table so both artifact shapes (baked
+    // DFA present / absent) go through the loader.
+    if (iter % 4 == 1) options.tagger.aot_state_budget = 0;
+    auto direct = core::CompiledTagger::Compile(g.Clone(), options);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto bytes = direct->Serialize();
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    auto loaded = core::CompiledTagger::Deserialize(*bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_FALSE(loaded->has_hardware());
+    EXPECT_EQ(loaded->backend(), options.tagger.backend);
+    for (int s = 0; s < 6; ++s) {
+      const std::string input = RandomStream(direct->grammar(), rng);
+      const std::vector<Tag> want = direct->Tag(input);
+      ExpectSameTags(want, loaded->Tag(input), "artifact whole-buffer",
+                     input);
+      const size_t chunk = 1 + rng.NextIndex(7);
+      if (loaded->lazy_model() != nullptr) {
+        ExpectSameTags(want, Chunked(*loaded->lazy_model(), input, chunk),
+                       "artifact lazy chunk=" + std::to_string(chunk), input);
+      } else {
+        ASSERT_NE(loaded->fused_model(), nullptr);
+        ExpectSameTags(want, Chunked(*loaded->fused_model(), input, chunk),
+                       "artifact fused chunk=" + std::to_string(chunk),
+                       input);
+      }
     }
   }
 }

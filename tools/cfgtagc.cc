@@ -43,12 +43,29 @@
 //                       dump the flight-recorder event ring to FILE on
 //                       exit — and from a SIGINT/SIGTERM handler, so an
 //                       interrupted run still leaves its last events
+//   --save-artifact FILE
+//                       serialize the compiled software tagger (fused or
+//                       lazy backend) into a zero-copy artifact file
+//   --load-artifact FILE
+//                       skip the grammar compile entirely: mmap a saved
+//                       artifact and tag with it (software engine only —
+//                       no GRAMMAR argument, no hardware outputs)
+//   --cache-dir DIR     content-addressed compile cache: load the
+//                       artifact keyed by (grammar, options) from DIR if
+//                       present, else compile and store it (ignored when
+//                       hardware outputs are requested — those need the
+//                       netlist, which artifacts do not carry)
 //
 // A second positional argument is shorthand for --tag:
 //   cfgtagc GRAMMAR INPUT == cfgtagc GRAMMAR --tag INPUT
+// With --load-artifact the grammar positional is dropped, so the first
+// positional (if any) is the input to tag.
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <climits>
+#include <optional>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +86,7 @@
 #include "obs/trace.h"
 #include "rtl/device.h"
 #include "rtl/serialize.h"
+#include "tagger/artifact/cache.h"
 
 namespace {
 
@@ -82,7 +100,9 @@ int Usage(const char* argv0) {
                "       [--no-longest-match] [--no-encoder]\n"
                "       [--metrics-out FILE] [--trace-out FILE]\n"
                "       [--stats-port N] [--attribution]\n"
-               "       [--flight-recorder-out FILE]\n",
+               "       [--flight-recorder-out FILE]\n"
+               "       [--save-artifact FILE] [--load-artifact FILE]\n"
+               "       [--cache-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -182,6 +202,9 @@ int RunTool(int argc, char** argv) {
   bool analysis = false;
   bool lint = false;
   bool cycle_accurate = false;
+  std::string save_artifact;
+  std::string load_artifact;
+  std::string cache_dir;
   int threads = 1;
   int stats_port = -1;  // -1 = no stats server; 0 = kernel-assigned
   bool attribution = false;
@@ -337,13 +360,83 @@ int RunTool(int argc, char** argv) {
         return Usage(argv[0]);
       }
       g_flight_out = v;
+    } else if (arg == "--save-artifact") {
+      const char* v = next();
+      if (!v || *v == '\0') return Usage(argv[0]);
+      // Same up-front probe discipline as --flight-recorder-out: fail
+      // before the (potentially long) compile, not after it. Append mode
+      // creates the file if absent and never truncates an existing one.
+      std::ofstream probe(v, std::ios::app | std::ios::binary);
+      if (!probe) {
+        std::fprintf(stderr,
+                     "--save-artifact needs a writable path, "
+                     "cannot open \"%s\"\n", v);
+        return Usage(argv[0]);
+      }
+      save_artifact = v;
+    } else if (arg == "--load-artifact") {
+      const char* v = next();
+      if (!v || *v == '\0') return Usage(argv[0]);
+      std::ifstream probe(v, std::ios::binary);
+      if (!probe) {
+        std::fprintf(stderr,
+                     "--load-artifact needs a readable artifact file, "
+                     "cannot open \"%s\"\n", v);
+        return Usage(argv[0]);
+      }
+      load_artifact = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') return Usage(argv[0]);
+      // Probe by creating (and removing) a file in the directory — the
+      // one capability the cache needs; an unwritable or missing
+      // directory fails here instead of silently disabling the cache.
+      const std::string probe_path =
+          std::string(v) + "/.cfgtag-probe-" + std::to_string(::getpid());
+      {
+        std::ofstream probe(probe_path, std::ios::binary);
+        if (!probe) {
+          std::fprintf(stderr,
+                       "--cache-dir needs a writable directory, "
+                       "cannot create files in \"%s\"\n", v);
+          return Usage(argv[0]);
+        }
+      }
+      std::remove(probe_path.c_str());
+      cache_dir = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
     }
   }
 
-  if (grammar_path.empty()) return Usage(argv[0]);
+  const bool needs_hardware = report || cycle_accurate ||
+                              !vhdl_path.empty() || !netlist_path.empty() ||
+                              !testbench_path.empty() || !vcd_path.empty();
+  if (!load_artifact.empty()) {
+    // No grammar compile happens, so the grammar positional slot becomes
+    // the input to tag.
+    if (!grammar_path.empty()) {
+      if (!tag_path.empty()) return Usage(argv[0]);
+      tag_path = grammar_path;
+      grammar_path.clear();
+    }
+    if (needs_hardware) {
+      std::fprintf(stderr,
+                   "--load-artifact provides the software engine only; "
+                   "--vhdl/--netlist/--report/--cycle-accurate/"
+                   "--testbench/--vcd need a grammar compile\n");
+      return Usage(argv[0]);
+    }
+    if (analysis || lint) {
+      std::fprintf(stderr,
+                   "--analysis/--lint need the grammar source, not an "
+                   "artifact\n");
+      return Usage(argv[0]);
+    }
+  } else if (grammar_path.empty()) {
+    return Usage(argv[0]);
+  }
 
   if (attribution) cfgtag::obs::AttributionTable::set_enabled(true);
   if (!g_flight_out.empty()) {
@@ -360,47 +453,80 @@ int RunTool(int argc, char** argv) {
                 g_stats_server.port());
   }
 
-  std::string grammar_text;
-  if (!ReadFile(grammar_path, &grammar_text)) {
-    std::fprintf(stderr, "cannot read %s\n", grammar_path.c_str());
-    return 1;
-  }
-  auto grammar = [&] {
-    cfgtag::obs::ScopedSpan span("grammar.Parse");
-    return cfgtag::grammar::ParseGrammar(grammar_text);
-  }();
-  if (!grammar.ok()) return FailStatus("grammar", grammar.status());
-  std::printf("grammar: %zu tokens, %zu nonterminals, %zu productions, "
-              "%zu pattern bytes\n",
-              grammar->NumTokens(), grammar->NumNonterminals(),
-              grammar->productions().size(), grammar->PatternBytes());
-
-  if (analysis) {
-    auto a = cfgtag::grammar::Analyze(*grammar);
-    if (!a.ok()) return FailStatus("analysis", a.status());
-    std::printf("\n%s", a->ToString(*grammar).c_str());
-  }
-
-  if (lint) {
-    auto findings = cfgtag::grammar::Lint(*grammar);
-    if (!findings.ok()) return FailStatus("lint", findings.status());
-    if (findings->empty()) {
-      std::printf("lint: no findings\n");
+  std::optional<cfgtag::core::CompiledTagger> tagger;
+  if (!load_artifact.empty()) {
+    auto loaded = cfgtag::core::CompiledTagger::LoadArtifact(load_artifact);
+    if (!loaded.ok()) return FailStatus("artifact", loaded.status());
+    tagger.emplace(std::move(loaded).value());
+    const auto& g = tagger->grammar();
+    std::printf("grammar: %zu tokens, %zu nonterminals, %zu productions, "
+                "%zu pattern bytes (from artifact %s)\n",
+                g.NumTokens(), g.NumNonterminals(), g.productions().size(),
+                g.PatternBytes(), load_artifact.c_str());
+  } else {
+    std::string grammar_text;
+    if (!ReadFile(grammar_path, &grammar_text)) {
+      std::fprintf(stderr, "cannot read %s\n", grammar_path.c_str());
+      return 1;
     }
-    for (const auto& f : *findings) {
-      std::printf("lint [%s]: %s\n",
-                  cfgtag::grammar::LintKindName(f.kind), f.message.c_str());
+    auto grammar = [&] {
+      cfgtag::obs::ScopedSpan span("grammar.Parse");
+      return cfgtag::grammar::ParseGrammar(grammar_text);
+    }();
+    if (!grammar.ok()) return FailStatus("grammar", grammar.status());
+    std::printf("grammar: %zu tokens, %zu nonterminals, %zu productions, "
+                "%zu pattern bytes\n",
+                grammar->NumTokens(), grammar->NumNonterminals(),
+                grammar->productions().size(), grammar->PatternBytes());
+
+    if (analysis) {
+      auto a = cfgtag::grammar::Analyze(*grammar);
+      if (!a.ok()) return FailStatus("analysis", a.status());
+      std::printf("\n%s", a->ToString(*grammar).c_str());
     }
+
+    if (lint) {
+      auto findings = cfgtag::grammar::Lint(*grammar);
+      if (!findings.ok()) return FailStatus("lint", findings.status());
+      if (findings->empty()) {
+        std::printf("lint: no findings\n");
+      }
+      for (const auto& f : *findings) {
+        std::printf("lint [%s]: %s\n",
+                    cfgtag::grammar::LintKindName(f.kind), f.message.c_str());
+      }
+    }
+
+    // Hardware outputs need the netlist, which artifacts do not carry, so
+    // the cache only serves software-tagging runs.
+    auto compiled =
+        (!cache_dir.empty() && !needs_hardware)
+            ? cfgtag::core::CompiledTagger::CompileCached(
+                  std::move(grammar).value(), options, cache_dir)
+            : cfgtag::core::CompiledTagger::Compile(
+                  std::move(grammar).value(), options);
+    if (!compiled.ok()) return FailStatus("compile", compiled.status());
+    tagger.emplace(std::move(compiled).value());
+  }
+  if (tagger->has_hardware()) {
+    const auto stats = tagger->hardware().netlist.ComputeStats();
+    std::printf("netlist: %zu gates, %zu registers, %d byte(s)/cycle, "
+                "match latency %d cycle(s)\n",
+                stats.num_gates, stats.num_regs, tagger->hardware().lanes,
+                tagger->hardware().match_latency);
+  } else {
+    std::printf("software engine loaded from artifact (no netlist)\n");
   }
 
-  auto tagger = cfgtag::core::CompiledTagger::Compile(
-      std::move(grammar).value(), options);
-  if (!tagger.ok()) return FailStatus("compile", tagger.status());
-  const auto stats = tagger->hardware().netlist.ComputeStats();
-  std::printf("netlist: %zu gates, %zu registers, %d byte(s)/cycle, "
-              "match latency %d cycle(s)\n",
-              stats.num_gates, stats.num_regs, tagger->hardware().lanes,
-              tagger->hardware().match_latency);
+  if (!save_artifact.empty()) {
+    auto bytes = tagger->Serialize();
+    if (!bytes.ok()) return FailStatus("artifact", bytes.status());
+    const cfgtag::Status stored =
+        cfgtag::tagger::artifact::AtomicWriteFile(save_artifact, *bytes);
+    if (!stored.ok()) return FailStatus("artifact", stored);
+    std::printf("wrote %zu-byte artifact to %s\n", bytes->size(),
+                save_artifact.c_str());
+  }
 
   if (report) {
     for (const cfgtag::rtl::Device& device :

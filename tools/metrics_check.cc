@@ -3,10 +3,15 @@
 // (/metrics, what an external scraper parses) and the registry's JSON dump
 // (bench_metrics.json / BENCH_*.json, what the CI perf gate parses).
 //
-//   metrics_check --prom FILE    validate a Prometheus text exposition
-//   metrics_check --json FILE    validate a registry JSON dump
+//   metrics_check --prom FILE            validate a Prometheus text exposition
+//   metrics_check --json FILE            validate a registry JSON dump
+//   metrics_check --expect-family NAME   require a metric family (repeatable)
 //
 // Both modes may be given together; each FILE is checked independently.
+// --expect-family NAME fails the run unless some checked file contains a
+// metric (prom sample / HELP / TYPE name, or JSON object key) whose name
+// starts with NAME — the CI hook that keeps instrument families such as
+// cfgtag_artifact_ from silently disappearing from the exposition.
 // Exit 0 when every file validates, 1 with per-line diagnostics otherwise.
 // Dependency-free by design (the repo's no-new-deps rule): the Prometheus
 // checker is a hand-rolled line grammar, the JSON checker a
@@ -17,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -133,7 +139,10 @@ bool IsSampleValue(const std::string& v) {
 
 // Validates one exposition; appends diagnostics. HELP/TYPE comments must
 // name a metric; sample lines must be `name[{labels}] value [timestamp]`.
-void CheckProm(const std::string& text, std::vector<Diag>* diags) {
+// Every metric name seen (samples and HELP/TYPE comments) lands in `names`
+// for --expect-family matching.
+void CheckProm(const std::string& text, std::vector<Diag>* diags,
+               std::set<std::string>* names) {
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
@@ -158,6 +167,7 @@ void CheckProm(const std::string& text, std::vector<Diag>* diags) {
             break;
           }
         }
+        names->insert(name);
         if (keyword == "TYPE") {
           std::string kind;
           ls >> kind;
@@ -176,6 +186,7 @@ void CheckProm(const std::string& text, std::vector<Diag>* diags) {
                                 "name"});
       continue;
     }
+    names->insert(name);
     if (i < line.size() && line[i] == '{') {
       std::string error;
       if (!ParseLabels(line, i, &error)) {
@@ -224,6 +235,9 @@ struct JsonParser {
   const std::string& s;
   size_t i = 0;
   std::string error;
+  // Every object key, at any depth — the registry dump keys metrics by
+  // name, so this is the JSON-side input to --expect-family.
+  std::set<std::string>* keys = nullptr;
 
   int Line() const {
     int line = 1;
@@ -245,12 +259,16 @@ struct JsonParser {
     return false;
   }
 
-  bool ParseString() {
+  bool ParseString(std::string* out = nullptr) {
     if (i >= s.size() || s[i] != '"') return Fail("expected string");
     ++i;
+    const size_t begin = i;
     while (i < s.size()) {
       const char c = s[i];
       if (c == '"') {
+        // Raw (still-escaped) content is fine for prefix matching: metric
+        // names contain no characters that need escaping.
+        if (out != nullptr) *out = s.substr(begin, i - begin);
         ++i;
         return true;
       }
@@ -324,7 +342,9 @@ struct JsonParser {
       }
       while (true) {
         SkipWs();
-        if (!ParseString()) return Fail("object key must be a string");
+        std::string key;
+        if (!ParseString(&key)) return Fail("object key must be a string");
+        if (keys != nullptr) keys->insert(key);
         SkipWs();
         if (i >= s.size() || s[i] != ':') return Fail("expected ':'");
         ++i;
@@ -382,8 +402,9 @@ struct JsonParser {
   }
 };
 
-void CheckJson(const std::string& text, std::vector<Diag>* diags) {
-  JsonParser parser{text, 0, {}};
+void CheckJson(const std::string& text, std::vector<Diag>* diags,
+               std::set<std::string>* names) {
+  JsonParser parser{text, 0, {}, names};
   if (!parser.ParseValue(0)) {
     diags->push_back({parser.Line(), parser.error});
     return;
@@ -396,7 +417,8 @@ void CheckJson(const std::string& text, std::vector<Diag>* diags) {
 
 // ---------------------------------------------------------------------------
 
-int CheckFile(const char* mode, const char* path) {
+int CheckFile(const char* mode, const char* path,
+              std::set<std::string>* names) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "metrics_check: cannot read %s\n", path);
@@ -408,9 +430,9 @@ int CheckFile(const char* mode, const char* path) {
 
   std::vector<Diag> diags;
   if (std::strcmp(mode, "--prom") == 0) {
-    CheckProm(text, &diags);
+    CheckProm(text, &diags, names);
   } else {
-    CheckJson(text, &diags);
+    CheckJson(text, &diags, names);
   }
   if (diags.empty()) {
     std::printf("%s: OK (%s, %zu bytes)\n", path, mode + 2, text.size());
@@ -428,7 +450,8 @@ int CheckFile(const char* mode, const char* path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: metrics_check [--prom FILE]... [--json FILE]...\n");
+               "usage: metrics_check [--prom FILE]... [--json FILE]...\n"
+               "                     [--expect-family NAME]...\n");
   return 2;
 }
 
@@ -437,14 +460,45 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   int rc = 0;
+  bool checked_file = false;
+  std::set<std::string> names;
+  std::vector<std::string> families;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--prom") != 0 &&
-        std::strcmp(argv[i], "--json") != 0) {
+    const bool is_file = std::strcmp(argv[i], "--prom") == 0 ||
+                         std::strcmp(argv[i], "--json") == 0;
+    if (!is_file && std::strcmp(argv[i], "--expect-family") != 0) {
       return Usage();
     }
     if (i + 1 >= argc) return Usage();
-    rc |= CheckFile(argv[i], argv[i + 1]);
+    if (is_file) {
+      rc |= CheckFile(argv[i], argv[i + 1], &names);
+      checked_file = true;
+    } else {
+      families.push_back(argv[i + 1]);
+    }
     ++i;
+  }
+  if (!checked_file && !families.empty()) {
+    std::fprintf(stderr,
+                 "metrics_check: --expect-family needs at least one "
+                 "--prom/--json file to scan\n");
+    return Usage();
+  }
+  for (const std::string& family : families) {
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name.compare(0, family.size(), family) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "metrics_check: no metric in any checked file matches "
+                   "family prefix %s\n",
+                   family.c_str());
+      rc |= 1;
+    }
   }
   return rc;
 }
