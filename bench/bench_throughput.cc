@@ -642,6 +642,92 @@ void RecordAttributionOverhead(bool smoke) {
       ->Set(overhead_pct);
 }
 
+// Acceptance gauge for the resilience layer's disarmed cost: the same
+// compiled tagger scans the same resync stream through the plain Tag()
+// path and through TagWithControl() with a default (inert) ScanControl —
+// infinite deadline, inert cancel token, 64 KiB check interval, fault
+// injector disarmed. The difference is the whole price of the deadline/
+// cancel/budget plumbing when nothing is armed; the CI release-bench lane
+// gates it < 2% out of BENCH_10.json. Methodology is the attribution
+// gauge's: short adjacent off/on pairs on thread CPU time, alternating
+// order, median of per-pair ratios (see RecordAttributionOverhead).
+void RecordResilienceOverhead(bool smoke) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::string& full = Workload();
+  const std::string_view input = std::string_view(full).substr(0, 64 << 10);
+
+  grammar::Grammar g = DuplicatedXmlRpc(4);
+  hwgen::HwOptions opt;
+  opt.tagger.arm_mode = tagger::ArmMode::kResync;
+  opt.tagger.backend = tagger::TaggerBackend::kFused;
+  auto tagger =
+      ValueOrDie(core::CompiledTagger::Compile(std::move(g), opt), "compile");
+
+  auto thread_seconds = [] {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  };
+  const core::resilience::ScanControl inert;
+  auto time_run = [&](bool controlled) {
+    size_t tags = 0;
+    const tagger::TagSink sink = [&tags](const tagger::Tag&) {
+      ++tags;
+      return true;
+    };
+    const double t0 = thread_seconds();
+    if (controlled) {
+      (void)tagger.TagWithControl(input, sink, inert);
+    } else {
+      tagger.Tag(input, sink);
+    }
+    const double t1 = thread_seconds();
+    benchmark::DoNotOptimize(tags);
+    const double secs = t1 - t0;
+    return input.size() / 1e6 / (secs > 0 ? secs : 1e-9);
+  };
+
+  const int pairs = smoke ? 96 : 160;
+  auto time_leg = [&](bool controlled) {
+    double best = 0;
+    for (int k = 0; k < 5; ++k) best = std::max(best, time_run(controlled));
+    return best;
+  };
+  std::vector<double> ratios;
+  double off_mbps = 0;
+  double on_mbps = 0;
+  time_run(false);  // warm up caches and the session pool
+  time_run(true);
+  for (int r = 0; r < pairs; ++r) {
+    double pair[2];  // [0] = plain Tag, [1] = TagWithControl
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool on = (leg == 0) == ((r & 1) != 0);
+      pair[on ? 1 : 0] = time_leg(on);
+    }
+    ratios.push_back(pair[0] / pair[1]);
+    off_mbps = std::max(off_mbps, pair[0]);
+    on_mbps = std::max(on_mbps, pair[1]);
+  }
+
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead_pct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  std::printf(
+      "\nResilience overhead (fused x4, %zu KB): plain %.1f MB/s, "
+      "controlled %.1f MB/s, overhead %.2f%% (budget < 2%%)\n",
+      input.size() >> 10, off_mbps, on_mbps, overhead_pct);
+  reg.GetGauge("cfgtag_bench_resilience_mbps{control=\"off\"}",
+               "Fused sequential MB/s through the plain Tag() path")
+      ->Set(off_mbps);
+  reg.GetGauge("cfgtag_bench_resilience_mbps{control=\"on\"}",
+               "Fused sequential MB/s through TagWithControl() with an "
+               "inert default ScanControl")
+      ->Set(on_mbps);
+  reg.GetGauge("cfgtag_bench_resilience_overhead_pct",
+               "Percent throughput lost to the disarmed resilience layer "
+               "(inert ScanControl vs plain Tag; CI gate: < 2)")
+      ->Set(overhead_pct);
+}
+
 }  // namespace
 }  // namespace cfgtag::bench
 
@@ -674,6 +760,7 @@ int main(int argc, char** argv) {
   cfgtag::bench::RecordSimdComparison(smoke);
   cfgtag::bench::RecordArtifactComparison(smoke);
   cfgtag::bench::RecordAttributionOverhead(smoke);
+  cfgtag::bench::RecordResilienceOverhead(smoke);
   cfgtag::bench::WriteMetricsJson("bench_metrics.json");
   // The consolidated perf baseline the CI release-bench gate parses: the
   // same registry snapshot under the tracked BENCH_4.json name (backend
@@ -688,6 +775,9 @@ int main(int argc, char** argv) {
   cfgtag::bench::WriteMetricsJson("BENCH_7.json");
   cfgtag::bench::WriteMetricsJson("BENCH_8.json");
   cfgtag::bench::WriteMetricsJson("BENCH_9.json");
+  // BENCH_10.json re-baselines after the service-resilience layer and
+  // carries the disarmed-control overhead gauge its CI gate parses.
+  cfgtag::bench::WriteMetricsJson("BENCH_10.json");
   cfgtag::bench::HoldStats(stats_hold);
   return 0;
 }

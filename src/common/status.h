@@ -20,6 +20,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -71,6 +74,9 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // Holds either a value of type T or an error Status. `value()` must only be
 // called when `ok()`.

@@ -1,0 +1,215 @@
+#include "core/resilience/budget.h"
+
+#include "core/resilience/fault_injector.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace cfgtag::core::resilience {
+
+namespace {
+
+struct BudgetMetrics {
+  obs::Gauge* limit_bytes;
+  obs::Gauge* used_bytes;
+  obs::Counter* pressure_events;
+  obs::Counter* denied;
+  // One degraded-mode gauge per ladder component, 1 while its rung (or a
+  // higher one) is active.
+  obs::Gauge* degraded_dfa;
+  obs::Gauge* degraded_pool;
+  obs::Gauge* degraded_artifact;
+
+  BudgetMetrics() {
+    auto& reg = obs::MetricsRegistry::Default();
+    limit_bytes = reg.GetGauge("cfgtag_budget_limit_bytes",
+                               "Process resource budget ceiling (0 = off)");
+    used_bytes = reg.GetGauge("cfgtag_budget_used_bytes",
+                              "Bytes currently charged against the budget");
+    pressure_events = reg.GetCounter(
+        "cfgtag_budget_pressure_events_total",
+        "Times the budget escalated to a higher degradation rung");
+    denied = reg.GetCounter("cfgtag_budget_denied_total",
+                            "TryCharge admissions denied at the ceiling");
+    degraded_dfa =
+        reg.GetGauge("cfgtag_degraded_mode{component=\"dfa_cache\"}",
+                     "1 while lazy-DFA cache growth is shed");
+    degraded_pool =
+        reg.GetGauge("cfgtag_degraded_mode{component=\"session_pool\"}",
+                     "1 while session pools trim idle scratch");
+    degraded_artifact =
+        reg.GetGauge("cfgtag_degraded_mode{component=\"artifact_cache\"}",
+                     "1 while the artifact compile cache is read-only");
+  }
+};
+
+BudgetMetrics& Metrics() {
+  static BudgetMetrics* const kMetrics = new BudgetMetrics;
+  return *kMetrics;
+}
+
+// Escalation thresholds as a fraction of the limit, indexed by rung.
+double Threshold(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kShedDfa:
+      return 0.85;
+    case DegradationRung::kTrimPools:
+      return 0.95;
+    case DegradationRung::kArtifactReadOnly:
+      return 1.0;
+    case DegradationRung::kNone:
+      break;
+  }
+  return 0.0;
+}
+
+constexpr double kHysteresis = 0.05;
+
+}  // namespace
+
+const char* DegradationRungName(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kNone:
+      return "none";
+    case DegradationRung::kShedDfa:
+      return "shed_dfa";
+    case DegradationRung::kTrimPools:
+      return "trim_pools";
+    case DegradationRung::kArtifactReadOnly:
+      return "artifact_read_only";
+  }
+  return "unknown";
+}
+
+ResourceBudget& ResourceBudget::Process() {
+  static ResourceBudget* const kBudget = new ResourceBudget;
+  return *kBudget;
+}
+
+void ResourceBudget::SetLimit(uint64_t bytes) {
+  limit_.store(bytes, std::memory_order_relaxed);
+  Metrics().limit_bytes->Set(static_cast<double>(bytes));
+  Reevaluate();
+}
+
+void ResourceBudget::Charge(uint64_t bytes, const char* component) {
+  (void)component;
+  const uint64_t used =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  Metrics().used_bytes->Set(static_cast<double>(used));
+  if (limit_.load(std::memory_order_relaxed) != 0) Reevaluate();
+}
+
+Status ResourceBudget::TryCharge(uint64_t bytes, const char* component) {
+  if (FaultInjector::ShouldFail("budget.charge")) {
+    Metrics().denied->Increment();
+    return ResourceExhaustedError(
+        std::string("budget admission denied (fault injected) for ") +
+        component);
+  }
+  const uint64_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit != 0 &&
+      used_.load(std::memory_order_relaxed) + bytes > limit) {
+    Metrics().denied->Increment();
+    {
+      // An admission denial is definitionally the top of the ladder: the
+      // process refused to grow. Pin the rung there; Release() descends
+      // through Reevaluate() once usage drops.
+      std::lock_guard<std::mutex> lock(mu_);
+      PublishRung(DegradationRung::kArtifactReadOnly);
+    }
+    return ResourceExhaustedError(
+        std::string("resource budget exhausted: ") + component +
+        " needs " + std::to_string(bytes) + " bytes, " +
+        std::to_string(used_.load(std::memory_order_relaxed)) + "/" +
+        std::to_string(limit) + " in use");
+  }
+  Charge(bytes, component);
+  return Status::Ok();
+}
+
+void ResourceBudget::Release(uint64_t bytes) {
+  uint64_t cur = used_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = cur >= bytes ? cur - bytes : 0;
+  } while (!used_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed));
+  Metrics().used_bytes->Set(static_cast<double>(next));
+  if (limit_.load(std::memory_order_relaxed) != 0) Reevaluate();
+}
+
+void ResourceBudget::PublishRung(DegradationRung next) {
+  // Caller holds mu_.
+  const auto cur = static_cast<DegradationRung>(
+      rung_.load(std::memory_order_relaxed));
+  if (next == cur) return;
+  rung_.store(static_cast<int>(next), std::memory_order_relaxed);
+  if (next > cur) {
+    Metrics().pressure_events->Increment();
+    obs::RecordEvent(obs::EventKind::kBudgetPressure,
+                     static_cast<int64_t>(used()),
+                     static_cast<int64_t>(limit()),
+                     DegradationRungName(next));
+  }
+  // Flip the per-component gauges that changed, recording one
+  // degraded-mode event per transition edge.
+  struct Edge {
+    DegradationRung rung;
+    obs::Gauge* gauge;
+    const char* component;
+  };
+  const Edge edges[] = {
+      {DegradationRung::kShedDfa, Metrics().degraded_dfa, "dfa_cache"},
+      {DegradationRung::kTrimPools, Metrics().degraded_pool, "session_pool"},
+      {DegradationRung::kArtifactReadOnly, Metrics().degraded_artifact,
+       "artifact_cache"},
+  };
+  for (const Edge& e : edges) {
+    const bool was = cur >= e.rung;
+    const bool is = next >= e.rung;
+    if (was == is) continue;
+    e.gauge->Set(is ? 1.0 : 0.0);
+    obs::RecordEvent(obs::EventKind::kDegradedMode, is ? 1 : 0,
+                     static_cast<int64_t>(next), e.component);
+  }
+}
+
+void ResourceBudget::Reevaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t limit = limit_.load(std::memory_order_relaxed);
+  const auto cur = static_cast<DegradationRung>(
+      rung_.load(std::memory_order_relaxed));
+  if (limit == 0) {
+    PublishRung(DegradationRung::kNone);
+    return;
+  }
+  const double frac = static_cast<double>(used_.load(
+                          std::memory_order_relaxed)) /
+                      static_cast<double>(limit);
+  DegradationRung next = DegradationRung::kNone;
+  if (frac >= Threshold(DegradationRung::kArtifactReadOnly)) {
+    next = DegradationRung::kArtifactReadOnly;
+  } else if (frac >= Threshold(DegradationRung::kTrimPools)) {
+    next = DegradationRung::kTrimPools;
+  } else if (frac >= Threshold(DegradationRung::kShedDfa)) {
+    next = DegradationRung::kShedDfa;
+  }
+  if (next < cur) {
+    // Descend only once usage clears the current rung's threshold by the
+    // hysteresis margin; otherwise hold. A component oscillating right at
+    // a threshold must not flap the ladder.
+    if (frac >= Threshold(cur) - kHysteresis) return;
+  }
+  PublishRung(next);
+}
+
+void ResourceBudget::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  limit_.store(0, std::memory_order_relaxed);
+  used_.store(0, std::memory_order_relaxed);
+  Metrics().limit_bytes->Set(0.0);
+  Metrics().used_bytes->Set(0.0);
+  PublishRung(DegradationRung::kNone);
+}
+
+}  // namespace cfgtag::core::resilience

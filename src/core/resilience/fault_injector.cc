@@ -1,0 +1,256 @@
+#include "core/resilience/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/events.h"
+
+namespace cfgtag::core::resilience {
+
+std::atomic<int> FaultInjector::armed_state_{-1};
+
+namespace {
+
+// Defaults when a spec entry omits arg_ms.
+constexpr uint32_t kDefaultStallMs = 5;
+constexpr uint32_t kDefaultSkewMs = 1000;
+
+obs::Counter* TotalCounter() {
+  static obs::Counter* const kCounter =
+      obs::MetricsRegistry::Default().GetCounter(
+          "cfgtag_faults_injected_total",
+          "Faults fired by the FaultInjector across all sites");
+  return kCounter;
+}
+
+}  // namespace
+
+const std::vector<FaultInjector::SiteInfo>& FaultInjector::SiteCatalog() {
+  static const std::vector<SiteInfo>* const kCatalog =
+      new std::vector<SiteInfo>{
+          {"artifact.open", FaultKind::kError,
+           "artifact::LoadFromFile open(2)"},
+          {"artifact.fstat", FaultKind::kError,
+           "artifact::LoadFromFile fstat(2) / size re-verify"},
+          {"artifact.mmap", FaultKind::kError,
+           "artifact::LoadFromFile mmap(2) (falls back to copied load)"},
+          {"artifact.read", FaultKind::kError,
+           "artifact::LoadFromFileCopied read(2) loop"},
+          {"artifact.store", FaultKind::kError,
+           "artifact::AtomicWriteFile (compile-cache store)"},
+          {"budget.charge", FaultKind::kError,
+           "ResourceBudget::TryCharge admission"},
+          {"dfa.intern", FaultKind::kError,
+           "LazyDfaSession transition-cache growth (sheds to fused)"},
+          {"scan.chunk", FaultKind::kStall,
+           "CompiledTagger::TagWithControl chunk boundary"},
+          {"engine.shard", FaultKind::kStall,
+           "ScanEngine worker before a shard scan"},
+          {"deadline.clock", FaultKind::kClockSkew,
+           "Deadline::expired clock read"},
+      };
+  return *kCatalog;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* const kInstance = [] {
+    auto* fi = new FaultInjector;
+    if (const char* env = std::getenv("CFGTAG_FAULTS")) {
+      const Status armed = fi->ArmFromSpec(env);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "CFGTAG_FAULTS ignored: %s\n",
+                     armed.ToString().c_str());
+      }
+    }
+    return fi;
+  }();
+  return *kInstance;
+}
+
+bool FaultInjector::InitArmed() {
+  Instance();  // parses CFGTAG_FAULTS; Arm() flips the state to 1
+  int expected = -1;
+  armed_state_.compare_exchange_strong(expected, 0,
+                                       std::memory_order_relaxed);
+  return armed_state_.load(std::memory_order_relaxed) > 0;
+}
+
+Status FaultInjector::Arm(std::string_view site, uint32_t period,
+                          uint32_t arg_ms) {
+  const SiteInfo* info = nullptr;
+  for (const SiteInfo& s : SiteCatalog()) {
+    if (site == s.name) {
+      info = &s;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    std::string known;
+    for (const SiteInfo& s : SiteCatalog()) {
+      if (!known.empty()) known += ", ";
+      known += s.name;
+    }
+    return InvalidArgumentError("unknown fault site '" + std::string(site) +
+                                "' (known: " + known + ")");
+  }
+  if (period == 0) {
+    return InvalidArgumentError("fault site '" + std::string(site) +
+                                "': period must be >= 1");
+  }
+  if (arg_ms == 0) {
+    arg_ms = info->kind == FaultKind::kStall    ? kDefaultStallMs
+             : info->kind == FaultKind::kClockSkew ? kDefaultSkewMs
+                                                   : 0;
+  }
+  Site armed;
+  armed.kind = info->kind;
+  armed.period = period;
+  armed.arg_ms = arg_ms;
+  armed.counter = obs::MetricsRegistry::Default().GetCounter(
+      std::string("cfgtag_faults_injected_total{site=\"") +
+          std::string(site) + "\"}",
+      "Faults fired at this site");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& slot = sites_[std::string(site)];
+    const uint64_t hits = slot.hits, fired = slot.fired;
+    slot = armed;
+    slot.hits = hits;
+    slot.fired = fired;
+  }
+  armed_state_.store(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec) {
+  struct Entry {
+    std::string site;
+    uint32_t period = 1;
+    uint32_t arg_ms = 0;
+  };
+  std::vector<Entry> entries;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding spaces.
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item.empty()) continue;
+    Entry e;
+    const size_t c1 = item.find(':');
+    e.site = std::string(item.substr(0, c1));
+    auto parse_u32 = [](std::string_view v, uint32_t* out) {
+      if (v.empty() || v.size() > 9) return false;
+      uint32_t n = 0;
+      for (char c : v) {
+        if (c < '0' || c > '9') return false;
+        n = n * 10 + static_cast<uint32_t>(c - '0');
+      }
+      *out = n;
+      return true;
+    };
+    if (c1 != std::string_view::npos) {
+      std::string_view rest = item.substr(c1 + 1);
+      const size_t c2 = rest.find(':');
+      std::string_view period_s = rest.substr(0, c2);
+      if (!parse_u32(period_s, &e.period) || e.period == 0) {
+        return InvalidArgumentError("fault spec '" + std::string(item) +
+                                    "': bad period");
+      }
+      if (c2 != std::string_view::npos) {
+        if (!parse_u32(rest.substr(c2 + 1), &e.arg_ms)) {
+          return InvalidArgumentError("fault spec '" + std::string(item) +
+                                      "': bad arg_ms");
+        }
+      }
+    }
+    entries.push_back(std::move(e));
+  }
+  if (entries.empty()) {
+    return InvalidArgumentError("empty fault spec");
+  }
+  // Validate everything before arming anything: a half-armed spec is
+  // harder to reason about than a rejected one.
+  for (const Entry& e : entries) {
+    bool known = false;
+    for (const SiteInfo& s : SiteCatalog()) {
+      if (e.site == s.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Arm(e.site, e.period, e.arg_ms);  // produces the catalog error
+    }
+  }
+  for (const Entry& e : entries) {
+    CFGTAG_RETURN_IF_ERROR(Arm(e.site, e.period, e.arg_ms));
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::DisarmAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.clear();
+  }
+  armed_state_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected_at(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+bool FaultInjector::Evaluate(const char* site, FaultKind kind,
+                             uint32_t* arg_ms) {
+  obs::Counter* counter = nullptr;
+  uint64_t hits = 0;
+  uint32_t period = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end() || it->second.kind != kind) return false;
+    Site& s = it->second;
+    hits = ++s.hits;
+    period = s.period;
+    if (hits % period != 0) return false;
+    ++s.fired;
+    *arg_ms = s.arg_ms;
+    counter = s.counter;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  TotalCounter()->Increment();
+  if (counter != nullptr) counter->Increment();
+  obs::RecordEvent(obs::EventKind::kFaultInjected,
+                   static_cast<int64_t>(hits),
+                   static_cast<int64_t>(period), site);
+  return true;
+}
+
+bool FaultInjector::ShouldFailSlow(const char* site) {
+  uint32_t arg_ms = 0;
+  return Evaluate(site, FaultKind::kError, &arg_ms);
+}
+
+void FaultInjector::MaybeStallSlow(const char* site) {
+  uint32_t arg_ms = 0;
+  if (Evaluate(site, FaultKind::kStall, &arg_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(arg_ms));
+  }
+}
+
+std::chrono::nanoseconds FaultInjector::ClockSkewSlow(const char* site) {
+  uint32_t arg_ms = 0;
+  if (Evaluate(site, FaultKind::kClockSkew, &arg_ms)) {
+    return std::chrono::milliseconds(arg_ms);
+  }
+  return std::chrono::nanoseconds(0);
+}
+
+}  // namespace cfgtag::core::resilience

@@ -1,0 +1,142 @@
+#ifndef CFGTAG_CORE_RESILIENCE_FAULT_INJECTOR_H_
+#define CFGTAG_CORE_RESILIENCE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cfgtag::core::resilience {
+
+// Deterministic fault injection for the scan pipeline, compiled in always.
+// Call sites are named hooks ("artifact.mmap", "scan.chunk", ...) baked
+// into the production code; each site has an intrinsic fault kind — an
+// operation that must fail, a worker that must stall, or a clock that must
+// skew. Nothing fires until a site is armed, either programmatically
+// (Arm/ArmFromSpec) or through the CFGTAG_FAULTS environment variable,
+// read once on first use.
+//
+// Spec syntax (env var and ArmFromSpec): comma-separated entries
+//
+//   site[:period[:arg_ms]]
+//
+// `period` fires the fault on every period-th evaluation of the site
+// (default 1 = every time); `arg_ms` is the stall duration for kStall
+// sites and the forward clock skew for kClockSkew sites (milliseconds;
+// error sites ignore it). Example:
+//
+//   CFGTAG_FAULTS="artifact.mmap,scan.chunk:3:5,deadline.clock:1:1000"
+//
+// Disarmed cost: the production hooks reduce to one relaxed atomic load
+// and a predictable branch — no lock, no map lookup, no string hashing —
+// so the layer can stay compiled into release binaries.
+class FaultInjector {
+ public:
+  enum class FaultKind {
+    kError,      // the guarded operation reports failure
+    kStall,      // the calling thread sleeps for arg_ms
+    kClockSkew,  // observed clocks jump forward by arg_ms
+  };
+
+  // One row of the compiled-in site catalog (see SiteCatalog()).
+  struct SiteInfo {
+    const char* name;
+    FaultKind kind;
+    const char* where;  // the instrumented operation, for docs/errors
+  };
+
+  // The process-wide injector. First use parses CFGTAG_FAULTS (a malformed
+  // spec is reported on stderr and ignored — a typo must not turn into
+  // silent chaos in production).
+  static FaultInjector& Instance();
+
+  // True when at least one site is armed. This is the fast-path guard the
+  // inline hooks below check before doing anything else.
+  static bool AnyArmed() {
+    const int s = armed_state_.load(std::memory_order_relaxed);
+    if (s >= 0) return s > 0;
+    return InitArmed();
+  }
+
+  // --- Production hooks ---------------------------------------------------
+
+  // kError sites: true = the caller must fail the guarded operation.
+  static bool ShouldFail(const char* site) {
+    if (!AnyArmed()) return false;
+    return Instance().ShouldFailSlow(site);
+  }
+
+  // kStall sites: sleeps the calling thread when the site fires.
+  static void MaybeStall(const char* site) {
+    if (!AnyArmed()) return;
+    Instance().MaybeStallSlow(site);
+  }
+
+  // kClockSkew sites: nanoseconds to add to the observed monotonic clock.
+  static std::chrono::nanoseconds ClockSkew(const char* site) {
+    if (!AnyArmed()) return std::chrono::nanoseconds(0);
+    return Instance().ClockSkewSlow(site);
+  }
+
+  // --- Arming -------------------------------------------------------------
+
+  // Arms one catalog site. `period` >= 1 fires every period-th evaluation;
+  // `arg_ms` is the stall/skew magnitude (0 picks the kind's default).
+  // Unknown sites are rejected — a misspelled site is a dead test.
+  Status Arm(std::string_view site, uint32_t period = 1, uint32_t arg_ms = 0);
+
+  // Parses and arms a full spec (see the syntax above). Partial arming on
+  // error is avoided: the spec is validated before any site arms.
+  Status ArmFromSpec(std::string_view spec);
+
+  // Disarms every site and restores the zero-cost fast path.
+  void DisarmAll();
+
+  // Total faults fired since process start / per site (0 if never armed).
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_at(std::string_view site) const;
+
+  // The compiled-in site catalog, for docs, --help and spec validation.
+  static const std::vector<SiteInfo>& SiteCatalog();
+
+ private:
+  struct Site {
+    FaultKind kind = FaultKind::kError;
+    uint32_t period = 1;
+    uint32_t arg_ms = 0;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+    obs::Counter* counter = nullptr;  // cfgtag_faults_injected_total{site=}
+  };
+
+  FaultInjector() = default;
+  static bool InitArmed();
+
+  bool ShouldFailSlow(const char* site);
+  void MaybeStallSlow(const char* site);
+  std::chrono::nanoseconds ClockSkewSlow(const char* site);
+
+  // Evaluates `site` under mu_: counts the hit and reports whether it
+  // fires this time (and with what magnitude).
+  bool Evaluate(const char* site, FaultKind kind, uint32_t* arg_ms);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  std::atomic<uint64_t> injected_{0};
+
+  // -1 = CFGTAG_FAULTS not yet consulted, 0 = disarmed, 1 = armed.
+  static std::atomic<int> armed_state_;
+};
+
+}  // namespace cfgtag::core::resilience
+
+#endif  // CFGTAG_CORE_RESILIENCE_FAULT_INJECTOR_H_

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <ostream>
 
+#include "core/resilience/budget.h"
 #include "grammar/canonical.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/optimize.h"
@@ -178,6 +180,15 @@ StatusOr<CompiledTagger> CompiledTagger::LoadArtifact(
   return AdoptLoaded(std::move(loaded));
 }
 
+StatusOr<CompiledTagger> CompiledTagger::LoadArtifactCopied(
+    const std::string& path) {
+  const auto& am = tagger::artifact::ArtifactMetrics::Get();
+  obs::ScopedTimer timer(am.load_seconds);
+  CFGTAG_ASSIGN_OR_RETURN(auto loaded,
+                          tagger::artifact::LoadFromFileCopied(path));
+  return AdoptLoaded(std::move(loaded));
+}
+
 StatusOr<CompiledTagger> CompiledTagger::CompileCached(
     grammar::Grammar grammar, const hwgen::HwOptions& options,
     const std::string& cache_dir) {
@@ -212,9 +223,17 @@ StatusOr<CompiledTagger> CompiledTagger::CompileCached(
                           Compile(std::move(grammar), opts));
   auto bytes = out.SerializeWithHashes(ghash, ohash);
   if (bytes.ok()) {
-    // Best effort: a failed store (read-only dir, disk full) degrades to
-    // an uncached compile, never to an error.
-    (void)art::AtomicWriteFile(path, bytes.value());
+    if (resilience::ResourceBudget::Process().ArtifactCacheReadOnly()) {
+      // Top rung of the degradation ladder: the compile still succeeds,
+      // but the cache stops accumulating new entries on disk.
+      obs::RecordEvent(obs::EventKind::kDegradedMode, 1,
+                       static_cast<int64_t>(bytes.value().size()),
+                       "artifact_cache store skipped (read-only)");
+    } else {
+      // Best effort: a failed store (read-only dir, disk full) degrades
+      // to an uncached compile, never to an error.
+      (void)art::AtomicWriteFile(path, bytes.value());
+    }
   }
   return out;
 }
@@ -328,6 +347,75 @@ void CompiledTagger::Tag(std::string_view input,
   bm.calls->Increment();
   bm.bytes->Increment(input.size());
   bm.scan_bytes->Observe(static_cast<double>(input.size()));
+}
+
+Status CompiledTagger::TagWithControl(std::string_view input,
+                                      const tagger::TagSink& sink,
+                                      const resilience::ScanControl& control,
+                                      std::atomic<uint64_t>* progress,
+                                      uint64_t* consumed) const {
+  const TagMetrics& metrics = TagMetrics::Get();
+  obs::ScopedTimer timer(metrics.latency);
+  static const std::string& kPadding =
+      *new std::string(kFlushPadding + 1, kFlushByte);
+  const size_t scan_end = input.size() + kFlushPadding;
+  uint64_t emitted = 0;
+  const tagger::TagSink gated = [&](const tagger::Tag& t) {
+    if (t.end >= scan_end) return true;
+    ++emitted;
+    return sink(t);
+  };
+  const size_t step = control.check_interval_bytes == 0
+                          ? input.size() + 1
+                          : control.check_interval_bytes;
+  size_t fed = 0;
+  Status trip = Status::Ok();
+  // Pooled sessions tolerate being returned half-fed (Acquire resets), so
+  // an early trip just abandons the session — no padding, no Finish, and
+  // a tag still open at the stop point is never reported.
+  const auto run = [&](auto* session) {
+    while (fed < input.size()) {
+      trip = control.Check();
+      if (!trip.ok()) return;
+      resilience::FaultInjector::MaybeStall("scan.chunk");
+      const size_t n = std::min(step, input.size() - fed);
+      session->Feed(input.substr(fed, n), gated);
+      fed += n;
+      if (progress != nullptr) {
+        progress->store(fed, std::memory_order_relaxed);
+      }
+    }
+    trip = control.Check();
+    if (!trip.ok()) return;
+    session->Feed(kPadding, gated);
+    session->Finish(gated);
+  };
+  if (lazy_ != nullptr) {
+    tagger::LazyDfaSessionPool::Handle session =
+        lazy_->session_pool().Acquire(lazy_.get());
+    run(session.get());
+  } else if (fused_ != nullptr) {
+    tagger::FusedSessionPool::Handle session =
+        fused_->session_pool().Acquire(fused_.get());
+    run(session.get());
+  } else {
+    tagger::SessionPool::Handle session =
+        model_->session_pool().Acquire(model_.get());
+    run(session.get());
+  }
+  metrics.calls->Increment();
+  metrics.bytes->Increment(fed);
+  metrics.tags->Increment(emitted);
+  const BackendMetrics& bm =
+      metrics.backend[lazy_ != nullptr ? 2 : (fused_ != nullptr ? 1 : 0)];
+  bm.calls->Increment();
+  bm.bytes->Increment(fed);
+  bm.scan_bytes->Observe(static_cast<double>(fed));
+  if (consumed != nullptr) *consumed = fed;
+  if (!trip.ok()) {
+    resilience::CountControlTrip(trip, fed, input.size(), "core.Tag");
+  }
+  return trip;
 }
 
 StatusOr<std::vector<tagger::Tag>> CompiledTagger::TagCycleAccurate(

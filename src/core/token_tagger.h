@@ -1,6 +1,8 @@
 #ifndef CFGTAG_CORE_TOKEN_TAGGER_H_
 #define CFGTAG_CORE_TOKEN_TAGGER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/resilience/deadline.h"
 #include "grammar/grammar.h"
 #include "hwgen/tagger_gen.h"
 #include "rtl/device.h"
@@ -71,6 +74,9 @@ class CompiledTagger {
   // has_hardware() is false and the netlist/report methods return errors.
   static StatusOr<CompiledTagger> Deserialize(std::string_view bytes);
   static StatusOr<CompiledTagger> LoadArtifact(const std::string& path);
+  // Like LoadArtifact but via artifact::LoadFromFileCopied: no mapping,
+  // so immune to SIGBUS from concurrent in-place truncation of the file.
+  static StatusOr<CompiledTagger> LoadArtifactCopied(const std::string& path);
 
   // Content-addressed compile cache under `cache_dir`, keyed by
   // (grammar::CanonicalHash, artifact::OptionsHash) — pure content, so
@@ -116,6 +122,23 @@ class CompiledTagger {
   // Fast software tagging via the bit-parallel functional model.
   std::vector<tagger::Tag> Tag(std::string_view input) const;
   void Tag(std::string_view input, const tagger::TagSink& sink) const;
+
+  // Controlled tagging: the same tag stream as Tag(), but the input is
+  // fed in control.check_interval_bytes chunks with a deadline/cancel
+  // check (and the scan.chunk fault site) at each boundary — the byte-
+  // stepping hot loops are untouched. On a trip the scan stops at the
+  // last chunk boundary and returns kDeadlineExceeded / kCancelled; every
+  // tag already emitted to `sink` is valid for the consumed prefix (a tag
+  // still open at the stop point is simply not reported, exactly as if
+  // the stream had ended there without its flush). The trip is counted
+  // (cfgtag_deadline_exceeded_total / cfgtag_scan_cancelled_total) and
+  // flight-recorded once, here. `progress`, when set, is advanced to the
+  // consumed byte count after every chunk (the scan-engine watchdog's
+  // heartbeat); `consumed` receives the final count.
+  Status TagWithControl(std::string_view input, const tagger::TagSink& sink,
+                        const resilience::ScanControl& control,
+                        std::atomic<uint64_t>* progress = nullptr,
+                        uint64_t* consumed = nullptr) const;
 
   // Cycle-accurate tagging: simulates the generated netlist gate by gate
   // and decodes the per-token match registers. Bit-identical to Tag() —

@@ -5,7 +5,10 @@
 #include <string_view>
 #include <vector>
 
+#include <atomic>
+
 #include "common/status.h"
+#include "core/resilience/deadline.h"
 #include "core/token_tagger.h"
 #include "tagger/naive_matcher.h"
 
@@ -66,6 +69,18 @@ class ContextFilter {
   std::vector<Alert> Scan(std::string_view stream,
                           ScanStats* stats = nullptr) const;
 
+  // Controlled scan: identical alerts to Scan() when the control never
+  // trips; on kDeadlineExceeded / kCancelled, *alerts holds every alert
+  // for the consumed prefix (context-bound alerts from the tags seen so
+  // far, plus the context-free rules run over exactly that prefix), still
+  // in stream order — a partial result with a precise meaning, not a
+  // truncated one. `progress` is advanced past every fed chunk (the scan
+  // engine watchdog's heartbeat).
+  Status Scan(std::string_view stream,
+              const core::resilience::ScanControl& control,
+              std::vector<Alert>* alerts, ScanStats* stats = nullptr,
+              std::atomic<uint64_t>* progress = nullptr) const;
+
   // Only the context-free rules (empty context_token), applied over the
   // whole stream — the same set Scan()'s global pass raises, without the
   // tagger running.
@@ -95,6 +110,24 @@ class ContextFilter {
         token_has_rules_(std::move(token_has_rules)),
         is_global_(std::move(is_global)),
         global_rules_(std::move(global_rules)) {}
+
+  // Span-recovery state threaded through the tag stream (see Scan()).
+  struct TagScanState {
+    uint64_t prev_end = 0;
+    uint64_t prev_begin = 0;
+    bool any_tag = false;
+  };
+  // Handles one arriving tag: recovers its context span and matches the
+  // bound rules over it. Shared verbatim by the fast and controlled scan
+  // paths so their alert streams cannot drift apart.
+  void OnTag(std::string_view stream, const tagger::Tag& tag,
+             TagScanState* st, std::vector<Alert>* alerts,
+             ScanStats* local) const;
+  // Context-free pass over `global_view`, stream-order sort, alert
+  // events/attribution, and the registry/stats accounting epilogue.
+  void FinalizeAlerts(std::string_view global_view,
+                      std::vector<Alert>* alerts, ScanStats* local,
+                      ScanStats* stats) const;
 
   std::vector<Rule> rules_;
   core::CompiledTagger tagger_;

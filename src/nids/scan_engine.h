@@ -1,10 +1,13 @@
 #ifndef CFGTAG_NIDS_SCAN_ENGINE_H_
 #define CFGTAG_NIDS_SCAN_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <string_view>
 #include <vector>
 
+#include "core/resilience/deadline.h"
 #include "core/worker_pool.h"
 #include "nids/context_filter.h"
 
@@ -33,6 +36,17 @@ struct ScanEngineOptions {
   // is flight-recorded as a kSlowShard event, tagged with the unit's
   // correlation id so its alerts can be tied back to it. <= 0 disables.
   double slow_shard_seconds = 0.25;
+  // Controlled scans only: a *running* unit that makes no byte progress
+  // for this long is declared stuck by the engine watchdog — the event is
+  // recorded, every sibling shard is cancelled (via an internal child
+  // token, never the caller's), and the batch fails with context naming
+  // the shard, instead of the join blocking forever. Queued-but-unstarted
+  // units are never flagged. Detection is cooperative: a shard wedged
+  // *inside* one chunk is detected on time but the batch only completes
+  // once that shard's thread yields back to a chunk boundary (or its
+  // stall ends). <= 0 disables the watchdog. The uncontrolled ScanBatch/
+  // ScanStream never run one.
+  double stuck_shard_seconds = 5.0;
 };
 
 // One stream's scan outcome: its alerts (stream-order, offsets absolute
@@ -64,6 +78,17 @@ class ScanEngine {
   std::vector<StreamResult> ScanBatch(
       const std::vector<std::string_view>& streams) const;
 
+  // Controlled batch scan: the deadline/cancel bundle is threaded into
+  // every worker's filter scan (checked at chunk boundaries), and the
+  // stuck-shard watchdog runs when enabled. On error, *results still
+  // holds each stream's partial result (alerts valid for that stream's
+  // consumed prefix) and the status context names every failing shard,
+  // e.g. "ScanBatch: shard 1 DEADLINE_EXCEEDED; shard 3 INTERNAL"; one
+  // kShardFailed flight-recorder event is recorded per failing shard.
+  Status ScanBatch(const std::vector<std::string_view>& streams,
+                   const core::resilience::ScanControl& control,
+                   std::vector<StreamResult>* results) const;
+
   // Scans one large stream, sharding it at record boundaries (see
   // ScanEngineOptions::record_delimiters) when the filter's tagger runs
   // in resync arm mode — the mode in which a fresh tagger after a record
@@ -72,10 +97,30 @@ class ScanEngine {
   // delimiters all fall back to one sequential Scan().
   StreamResult ScanStream(std::string_view stream) const;
 
+  // Controlled single-stream scan, sharded under the same rules. On error
+  // *result holds the merged partial alerts of every shard's consumed
+  // prefix (offsets rebased to the full stream) and the status context
+  // names the failing shards.
+  Status ScanStream(std::string_view stream,
+                    const core::resilience::ScanControl& control,
+                    StreamResult* result) const;
+
   int num_threads() const { return pool_.num_threads(); }
   const ContextFilter& filter() const { return *filter_; }
 
  private:
+  // One controlled work unit: scan index i under the effective control,
+  // heart-beating the progress atomic. Returns the unit's scan status.
+  using ControlledUnit = std::function<Status(
+      size_t, const core::resilience::ScanControl&, std::atomic<uint64_t>*)>;
+
+  // Fans n units across the pool under `control` plus an internal child
+  // cancel token, runs the stuck-shard watchdog when configured, and
+  // aggregates per-unit statuses into one error naming every failing
+  // unit. `what` labels the operation in statuses and events.
+  Status RunControlled(size_t n, const core::resilience::ScanControl& control,
+                       const ControlledUnit& unit, const char* what) const;
+
   const ContextFilter* filter_;
   ScanEngineOptions options_;
   mutable core::WorkerPool pool_;

@@ -87,6 +87,20 @@ const char* EventKindName(EventKind kind) {
       return "session_pool_drop";
     case EventKind::kCustom:
       return "custom";
+    case EventKind::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case EventKind::kScanCancelled:
+      return "scan_cancelled";
+    case EventKind::kBudgetPressure:
+      return "budget_pressure";
+    case EventKind::kDegradedMode:
+      return "degraded_mode";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kStuckShard:
+      return "stuck_shard";
+    case EventKind::kShardFailed:
+      return "shard_failed";
   }
   return "unknown";
 }

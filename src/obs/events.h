@@ -21,6 +21,13 @@ enum class EventKind : uint16_t {
   kSlowShard = 4,       // a ScanEngine shard/stream exceeded the slow bound
   kSessionPoolDrop = 5, // session pool freed scratch at the retention cap
   kCustom = 6,
+  kDeadlineExceeded = 7,  // a controlled scan aborted at its deadline
+  kScanCancelled = 8,     // a controlled scan observed its CancelToken
+  kBudgetPressure = 9,    // process budget climbed a degradation rung
+  kDegradedMode = 10,     // a component entered/left a degraded rung
+  kFaultInjected = 11,    // FaultInjector fired at an armed site
+  kStuckShard = 12,       // watchdog: a running shard stopped progressing
+  kShardFailed = 13,      // a ScanEngine shard finished with an error
 };
 
 const char* EventKindName(EventKind kind);

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/resilience/fault_injector.h"
+
 namespace cfgtag::tagger::artifact {
 namespace {
 
@@ -29,6 +31,9 @@ std::string CachePath(const std::string& dir, uint64_t grammar_hash,
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  if (core::resilience::FaultInjector::ShouldFail("artifact.store")) {
+    return InternalError("artifact: store failed (fault injected) " + path);
+  }
   // Temp file in the same directory so the rename stays within one
   // filesystem (rename across devices is a copy, not atomic).
   std::string tmp = path + ".tmp." + std::to_string(::getpid());

@@ -1,6 +1,7 @@
 #include "tagger/artifact/loader.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -10,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/resilience/budget.h"
+#include "core/resilience/fault_injector.h"
 #include "regex/regex_parser.h"
 #include "tagger/dfa_state.h"
 
@@ -508,13 +511,26 @@ StatusOr<LoadedTagger> LoadFromMemory(std::string_view bytes) {
                       bytes.size());
 }
 
-StatusOr<LoadedTagger> LoadFromFile(const std::string& path) {
+namespace {
+
+namespace res = cfgtag::core::resilience;
+
+// Opens `path` and charges its size against the process budget. On success
+// *fd_out is an open descriptor (with a best-effort shared flock for the
+// mmap path) and *size_out the fstat'd size; the caller owns releasing the
+// budget charge and closing the descriptor.
+Status OpenAndCharge(const std::string& path, bool lock, int* fd_out,
+                     size_t* size_out) {
+  if (res::FaultInjector::ShouldFail("artifact.open")) {
+    return InternalError("artifact: open failed (fault injected) " + path);
+  }
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return NotFoundError("artifact: cannot open " + path);
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+  if (res::FaultInjector::ShouldFail("artifact.fstat") ||
+      ::fstat(fd, &st) != 0 || st.st_size < 0) {
     ::close(fd);
     return InternalError("artifact: cannot stat " + path);
   }
@@ -523,33 +539,106 @@ StatusOr<LoadedTagger> LoadFromFile(const std::string& path) {
     ::close(fd);
     return InvalidArgumentError("artifact: empty file " + path);
   }
-  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference
-  if (map != MAP_FAILED) {
-    std::shared_ptr<const void> owner(
-        map, [size](void* p) { ::munmap(p, size); });
-    const char* data = static_cast<const char*>(map);
-    return Loader::Load(std::move(owner), data, size);
+  if (lock) {
+    // Best-effort shared lock, held for the mapping's lifetime: a
+    // cooperating writer that takes LOCK_EX before truncating in place
+    // cannot pull pages out from under a live mapping. Non-blocking and
+    // advisory — failure (NFS, contention) just means no extra guard.
+    (void)::flock(fd, LOCK_SH | LOCK_NB);
   }
-  // mmap unavailable (exotic filesystem): fall back to one aligned read.
+  const Status charged =
+      res::ResourceBudget::Process().TryCharge(size, "artifact");
+  if (!charged.ok()) {
+    ::close(fd);
+    return charged.WithContext("artifact: load " + path);
+  }
+  *fd_out = fd;
+  *size_out = size;
+  return Status::Ok();
+}
+
+// Reads the whole artifact into 8-aligned owned storage via pread(2) and
+// binds from the copy. The caller has already charged `size`; the returned
+// tagger's backing releases it. Closes `fd` before returning either way.
+StatusOr<LoadedTagger> LoadCopiedFromFd(int fd, size_t size,
+                                        const std::string& path) {
   auto copy = std::make_shared<std::vector<uint64_t>>((size + 7) / 8);
-  const int rfd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (rfd < 0) {
-    return NotFoundError("artifact: cannot open " + path);
-  }
-  size_t got = 0;
   char* dst = reinterpret_cast<char*>(copy->data());
+  size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::read(rfd, dst + got, size - got);
+    if (res::FaultInjector::ShouldFail("artifact.read")) {
+      ::close(fd);
+      res::ResourceBudget::Process().Release(size);
+      return InternalError("artifact: read failed (fault injected) " + path);
+    }
+    const ssize_t n = ::pread(fd, dst + got, size - got,
+                              static_cast<off_t>(got));
     if (n <= 0) {
-      ::close(rfd);
+      // A shrunken file surfaces here as a short read — a clean typed
+      // error, never a SIGBUS, which is the whole point of this path.
+      ::close(fd);
+      res::ResourceBudget::Process().Release(size);
       return InternalError("artifact: short read on " + path);
     }
     got += static_cast<size_t>(n);
   }
-  ::close(rfd);
-  return Loader::Load(std::shared_ptr<const void>(copy, copy->data()), dst,
-                      size);
+  ::close(fd);
+  std::shared_ptr<const void> owner(
+      static_cast<const void*>(copy->data()),
+      [copy, size](const void*) mutable {
+        res::ResourceBudget::Process().Release(size);
+        copy.reset();
+      });
+  return Loader::Load(std::move(owner), dst, size);
+}
+
+}  // namespace
+
+StatusOr<LoadedTagger> LoadFromFile(const std::string& path) {
+  int fd = -1;
+  size_t size = 0;
+  CFGTAG_RETURN_IF_ERROR(OpenAndCharge(path, /*lock=*/true, &fd, &size));
+  void* map = MAP_FAILED;
+  if (!res::FaultInjector::ShouldFail("artifact.mmap")) {
+    map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+  if (map != MAP_FAILED) {
+    // Re-verify the size on the same fd after mapping: a file truncated
+    // between open and mmap would pass every header check (the early pages
+    // may still be resident) and SIGBUS only later, on first fault-in of
+    // the missing tail. Rejecting the shrink here turns that crash into a
+    // typed error. A shrink after this point is covered by the advisory
+    // flock for cooperating writers; see the SIGBUS contract in loader.h.
+    struct stat st2;
+    if (res::FaultInjector::ShouldFail("artifact.fstat") ||
+        ::fstat(fd, &st2) != 0 ||
+        static_cast<uint64_t>(st2.st_size) < size) {
+      ::munmap(map, size);
+      ::close(fd);
+      res::ResourceBudget::Process().Release(size);
+      return FailedPreconditionError(
+          "artifact: file shrank after open (concurrent truncation?): " +
+          path);
+    }
+    // The deleter owns the mapping, the budget charge, and the locked fd —
+    // closing the fd last drops the flock only once no view can fault.
+    std::shared_ptr<const void> owner(map, [size, fd](void* p) {
+      ::munmap(p, size);
+      res::ResourceBudget::Process().Release(size);
+      ::close(fd);
+    });
+    const char* data = static_cast<const char*>(map);
+    return Loader::Load(std::move(owner), data, size);
+  }
+  // mmap unavailable (exotic filesystem) or fault-forced: aligned copy.
+  return LoadCopiedFromFd(fd, size, path);
+}
+
+StatusOr<LoadedTagger> LoadFromFileCopied(const std::string& path) {
+  int fd = -1;
+  size_t size = 0;
+  CFGTAG_RETURN_IF_ERROR(OpenAndCharge(path, /*lock=*/false, &fd, &size));
+  return LoadCopiedFromFd(fd, size, path);
 }
 
 }  // namespace cfgtag::tagger::artifact

@@ -46,7 +46,30 @@ StatusOr<LoadedTagger> LoadFromMemory(std::string_view bytes);
 // against each other, so a truncated, corrupt, or crafted file is
 // rejected with a typed error — InvalidArgument for malformed structure,
 // OutOfRange for out-of-bounds offsets — never loaded.
+//
+// SIGBUS contract. A mapping over a file that later *shrinks* faults on
+// access to the vanished tail — no userspace check can fully prevent it.
+// The load narrows the window to near zero: the size is re-fstat'd on the
+// same descriptor after mmap (a shrink between open and map is rejected
+// as FailedPrecondition), and a shared flock(2) is held for the mapping's
+// lifetime so cooperating writers (anything taking LOCK_EX before an
+// in-place truncate) block until the last view is gone. Writers that
+// replace artifacts atomically (write temp + rename, as AtomicWriteFile
+// does) never trigger the hazard at all — the mapping keeps the old
+// inode. Against a hostile or non-cooperating in-place truncator, use
+// LoadFromFileCopied. The artifact's size is charged against
+// core::resilience::ResourceBudget::Process() for the backing's lifetime;
+// a load that would exceed the configured ceiling fails with
+// ResourceExhausted instead of mapping.
 StatusOr<LoadedTagger> LoadFromFile(const std::string& path);
+
+// Like LoadFromFile but never maps: the artifact is pread(2) into owned
+// aligned memory and validated from the copy. Immune to SIGBUS from
+// concurrent truncation by construction (a shrink mid-read surfaces as a
+// short-read error), at the cost of one up-front copy and no page-cache
+// sharing across processes. The escape hatch for artifacts on media that
+// other processes may truncate in place.
+StatusOr<LoadedTagger> LoadFromFileCopied(const std::string& path);
 
 }  // namespace cfgtag::tagger::artifact
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/resilience/fault_injector.h"
 #include "obs/attribution.h"
 #include "obs/events.h"
 
@@ -104,6 +105,7 @@ void LazyDfaSession::ClearCache() {
   emit_pool_.clear();
   index_.clear();
   cache_bytes_ = 0;
+  budget_.ReleaseAll();
 }
 
 void LazyDfaSession::Reset() {
@@ -188,9 +190,12 @@ int32_t LazyDfaSession::InternState(const std::vector<WordBits>& state,
   states_.push_back(info);
   trans_.resize(trans_.size() + num_classes_);
   index_.emplace(h, local);
-  cache_bytes_ += sizeof(DfaStateInfo) + num_classes_ * sizeof(DfaTrans) +
-                  (state.size() + armed.size()) * sizeof(WordBits) +
-                  kIndexNodeBytes;
+  const size_t charged = sizeof(DfaStateInfo) +
+                         num_classes_ * sizeof(DfaTrans) +
+                         (state.size() + armed.size()) * sizeof(WordBits) +
+                         kIndexNodeBytes;
+  cache_bytes_ += charged;
+  budget_.Add(charged);
   DfaCacheMetrics::Get().states->Increment();
   return num_aot_ + local;
 }
@@ -281,6 +286,14 @@ void LazyDfaSession::Flush() {
 }
 
 DfaTrans LazyDfaSession::BuildTransition(uint8_t cls) {
+  // The miss path is the only place the cache grows, so it is where
+  // budget pressure (and the dfa.intern fault site) sheds the session to
+  // fused stepping. The steady-state hit path never reaches here.
+  if (core::resilience::ResourceBudget::Process().ShouldShedDfa() ||
+      core::resilience::FaultInjector::ShouldFail("dfa.intern")) {
+    EnterFallback();
+    return DfaTrans{};
+  }
   if (cache_bytes_ > tagger_->options().dfa_cache_bytes) {
     Flush();
     if (fallback_) return DfaTrans{};
@@ -324,11 +337,13 @@ DfaTrans LazyDfaSession::BuildTransition(uint8_t cls) {
   tr.emit_count = static_cast<uint32_t>(tmp_emit_.size());
   emit_pool_.insert(emit_pool_.end(), tmp_emit_.begin(), tmp_emit_.end());
   cache_bytes_ += tmp_emit_.size() * sizeof(int32_t);
+  budget_.Add(tmp_emit_.size() * sizeof(int32_t));
   if (state_ < num_aot_) {
     // Baked rows are shared and immutable; runtime-built overflow out of a
     // baked state lives in the session's private overlay.
     overlay_[static_cast<uint64_t>(state_) * num_classes_ + cls] = tr;
     cache_bytes_ += kIndexNodeBytes + sizeof(DfaTrans);
+    budget_.Add(kIndexNodeBytes + sizeof(DfaTrans));
   } else {
     trans_[static_cast<size_t>(state_ - num_aot_) * num_classes_ + cls] = tr;
   }

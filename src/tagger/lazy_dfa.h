@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/resilience/budget.h"
 #include "grammar/grammar.h"
 #include "obs/metrics.h"
 #include "tagger/dfa_state.h"
@@ -173,6 +174,10 @@ class LazyDfaSession {
   std::unordered_multimap<uint64_t, int32_t> index_;
   size_t cache_bytes_ = 0;
   size_t num_classes_ = 0;
+  // Mirrors cache_bytes_ into the process resource budget so a fleet of
+  // sessions shows up as one "dfa_cache" footprint; under budget pressure
+  // the kShedDfa rung stops further growth (see BuildTransition).
+  core::resilience::ScopedCharge budget_{"dfa_cache"};
 
   // Scratch for intern/build, kept allocated across steps.
   std::vector<WordBits> tmp_state_, tmp_armed_;

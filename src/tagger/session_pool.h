@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/resilience/budget.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "tagger/functional_model.h"
@@ -183,6 +184,16 @@ class BasicSessionPool {
   }
 
   void Return(std::unique_ptr<Session> session) {
+    // Budget pressure (kTrimPools rung): read the flag before taking the
+    // pool lock and trim after releasing it — TrimIdle relocks, and the
+    // trim is a best-effort shed, not part of the return itself.
+    const bool trim_for_pressure =
+        core::resilience::ResourceBudget::Process().ShouldTrimPools();
+    ReturnToIdle(std::move(session));
+    if (trim_for_pressure) TrimIdle(1);
+  }
+
+  void ReturnToIdle(std::unique_ptr<Session> session) {
     std::lock_guard<std::mutex> lock(mu_);
     if (outstanding_ > 0) --outstanding_;
     size_t freed = 0;

@@ -32,6 +32,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/resilience/budget.h"
+#include "core/resilience/deadline.h"
+#include "core/resilience/fault_injector.h"
 #include "grammar/grammar_parser.h"
 #include "nids/context_filter.h"
 #include "nids/scan_engine.h"
@@ -254,6 +257,122 @@ TEST(ThreadedStressOracleTest, BackendsByteIdenticalUnderLiveObservation) {
   for (size_t i = 1; i < events.size(); ++i) {
     EXPECT_LT(events[i - 1].seq, events[i].seq);
   }
+}
+
+// Chaos leg: the same differential oracle with the fault injector armed at
+// random scan-path sites. Faults that degrade (dfa.intern sheds the DFA
+// cache, stalls slow workers, budget pressure trims pools) must leave the
+// alert streams byte-identical; faults that trip a finite deadline must
+// surface as a typed status with sane partial results — and nothing may
+// crash, hang, or tear a result vector either way.
+TEST(ThreadedStressOracleTest, ChaosFaultsPreserveOrFailCleanly) {
+  namespace res = core::resilience;
+  auto& injector = res::FaultInjector::Instance();
+  injector.DisarmAll();
+  res::ResourceBudget::Process().ResetForTest();
+
+  ContextFilter functional = MakeFilter(tagger::TaggerBackend::kFunctional, 0);
+  ContextFilter lazy = MakeFilter(tagger::TaggerBackend::kLazyDfa, 0);
+
+  std::vector<std::string> storage;
+  for (uint64_t s = 0; s < 8; ++s) storage.push_back(Traffic(24, s + 100));
+  const std::vector<std::string_view> streams(storage.begin(),
+                                              storage.end());
+  const std::string big_stream = Traffic(300, 778);
+
+  obs::AttributionTable::set_enabled(false);
+  std::vector<std::vector<Alert>> batch_expected;
+  for (const std::string_view s : streams) {
+    batch_expected.push_back(functional.Scan(s));
+  }
+  const std::vector<Alert> stream_expected = functional.Scan(big_stream);
+  ASSERT_FALSE(stream_expected.empty());
+
+  // Sites that can fire inside a scan, with kinds that only degrade.
+  struct Chaos {
+    const char* spec;
+    bool can_trip_deadline;  // may turn a finite deadline into a trip
+  };
+  const Chaos kChaos[] = {
+      {"dfa.intern:2", false},
+      {"scan.chunk:5:1", false},
+      {"engine.shard:2:2", false},
+      {"dfa.intern:3,scan.chunk:7:1", false},
+      {"deadline.clock:3:60000", true},
+      {"scan.chunk:2:1,deadline.clock:2:60000", true},
+  };
+
+  ScanEngineOptions opt;
+  opt.num_threads = 4;
+  opt.min_shard_bytes = 1024;
+  opt.stuck_shard_seconds = 0;  // stalls here are chaos, not bugs
+  const ScanEngine func_engine(&functional, opt);
+  const ScanEngine lazy_engine(&lazy, opt);
+
+  Rng rng(42);
+  const int iters = StressIters();
+  for (int it = 0; it < iters; ++it) {
+    for (const Chaos& chaos : kChaos) {
+      ASSERT_TRUE(injector.ArmFromSpec(chaos.spec).ok()) << chaos.spec;
+      // Random budget pressure rides along on some rounds: the ladder may
+      // shed DFA caches and trim pools mid-scan without changing alerts.
+      const bool pressured = rng.NextIndex(2) == 0;
+      if (pressured) {
+        res::ResourceBudget::Process().SetLimit(100);
+        res::ResourceBudget::Process().Charge(95, "chaos");
+      }
+      for (const ScanEngine* engine : {&func_engine, &lazy_engine}) {
+        res::ScanControl control;
+        control.check_interval_bytes = 2048;
+        if (chaos.can_trip_deadline) {
+          control.deadline = res::Deadline::AfterMillis(60000);
+        }
+        std::vector<StreamResult> results;
+        const Status batch = engine->ScanBatch(streams, control, &results);
+        ASSERT_EQ(results.size(), streams.size()) << chaos.spec;
+        if (batch.ok()) {
+          for (size_t i = 0; i < results.size(); ++i) {
+            ASSERT_EQ(results[i].alerts, batch_expected[i])
+                << chaos.spec << " iter " << it << " stream " << i;
+          }
+        } else {
+          ASSERT_TRUE(batch.code() == StatusCode::kDeadlineExceeded ||
+                      batch.code() == StatusCode::kCancelled)
+              << chaos.spec << ": " << batch;
+          for (size_t i = 0; i < results.size(); ++i) {
+            for (const Alert& a : results[i].alerts) {
+              ASSERT_LT(a.end, streams[i].size()) << chaos.spec;
+            }
+          }
+        }
+        StreamResult sharded;
+        const Status stream_status =
+            engine->ScanStream(big_stream, control, &sharded);
+        if (stream_status.ok()) {
+          ASSERT_EQ(sharded.alerts, stream_expected)
+              << chaos.spec << " iter " << it;
+        } else {
+          ASSERT_TRUE(stream_status.code() ==
+                          StatusCode::kDeadlineExceeded ||
+                      stream_status.code() == StatusCode::kCancelled)
+              << chaos.spec << ": " << stream_status;
+          for (const Alert& a : sharded.alerts) {
+            ASSERT_LT(a.end, big_stream.size()) << chaos.spec;
+          }
+        }
+      }
+      if (pressured) res::ResourceBudget::Process().ResetForTest();
+      injector.DisarmAll();
+    }
+  }
+
+  // Chaos over: the disarmed engines reproduce the oracle exactly.
+  EXPECT_GT(injector.injected(), 0u);
+  const std::vector<StreamResult> calm = lazy_engine.ScanBatch(streams);
+  for (size_t i = 0; i < calm.size(); ++i) {
+    EXPECT_EQ(calm[i].alerts, batch_expected[i]) << "post-chaos stream " << i;
+  }
+  EXPECT_EQ(lazy_engine.ScanStream(big_stream).alerts, stream_expected);
 }
 
 }  // namespace

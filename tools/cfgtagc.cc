@@ -55,6 +55,21 @@
 //                       present, else compile and store it (ignored when
 //                       hardware outputs are requested — those need the
 //                       netlist, which artifacts do not carry)
+//   --deadline-ms N     with --tag: abort the (software) scan N ms in,
+//                       print the tags found so far, and exit nonzero
+//                       with DEADLINE_EXCEEDED (ignored by
+//                       --cycle-accurate; with --threads the deadline is
+//                       shared across all shards)
+//   --memory-budget-mb N
+//                       cap the resilience resource budget at N MiB; as
+//                       pressure rises the run degrades (DFA cache shed,
+//                       session pools trimmed, artifact cache read-only)
+//                       instead of growing unbounded — see
+//                       docs/robustness.md
+//   --faults SPEC       arm the fault injector, e.g.
+//                       "artifact.mmap,scan.chunk:3:20" (same syntax as
+//                       the CFGTAG_FAULTS environment variable; see
+//                       docs/robustness.md for the site catalog)
 //
 // A second positional argument is shorthand for --tag:
 //   cfgtagc GRAMMAR INPUT == cfgtagc GRAMMAR --tag INPUT
@@ -74,6 +89,9 @@
 #include <sstream>
 #include <string>
 
+#include "core/resilience/budget.h"
+#include "core/resilience/deadline.h"
+#include "core/resilience/fault_injector.h"
 #include "core/token_tagger.h"
 #include "core/worker_pool.h"
 #include "grammar/analysis.h"
@@ -102,7 +120,8 @@ int Usage(const char* argv0) {
                "       [--stats-port N] [--attribution]\n"
                "       [--flight-recorder-out FILE]\n"
                "       [--save-artifact FILE] [--load-artifact FILE]\n"
-               "       [--cache-dir DIR]\n",
+               "       [--cache-dir DIR] [--deadline-ms N]\n"
+               "       [--memory-budget-mb N] [--faults SPEC]\n",
                argv0);
   return 2;
 }
@@ -206,6 +225,8 @@ int RunTool(int argc, char** argv) {
   std::string load_artifact;
   std::string cache_dir;
   int threads = 1;
+  int deadline_ms = 0;       // 0 = no deadline
+  int memory_budget_mb = 0;  // 0 = unlimited
   int stats_port = -1;  // -1 = no stats server; 0 = kernel-assigned
   bool attribution = false;
   cfgtag::hwgen::HwOptions options;
@@ -404,6 +425,35 @@ int RunTool(int argc, char** argv) {
       }
       std::remove(probe_path.c_str());
       cache_dir = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (!ParsePositiveInt(v, &deadline_ms)) {
+        std::fprintf(stderr,
+                     "--deadline-ms needs a positive millisecond count, "
+                     "got \"%s\"\n", v);
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--memory-budget-mb") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (!ParsePositiveInt(v, &memory_budget_mb)) {
+        std::fprintf(stderr,
+                     "--memory-budget-mb needs a positive MiB count, "
+                     "got \"%s\"\n", v);
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v || *v == '\0') return Usage(argv[0]);
+      // Validate-and-arm up front, like every other flag: a typo'd site
+      // name fails the run here, not silently never-fires.
+      const cfgtag::Status armed =
+          cfgtag::core::resilience::FaultInjector::Instance().ArmFromSpec(v);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "--faults: %s\n", armed.ToString().c_str());
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -439,6 +489,13 @@ int RunTool(int argc, char** argv) {
   }
 
   if (attribution) cfgtag::obs::AttributionTable::set_enabled(true);
+  if (memory_budget_mb > 0) {
+    // Before any tagger construction, so the compile's DFA cache and the
+    // artifact mmap both charge against the cap from byte one.
+    cfgtag::core::resilience::ResourceBudget::Process().SetLimit(
+        static_cast<uint64_t>(memory_budget_mb) << 20);
+    std::printf("memory budget: %d MiB\n", memory_budget_mb);
+  }
   if (!g_flight_out.empty()) {
     // Crash-safe path: SIGINT/SIGTERM dump the ring before the process
     // dies with the conventional signal status.
@@ -580,7 +637,21 @@ int RunTool(int argc, char** argv) {
     }
     cfgtag::obs::ScopedSpan tag_span("cfgtagc.Tag");
     std::vector<cfgtag::tagger::Tag> tags;
+    // One deadline for the whole tag run: with --threads every shard
+    // checks the same clock, so the first shard to notice trips them all.
+    cfgtag::Status tag_status;
+    const bool controlled = deadline_ms > 0 && !cycle_accurate;
+    cfgtag::core::resilience::ScanControl control;
+    if (controlled) {
+      control.deadline =
+          cfgtag::core::resilience::Deadline::AfterMillis(deadline_ms);
+    }
     if (cycle_accurate) {
+      if (deadline_ms > 0) {
+        std::fprintf(stderr,
+                     "--deadline-ms is ignored with --cycle-accurate "
+                     "(the simulator is not deadline-aware)\n");
+      }
       if (threads > 1) {
         std::fprintf(stderr,
                      "--threads is ignored with --cycle-accurate "
@@ -615,20 +686,49 @@ int RunTool(int argc, char** argv) {
             /*max_shards=*/2 * static_cast<size_t>(threads),
             /*min_shard_bytes=*/4096);
         std::vector<std::vector<cfgtag::tagger::Tag>> shard(starts.size());
+        std::vector<cfgtag::Status> shard_status(starts.size());
         pool.RunIndexed(starts.size(), [&](size_t i) {
           const size_t begin = starts[i];
           const size_t end =
               i + 1 < starts.size() ? starts[i + 1] : input.size();
-          shard[i] =
-              tagger->Tag(std::string_view(input).substr(begin, end - begin));
+          const std::string_view piece =
+              std::string_view(input).substr(begin, end - begin);
+          if (controlled) {
+            shard_status[i] = tagger->TagWithControl(
+                piece,
+                [&](const cfgtag::tagger::Tag& t) {
+                  shard[i].push_back(t);
+                  return true;
+                },
+                control);
+          } else {
+            shard[i] = tagger->Tag(piece);
+          }
           for (cfgtag::tagger::Tag& t : shard[i]) t.end += begin;
         });
+        // Merge every shard — a tripped shard still tagged its consumed
+        // prefix, and those partial tags are worth printing.
         for (std::vector<cfgtag::tagger::Tag>& s : shard) {
           tags.insert(tags.end(), s.begin(), s.end());
+        }
+        for (size_t i = 0; i < shard_status.size(); ++i) {
+          if (!shard_status[i].ok()) {
+            tag_status = shard_status[i].WithContext(
+                "shard " + std::to_string(i));
+            break;
+          }
         }
         std::printf("tagged with %d thread(s) across %zu shard(s)\n",
                     pool.num_threads(), starts.size());
       }
+    } else if (controlled) {
+      tag_status = tagger->TagWithControl(
+          input,
+          [&](const cfgtag::tagger::Tag& t) {
+            tags.push_back(t);
+            return true;
+          },
+          control);
     } else {
       tags = tagger->Tag(input);
     }
@@ -657,13 +757,16 @@ int RunTool(int argc, char** argv) {
                cfgtag::tagger::TaggerBackend::kLazyDfa) {
       engine = "lazy-dfa";
     }
-    std::printf("%zu tags from %s (%s engine):\n", tags.size(),
-                tag_path.c_str(), engine);
+    std::printf("%zu tags from %s (%s engine)%s:\n", tags.size(),
+                tag_path.c_str(), engine,
+                tag_status.ok() ? "" : ", partial — scan aborted");
     for (const auto& t : tags) {
       std::printf("  byte %8llu  %s\n",
                   static_cast<unsigned long long>(t.end),
                   tagger->grammar().tokens()[t.token].name.c_str());
     }
+    // Partial tags printed above; the exit status still reports the trip.
+    if (!tag_status.ok()) return FailStatus("tag", tag_status);
   }
   return 0;
 }

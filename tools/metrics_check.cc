@@ -193,6 +193,10 @@ void CheckProm(const std::string& text, std::vector<Diag>* diags,
         diags->push_back({lineno, error});
         continue;
       }
+      // Record the labeled form too, so --expect-family can pin a label
+      // (e.g. cfgtag_degraded_mode{component=) exactly like it can
+      // against the JSON dumps, whose keys carry the labels.
+      names->insert(line.substr(0, i));
     }
     if (i >= line.size() || line[i] != ' ') {
       diags->push_back({lineno, "expected space before sample value"});
